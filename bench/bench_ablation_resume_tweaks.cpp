@@ -1,0 +1,53 @@
+// Ablation (DESIGN.md #4): the §3.6 resumed-subflow treatment — disabling
+// the RFC 2861 cwnd reset and zeroing the RTT so the scheduler probes a
+// resumed subflow immediately. Measured on a workload that suspends and
+// resumes the LTE subflow repeatedly (on-off WiFi): with the tweaks off, a
+// resumed subflow restarts from the initial window after every idle
+// period and ramps slowly.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace emptcp;
+  using namespace emptcp::bench;
+
+  header("Ablation: resumed-subflow tweaks (§3.6)",
+         "cwnd-validation off + RTT reset, vs standard behaviour");
+
+  stats::Table table({"resume tweaks", "time (s)", "energy (J)",
+                      "bytes over LTE (MB)"});
+  for (const bool tweaks : {true, false}) {
+    // Short bad-WiFi phases over a high-BDP cellular path (20 Mbps at
+    // ~250 ms RTT): the resumed subflow's ramp takes whole seconds, so
+    // each resume either starts from the retained window (tweaks on) or
+    // crawls through slow-start (off).
+    app::ScenarioConfig cfg = lab_config(12.0, 20.0);
+    cfg.cell.rtt = sim::milliseconds(250);
+    cfg.cell.queue_bytes = 1 << 20;
+    cfg.wifi_onoff = true;
+    cfg.onoff.high_mbps = 12.0;
+    cfg.onoff.low_mbps = 0.6;
+    cfg.onoff.mean_high_s = 12.0;
+    cfg.onoff.mean_low_s = 8.0;
+    cfg.emptcp.mptcp.resume_tweaks = tweaks;
+    app::Scenario s(cfg);
+
+    std::vector<double> time;
+    std::vector<double> energy;
+    std::vector<double> lte_mb;
+    for (int run = 0; run < 3; ++run) {
+      const app::RunMetrics m =
+          s.run_download(app::Protocol::kEmptcp, 96 * kMB, 700 + run);
+      time.push_back(m.download_time_s);
+      energy.push_back(m.energy_j);
+      lte_mb.push_back(m.mean_cell_mbps * m.download_time_s / 8.0);
+    }
+    table.add_row({tweaks ? "on (paper)" : "off", mean_sem(time, 0),
+                   mean_sem(energy, 0), mean_sem(lte_mb, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  note("with the tweaks on, a resumed LTE subflow contributes throughput "
+       "immediately, so downloads finish sooner at similar or lower "
+       "energy; with them off the subflow crawls through slow-start after "
+       "every resume.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Extension (paper §7 future work): video streaming. A 2 Mbps chunked
+// stream with a 12 s buffer — bursty traffic with idle gaps, the case
+// eMPTCP's idle-connection postponement (§3.5) targets.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace emptcp;
+  using namespace emptcp::bench;
+
+  header("Extension: video streaming (§7 future work)",
+         "2 Mbps / 120 s chunked stream, quality and energy per protocol");
+
+  app::VideoStreamClient::Config stream;
+  stream.bitrate_mbps = 2.0;
+  stream.chunk_bytes = 1 * kMB;
+  stream.buffer_target_s = 12.0;
+  stream.startup_s = 4.0;
+  stream.media_duration_s = 120.0;
+
+  struct Case {
+    const char* name;
+    double wifi, cell;
+  };
+  const Case cases[] = {{"WiFi sustains the bitrate (10 Mbps)", 10.0, 9.0},
+                        {"WiFi below the bitrate (1.2 Mbps)", 1.2, 9.0}};
+
+  for (const Case& c : cases) {
+    std::printf("%s:\n", c.name);
+    app::Scenario s(lab_config(c.wifi, c.cell));
+    stats::Table table({"protocol", "startup (s)", "rebuffers",
+                        "stall (s)", "energy (J)", "LTE used"});
+    for (app::Protocol p : {app::Protocol::kMptcp, app::Protocol::kEmptcp,
+                            app::Protocol::kTcpWifi}) {
+      const app::RunMetrics m = s.run_stream(p, stream, 13);
+      table.add_row({app::to_string(p),
+                     stats::Table::num(m.startup_delay_s, 1),
+                     std::to_string(m.rebuffer_events),
+                     stats::Table::num(m.stall_time_s, 1),
+                     stats::Table::num(m.energy_j, 1),
+                     m.cellular_used ? "yes" : "no"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  note("with sufficient WiFi, eMPTCP streams at TCP/WiFi's energy while "
+       "MPTCP burns the LTE radio through every chunk; with weak WiFi, "
+       "eMPTCP matches MPTCP's smooth playback where TCP/WiFi rebuffers "
+       "throughout.");
+  return 0;
+}

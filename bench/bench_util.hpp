@@ -1,0 +1,111 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints:
+//   * a header naming the paper figure/table it regenerates,
+//   * the workload parameters,
+//   * the reproduced rows/series as ASCII tables or charts,
+//   * a "paper shape" note stating what relationship should hold.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "app/scenario.hpp"
+#include "stats/csv.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "stats/timeseries.hpp"
+
+namespace emptcp::bench {
+
+inline constexpr std::uint64_t kKB = 1024;
+inline constexpr std::uint64_t kMB = 1024 * 1024;
+
+inline void header(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("shape check: %s\n\n", text.c_str());
+}
+
+/// When EMPTCP_CSV_DIR is set, dumps the named trace columns there as a
+/// CSV (for external plotting of the time-series figures).
+inline void maybe_dump_csv(
+    const std::string& name,
+    const std::vector<std::pair<std::string, const stats::Series*>>& cols) {
+  const char* dir = std::getenv("EMPTCP_CSV_DIR");
+  if (dir == nullptr) return;
+  std::string file = name;
+  for (char& c : file) {
+    if (c == '/' || c == ' ') c = '-';
+  }
+  const std::string path = std::string(dir) + "/" + file + ".csv";
+  if (stats::write_file(path, stats::series_table_to_csv(cols))) {
+    std::printf("(wrote %s)\n", path.c_str());
+  }
+}
+
+/// "mean ± SEM" cell, the paper's Figs. 8/10/13 presentation (Eq. 2).
+inline std::string mean_sem(const std::vector<double>& xs, int precision = 1) {
+  return stats::Table::num(stats::mean(xs), precision) + " ± " +
+         stats::Table::num(stats::sem(xs), precision);
+}
+
+/// Whisker-summary cell for the in-the-wild figures (Q1/median/Q3, range,
+/// outlier count).
+inline std::string whisker_cell(const std::vector<double>& xs,
+                                int precision = 1) {
+  const stats::Whisker w = stats::whisker(xs);
+  std::string s = stats::Table::num(w.q1, precision) + "/" +
+                  stats::Table::num(w.median, precision) + "/" +
+                  stats::Table::num(w.q3, precision);
+  s += " [" + stats::Table::num(w.lo_whisker, precision) + ".." +
+       stats::Table::num(w.hi_whisker, precision) + "]";
+  if (!w.outliers.empty()) {
+    s += " +" + std::to_string(w.outliers.size()) + " outl";
+  }
+  return s;
+}
+
+/// The controlled-lab setup of §4.1 (campus server, 802.11g AP, AT&T LTE),
+/// with WiFi/LTE rates supplied per experiment.
+inline app::ScenarioConfig lab_config(double wifi_mbps, double cell_mbps,
+                                      bool record_series = false) {
+  app::ScenarioConfig cfg;
+  cfg.wifi.down_mbps = wifi_mbps;
+  cfg.cell.down_mbps = cell_mbps;
+  cfg.wifi.rtt = sim::milliseconds(30);
+  cfg.cell.rtt = sim::milliseconds(60);
+  cfg.record_series = record_series;
+  return cfg;
+}
+
+/// One of the §5 wild environments: server location sets the RTT.
+enum class ServerSite { kWdc, kAms, kSng };
+
+inline const char* to_string(ServerSite s) {
+  switch (s) {
+    case ServerSite::kWdc: return "WDC";
+    case ServerSite::kAms: return "AMS";
+    case ServerSite::kSng: return "SNG";
+  }
+  return "?";
+}
+
+inline sim::Duration site_rtt(ServerSite s) {
+  switch (s) {
+    case ServerSite::kWdc: return sim::milliseconds(25);
+    case ServerSite::kAms: return sim::milliseconds(95);
+    case ServerSite::kSng: return sim::milliseconds(250);
+  }
+  return sim::milliseconds(25);
+}
+
+}  // namespace emptcp::bench

@@ -1,0 +1,87 @@
+// Shared machinery for the "in the wild" benches (paper §5).
+//
+// The paper collects traces at three client locations (campus building,
+// long-reach-Ethernet student housing, cable-backed residence) against
+// servers in WDC / AMS / SNG, ten iterations each, then buckets every
+// trace into four categories by measured WiFi/LTE quality with an 8 Mbps
+// Good/Bad threshold (§5.1). We reproduce the methodology: per-run link
+// capacities are drawn from location-dependent distributions, the
+// scenario runs all three protocols on identical conditions (the paper
+// randomises ordering within a set; a fresh simulation per protocol with
+// the same seed is the simulator equivalent), and runs are categorised by
+// the drawn capacities.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/random.hpp"
+
+namespace emptcp::bench {
+
+struct WildDraw {
+  double wifi_mbps = 0.0;
+  double cell_mbps = 0.0;
+  ServerSite site = ServerSite::kWdc;
+  std::uint64_t seed = 0;
+};
+
+enum class Category { kBadBad, kBadGood, kGoodBad, kGoodGood };
+
+inline const char* to_string(Category c) {
+  switch (c) {
+    case Category::kBadBad: return "Bad WiFi & Bad LTE";
+    case Category::kBadGood: return "Bad WiFi & Good LTE";
+    case Category::kGoodBad: return "Good WiFi & Bad LTE";
+    case Category::kGoodGood: return "Good WiFi & Good LTE";
+  }
+  return "?";
+}
+
+inline constexpr double kGoodThresholdMbps = 8.0;  // paper §5.1
+
+inline Category categorize(double wifi_mbps, double cell_mbps) {
+  const bool wifi_good = wifi_mbps >= kGoodThresholdMbps;
+  const bool cell_good = cell_mbps >= kGoodThresholdMbps;
+  if (wifi_good && cell_good) return Category::kGoodGood;
+  if (wifi_good) return Category::kGoodBad;
+  if (cell_good) return Category::kBadGood;
+  return Category::kBadBad;
+}
+
+/// Draws the wild sample set: three client locations x three servers x
+/// `iters` iterations. Location biases WiFi quality (campus good, LRE
+/// middling, cable variable); LTE varies with coverage independent of
+/// location.
+inline std::vector<WildDraw> wild_draws(int iters, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<WildDraw> draws;
+  const double wifi_lo[] = {6.0, 1.0, 0.5};   // campus, LRE, cable
+  const double wifi_hi[] = {22.0, 9.0, 18.0};
+  const ServerSite sites[] = {ServerSite::kWdc, ServerSite::kAms,
+                              ServerSite::kSng};
+  std::uint64_t run_seed = seed * 1000;
+  for (int loc = 0; loc < 3; ++loc) {
+    for (ServerSite site : sites) {
+      for (int it = 0; it < iters; ++it) {
+        WildDraw d;
+        d.wifi_mbps = rng.uniform(wifi_lo[loc], wifi_hi[loc]);
+        d.cell_mbps = rng.uniform(0.8, 20.0);
+        d.site = site;
+        d.seed = ++run_seed;
+        draws.push_back(d);
+      }
+    }
+  }
+  return draws;
+}
+
+inline app::ScenarioConfig wild_config(const WildDraw& d) {
+  app::ScenarioConfig cfg = lab_config(d.wifi_mbps, d.cell_mbps);
+  cfg.wifi.rtt = site_rtt(d.site);
+  cfg.cell.rtt = site_rtt(d.site) + sim::milliseconds(30);
+  return cfg;
+}
+
+}  // namespace emptcp::bench

@@ -1,0 +1,53 @@
+// Example: the §5.4 Web-browsing case study as an application.
+//
+// Fetches a CNN-home-page-like document (107 objects) over six parallel
+// persistent connections for each protocol and prints the Fig. 17
+// comparison. Shows eMPTCP's delayed subflow establishment doing its job:
+// no object is large enough to justify waking the LTE radio.
+//
+//   $ ./web_browsing [objects] [parallel]
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/scenario.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emptcp;
+
+  const std::size_t objects =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 107;
+  const std::size_t parallel =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+
+  const app::WebPage page = app::WebPage::cnn_like(911, objects);
+  std::printf("web browsing: %zu objects, %.2f MB total, %zu parallel "
+              "persistent connections\n\n",
+              page.object_sizes.size(),
+              static_cast<double>(page.total_bytes()) / 1e6, parallel);
+
+  app::ScenarioConfig cfg;
+  cfg.wifi.down_mbps = 15.0;  // Good WiFi & Good LTE, like the paper
+  cfg.cell.down_mbps = 12.0;
+
+  app::Scenario scenario(cfg);
+  stats::Table table({"protocol", "page latency (s)", "energy (J)",
+                      "LTE used", "LTE activations"});
+  for (app::Protocol p : {app::Protocol::kMptcp, app::Protocol::kEmptcp,
+                          app::Protocol::kTcpWifi}) {
+    const app::RunMetrics m = scenario.run_web_page(p, page, parallel, 3);
+    table.add_row({app::to_string(p),
+                   stats::Table::num(m.download_time_s, 2),
+                   stats::Table::num(m.energy_j, 1),
+                   m.cellular_used ? "yes" : "no",
+                   std::to_string(m.cellular_activations)});
+    if (!m.completed) std::printf("warning: %s did not finish\n",
+                                  app::to_string(p));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper Fig. 17: MPTCP burns ~60%% more energy than eMPTCP "
+              "and TCP/WiFi at the same latency, because all %zu objects "
+              "are small and the LTE subflows never pay off.\n",
+              page.object_sizes.size());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "app/bulk_download.hpp"
+
+namespace emptcp::app {
+
+FileServer::FileServer(sim::Simulation& sim, net::Node& node, Config cfg)
+    : cfg_(std::move(cfg)) {
+  listener_ = std::make_unique<mptcp::MptcpListener>(
+      sim, node, cfg_.port, cfg_.mptcp,
+      [this](mptcp::MptcpConnection& conn) { on_accept(conn); });
+}
+
+void FileServer::on_accept(mptcp::MptcpConnection& conn) {
+  auto st = std::make_unique<ConnState>();
+  st->conn = &conn;
+  // Connections identify themselves via the app tag (the web workload's
+  // stand-in for request URLs); untagged connections fall back to accept
+  // order, which is fine for single-connection workloads.
+  st->index = conn.app_tag() != 0 ? conn.app_tag() - 1 : states_.size();
+  ConnState* raw = st.get();
+  states_.push_back(std::move(st));
+
+  mptcp::MptcpConnection::Callbacks cb;
+  cb.on_data = [this, raw](std::uint64_t newly) {
+    on_request_data(*raw, newly);
+  };
+  cb.on_eof = [raw] {
+    // Client closed its write side: finish our side once responses drain.
+    raw->conn->shutdown_write();
+  };
+  conn.set_callbacks(std::move(cb));
+}
+
+void FileServer::on_request_data(ConnState& st, std::uint64_t newly) {
+  st.pending += newly;
+  while (st.pending >= cfg_.request_bytes) {
+    st.pending -= cfg_.request_bytes;
+    const std::uint64_t size =
+        cfg_.resolver ? cfg_.resolver(st.index, st.requests) : 0;
+    ++st.requests;
+    if (size == 0) continue;
+    ++responses_;
+    st.conn->send(size);
+    if (cfg_.close_after_response) st.conn->shutdown_write();
+  }
+}
+
+}  // namespace emptcp::app

@@ -1,0 +1,62 @@
+// File server and request framing.
+//
+// All the paper's download workloads are client-initiated HTTP-style
+// fetches: the client sends a fixed-size request, the server responds with
+// a counted payload. FileServer accepts MPTCP (and plain-TCP) connections,
+// counts request bytes, and answers each complete request with the size the
+// resolver dictates:
+//   * bulk downloads — resolver returns the file size for request 0, and
+//     the server half-closes after the response (close_after_response);
+//   * web browsing — resolver maps (connection index, request index) to an
+//     object size on a persistent connection; the server half-closes only
+//     when the client does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mptcp/meta_socket.hpp"
+
+namespace emptcp::app {
+
+class FileServer {
+ public:
+  struct Config {
+    net::Port port = 80;
+    std::uint64_t request_bytes = 200;  ///< request framing unit
+    bool close_after_response = true;
+    /// Size of the response to the `request_index`-th request on the
+    /// `conn_index`-th accepted connection. Return 0 to ignore a request.
+    std::function<std::uint64_t(std::size_t conn_index,
+                                std::size_t request_index)>
+        resolver;
+    mptcp::MptcpConnection::Config mptcp;
+  };
+
+  FileServer(sim::Simulation& sim, net::Node& node, Config cfg);
+
+  [[nodiscard]] std::size_t accepted_connections() const {
+    return states_.size();
+  }
+  [[nodiscard]] std::uint64_t responses_sent() const { return responses_; }
+
+ private:
+  struct ConnState {
+    mptcp::MptcpConnection* conn = nullptr;
+    std::size_t index = 0;
+    std::uint64_t pending = 0;  ///< request bytes not yet consumed
+    std::size_t requests = 0;
+  };
+
+  void on_accept(mptcp::MptcpConnection& conn);
+  void on_request_data(ConnState& st, std::uint64_t newly);
+
+  Config cfg_;
+  std::unique_ptr<mptcp::MptcpListener> listener_;
+  std::vector<std::unique_ptr<ConnState>> states_;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace emptcp::app

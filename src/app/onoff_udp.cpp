@@ -1,0 +1,48 @@
+#include "app/onoff_udp.hpp"
+
+namespace emptcp::app {
+
+OnOffUdpSource::OnOffUdpSource(sim::Simulation& sim,
+                               net::WifiChannel& channel, Config cfg)
+    : sim_(sim),
+      channel_(channel),
+      cfg_(cfg),
+      channel_slot_(channel.register_interferer()),
+      on_(cfg.start_on) {}
+
+void OnOffUdpSource::start() {
+  channel_.set_interferer_active(channel_slot_, on_);
+  if (on_ && cfg_.inject_into != nullptr) emit();
+  schedule_flip();
+}
+
+void OnOffUdpSource::schedule_flip() {
+  const double rate = on_ ? cfg_.lambda_on : cfg_.lambda_off;
+  const double mean_s = 1.0 / rate;
+  sim_.in(sim::from_seconds(sim_.rng().exponential(mean_s)),
+          [this] { flip(); });
+}
+
+void OnOffUdpSource::flip() {
+  on_ = !on_;
+  channel_.set_interferer_active(channel_slot_, on_);
+  if (on_ && cfg_.inject_into != nullptr) emit();
+  schedule_flip();
+}
+
+void OnOffUdpSource::emit() {
+  if (!on_ || cfg_.inject_into == nullptr) return;
+  net::Packet pkt;
+  pkt.udp = true;
+  pkt.src = cfg_.src;
+  pkt.dst = cfg_.dst;
+  pkt.payload = cfg_.datagram_bytes;
+  cfg_.inject_into->send(pkt);
+  ++sent_;
+  const double bits = static_cast<double>(pkt.wire_bytes()) * 8.0;
+  const sim::Duration gap =
+      sim::from_seconds(bits / (cfg_.inject_rate_mbps * 1e6));
+  sim_.in(gap, [this] { emit(); });
+}
+
+}  // namespace emptcp::app

@@ -1,0 +1,58 @@
+// Background-traffic generator (paper §4.4).
+//
+// "each node generates UDP traffic according to a two state Markov on-off
+//  process, with rates (per second) λon and λoff."
+//
+// Each OnOffUdpSource models one interfering WiFi station: it holds in the
+// ON state for Exp(1/λon) seconds and OFF for Exp(1/λoff) seconds. While ON
+// it contends for the channel (registered with the WifiChannel, which
+// shrinks the device's airtime share and raises collision loss) and can
+// optionally inject real UDP datagrams into a link so queues see cross
+// traffic (tests use this; the channel-level contention effect is the one
+// the paper's experiments measure, since interferers are distinct stations
+// whose frames do not sit in the device's AP queue).
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel/wifi_channel.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::app {
+
+class OnOffUdpSource {
+ public:
+  struct Config {
+    double lambda_on = 0.05;   ///< rate of leaving ON (mean on-time 1/λ s)
+    double lambda_off = 0.05;  ///< rate of leaving OFF
+    bool start_on = false;
+    /// If set, real UDP datagrams are injected into this link while ON.
+    net::Link* inject_into = nullptr;
+    double inject_rate_mbps = 6.0;
+    std::uint32_t datagram_bytes = 1200;
+    net::Addr src = 900;
+    net::Addr dst = 901;
+  };
+
+  OnOffUdpSource(sim::Simulation& sim, net::WifiChannel& channel, Config cfg);
+
+  void start();
+
+  [[nodiscard]] bool on() const { return on_; }
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+
+ private:
+  void flip();
+  void schedule_flip();
+  void emit();
+
+  sim::Simulation& sim_;
+  net::WifiChannel& channel_;
+  Config cfg_;
+  std::size_t channel_slot_;
+  bool on_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace emptcp::app

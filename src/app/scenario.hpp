@@ -1,0 +1,145 @@
+// Scenario: one self-contained experiment run.
+//
+// Reproduces the paper's testbed (§4.1): a mobile client with WiFi and LTE
+// interfaces, a wired server reachable over both paths, a device energy
+// model, and the workload applications. Each run builds a fresh simulation
+// from (config, protocol, seed), executes the workload, and returns the
+// measurements the paper reports: total energy, download time, bytes, and
+// the trace series behind the time-series figures.
+//
+// Scenario knobs map one-to-one onto the paper's experiments:
+//   * static good/bad WiFi          -> PathParams rates (Figs. 5, 6)
+//   * random on-off WiFi bandwidth  -> wifi_onoff (Figs. 7, 8)
+//   * interfering stations          -> interferers + lambdas (Figs. 9, 10)
+//   * walking route                 -> mobility (Figs. 12, 13)
+//   * server location               -> PathParams RTTs (Figs. 14-16)
+//   * web page                      -> run_web_page (Fig. 17)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "app/streaming.hpp"
+#include "app/web_browser.hpp"
+#include "core/emptcp_connection.hpp"
+#include "energy/device_profile.hpp"
+#include "net/channel/mobility.hpp"
+#include "net/channel/onoff_bandwidth.hpp"
+#include "stats/timeseries.hpp"
+
+namespace emptcp::app {
+
+enum class Protocol {
+  kTcpWifi,     ///< single-path TCP over WiFi (paper baseline)
+  kTcpLte,      ///< single-path TCP over LTE
+  kMptcp,       ///< standard MPTCP, both subflows from the start
+  kEmptcp,      ///< the paper's system
+  kWifiFirst,   ///< Raiciu et al. [28] (§4.6)
+  kMdp,         ///< Pluntke et al. [24] MDP scheduler (§4.6)
+};
+
+const char* to_string(Protocol p);
+
+struct PathParams {
+  double down_mbps = 10.0;
+  double up_mbps = 6.0;
+  sim::Duration rtt = sim::milliseconds(30);  ///< end-to-end propagation RTT
+  double loss = 0.0;
+  std::size_t queue_bytes = 192 * 1024;
+};
+
+struct ScenarioConfig {
+  PathParams wifi;
+  PathParams cell{.down_mbps = 9.0,
+                  .up_mbps = 5.0,
+                  .rtt = sim::milliseconds(60),
+                  .loss = 0.0,
+                  .queue_bytes = 256 * 1024};
+  energy::DeviceProfile device = energy::DeviceProfile::galaxy_s3();
+  energy::CellTech cell_tech = energy::CellTech::kLte;
+
+  // Dynamics (mutually combinable, though the paper uses one at a time).
+  bool wifi_onoff = false;
+  net::OnOffBandwidth::Config onoff;
+  int interferers = 0;
+  double lambda_on = 0.05;
+  double lambda_off = 0.05;
+  bool mobility = false;
+
+  // Protocol parameters.
+  core::EmptcpConfig emptcp;
+  std::uint64_t request_bytes = 200;
+
+  // Run control.
+  sim::Duration max_sim_time = sim::seconds(4 * 3600);
+  sim::Duration max_drain = sim::seconds(20);
+  bool record_series = true;
+};
+
+struct RunMetrics {
+  bool completed = false;
+  double download_time_s = 0.0;
+  double energy_j = 0.0;
+  double wifi_j = 0.0;
+  double cell_j = 0.0;
+  std::uint64_t bytes_received = 0;
+  double mean_wifi_mbps = 0.0;  ///< rx average over the run
+  double mean_cell_mbps = 0.0;
+  /// Configured path capacities (ground truth for §5.1 categorisation).
+  double wifi_capacity_mbps = 0.0;
+  double cell_capacity_mbps = 0.0;
+  bool cellular_used = false;
+  std::uint64_t controller_switches = 0;
+  int cellular_activations = 0;
+
+  // Streaming-only metrics (run_stream).
+  double startup_delay_s = 0.0;
+  double stall_time_s = 0.0;
+  int rebuffer_events = 0;
+
+  stats::Series energy_series;     ///< cumulative joules vs seconds
+  stats::Series wifi_rate_series;  ///< Mbps vs seconds
+  stats::Series cell_rate_series;
+
+  [[nodiscard]] double energy_per_mb() const {
+    return bytes_received > 0
+               ? energy_j / (static_cast<double>(bytes_received) / 1e6)
+               : 0.0;
+  }
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Download `bytes` once; measures completion time and energy including
+  /// the post-download radio tail (as the paper's measurements do).
+  RunMetrics run_download(Protocol p, std::uint64_t bytes,
+                          std::uint64_t seed);
+
+  /// Mobility-style run: download an effectively unbounded file for a fixed
+  /// wall-clock duration; reports bytes moved and energy in that window.
+  RunMetrics run_timed(Protocol p, sim::Duration duration,
+                       std::uint64_t seed);
+
+  /// Upload `bytes` from the device to the server (the paper's §7 "upload
+  /// scenarios" future work). Completion is the device's write side fully
+  /// acknowledged and closed; energy includes the radio tails.
+  RunMetrics run_upload(Protocol p, std::uint64_t bytes, std::uint64_t seed);
+
+  /// Fetch a whole page over `parallel` persistent connections (§5.4).
+  RunMetrics run_web_page(Protocol p, const WebPage& page,
+                          std::size_t parallel, std::uint64_t seed);
+
+  /// Play a chunked video stream to completion (§7 future work). Reports
+  /// startup delay, rebuffering and energy.
+  RunMetrics run_stream(Protocol p, VideoStreamClient::Config stream,
+                        std::uint64_t seed);
+
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+
+ private:
+  ScenarioConfig cfg_;
+};
+
+}  // namespace emptcp::app

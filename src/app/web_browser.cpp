@@ -1,0 +1,99 @@
+#include "app/web_browser.hpp"
+
+#include <algorithm>
+
+namespace emptcp::app {
+
+std::uint64_t WebPage::total_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t s : object_sizes) total += s;
+  return total;
+}
+
+WebPage WebPage::cnn_like(std::uint64_t seed, std::size_t objects) {
+  sim::Rng rng(seed);
+  WebPage page;
+  page.object_sizes.reserve(objects);
+  // First object: the HTML document (~100 KB).
+  page.object_sizes.push_back(100 * 1024);
+  for (std::size_t i = 1; i < objects; ++i) {
+    // Log-normal around ~6 KB with a moderate tail: scripts, styles,
+    // thumbnails. Clamp to [300 B, 250 KB] — the paper notes almost all
+    // objects are below 256 KB.
+    const double raw = rng.lognormal(std::log(6.0 * 1024.0), 1.1);
+    const auto size = static_cast<std::uint64_t>(
+        std::clamp(raw, 300.0, 250.0 * 1024.0));
+    page.object_sizes.push_back(size);
+  }
+  return page;
+}
+
+std::uint64_t WebPage::object_for(std::size_t conn_index,
+                                  std::size_t request_index,
+                                  std::size_t parallel) const {
+  const std::size_t id = request_index * parallel + conn_index;
+  return id < object_sizes.size() ? object_sizes[id] : 0;
+}
+
+WebBrowserClient::WebBrowserClient(const WebPage& page, Config cfg,
+                                   ConnFactory factory,
+                                   OnPageLoaded on_loaded)
+    : page_(page),
+      cfg_(cfg),
+      factory_(std::move(factory)),
+      on_loaded_(std::move(on_loaded)),
+      remaining_objects_(page.object_sizes.size()) {}
+
+void WebBrowserClient::start() {
+  for (std::size_t i = 0; i < cfg_.parallel; ++i) {
+    auto conn = std::make_unique<Conn>();
+    conn->handle = factory_();
+    conn->index = i;
+    // Tag 1-based so "untagged" stays distinguishable server-side.
+    conn->handle->set_app_tag(static_cast<std::uint32_t>(i) + 1);
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+
+    ClientConnHandle::Callbacks cb;
+    cb.on_established = [this, raw] { request_next(*raw); };
+    cb.on_data = [this, raw](std::uint64_t newly) {
+      on_conn_data(*raw, newly);
+    };
+    raw->handle->set_callbacks(std::move(cb));
+    raw->handle->connect();
+  }
+}
+
+void WebBrowserClient::request_next(Conn& c) {
+  const std::uint64_t size =
+      page_.object_for(c.index, c.next_request, cfg_.parallel);
+  if (size == 0) {
+    c.done = true;
+    c.handle->shutdown_write();
+    return;
+  }
+  ++c.next_request;
+  c.expected = size;
+  c.handle->send(cfg_.request_bytes);
+}
+
+void WebBrowserClient::on_conn_data(Conn& c, std::uint64_t newly) {
+  while (newly > 0 && c.expected > 0) {
+    const std::uint64_t used = std::min(newly, c.expected);
+    c.expected -= used;
+    newly -= used;
+    if (c.expected == 0) {
+      --remaining_objects_;
+      if (remaining_objects_ == 0 && on_loaded_) on_loaded_();
+      request_next(c);
+    }
+  }
+}
+
+std::uint64_t WebBrowserClient::bytes_received() const {
+  std::uint64_t total = 0;
+  for (const auto& c : conns_) total += c->handle->bytes_received();
+  return total;
+}
+
+}  // namespace emptcp::app

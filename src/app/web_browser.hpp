@@ -1,0 +1,84 @@
+// Web-browsing workload (paper §5.4).
+//
+// "we deploy a copy of CNN's home page (as of 9/11/2014), which consists of
+//  107 Web objects ... the Android web browser establishes six parallel
+//  (MP)TCP connections to the server, with HTTP persistent connections."
+//
+// WebPage synthesises an object-size distribution shaped like that page
+// (many small objects — "almost all objects in the Web page are small
+// (<256 KB)" — a few tens of KB of images, one large-ish document).
+// WebBrowserClient fetches a page over `parallel` persistent connections;
+// objects are assigned round-robin (object k goes to connection k mod P, in
+// order), which both ends compute identically, standing in for HTTP's
+// explicit framing. Page-load latency is the time until every object has
+// fully arrived.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/client_handle.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace emptcp::app {
+
+struct WebPage {
+  std::vector<std::uint64_t> object_sizes;
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// CNN-home-page-like composition: `objects` items, log-normal body with
+  /// a heavy-ish tail, clamped below 256 KB.
+  static WebPage cnn_like(std::uint64_t seed, std::size_t objects = 107);
+
+  /// The object fetched as the `request_index`-th request of connection
+  /// `conn_index` under round-robin assignment; returns 0 size when that
+  /// connection has no more objects.
+  [[nodiscard]] std::uint64_t object_for(std::size_t conn_index,
+                                         std::size_t request_index,
+                                         std::size_t parallel) const;
+};
+
+class WebBrowserClient {
+ public:
+  struct Config {
+    std::size_t parallel = 6;
+    std::uint64_t request_bytes = 200;
+  };
+
+  using ConnFactory = std::function<std::unique_ptr<ClientConnHandle>()>;
+  using OnPageLoaded = std::function<void()>;
+
+  WebBrowserClient(const WebPage& page, Config cfg, ConnFactory factory,
+                   OnPageLoaded on_loaded);
+
+  /// Opens all connections and starts fetching.
+  void start();
+
+  [[nodiscard]] bool page_loaded() const { return remaining_objects_ == 0; }
+  [[nodiscard]] std::uint64_t bytes_received() const;
+
+ private:
+  struct Conn {
+    std::unique_ptr<ClientConnHandle> handle;
+    std::size_t index = 0;
+    std::size_t next_request = 0;
+    std::uint64_t expected = 0;  ///< bytes of the in-flight object left
+    bool done = false;
+  };
+
+  void request_next(Conn& c);
+  void on_conn_data(Conn& c, std::uint64_t newly);
+
+  const WebPage& page_;
+  Config cfg_;
+  ConnFactory factory_;
+  OnPageLoaded on_loaded_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::size_t remaining_objects_;
+};
+
+}  // namespace emptcp::app

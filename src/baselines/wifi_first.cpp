@@ -1,0 +1,53 @@
+#include "baselines/wifi_first.hpp"
+
+namespace emptcp::baseline {
+
+WifiFirstConnection::WifiFirstConnection(sim::Simulation& sim,
+                                         net::Node& node,
+                                         mptcp::MptcpConnection::Config cfg) {
+  cfg.mode = mptcp::Mode::kBackup;  // non-WiFi subflows start as backup
+  meta_ = std::make_unique<mptcp::MptcpConnection>(sim, node, std::move(cfg));
+
+  // Install the join-on-establish hook once; user callbacks are forwarded
+  // through the captured user_cb_ so set_callbacks can be called any time.
+  mptcp::MptcpConnection::Callbacks wrapped;
+  wrapped.on_established = [this] {
+    if (user_cb_.on_established) user_cb_.on_established();
+  };
+  wrapped.on_data = [this](std::uint64_t n) {
+    if (user_cb_.on_data) user_cb_.on_data(n);
+  };
+  wrapped.on_data_acked = [this](std::uint64_t n) {
+    if (user_cb_.on_data_acked) user_cb_.on_data_acked(n);
+  };
+  wrapped.on_eof = [this] {
+    if (user_cb_.on_eof) user_cb_.on_eof();
+  };
+  wrapped.on_closed = [this] {
+    if (user_cb_.on_closed) user_cb_.on_closed();
+  };
+  wrapped.on_subflow_priority = [this](mptcp::Subflow& sf, bool backup) {
+    if (user_cb_.on_subflow_priority) user_cb_.on_subflow_priority(sf, backup);
+  };
+  wrapped.on_subflow_established = [this](mptcp::Subflow& sf) {
+    if (sf.iface() == net::InterfaceType::kWifi && !joined_) {
+      joined_ = true;
+      meta_->add_subflow(cell_local_, /*backup=*/true);
+    }
+    if (user_cb_.on_subflow_established) user_cb_.on_subflow_established(sf);
+  };
+  meta_->set_callbacks(std::move(wrapped));
+}
+
+void WifiFirstConnection::set_callbacks(
+    mptcp::MptcpConnection::Callbacks cb) {
+  user_cb_ = std::move(cb);
+}
+
+void WifiFirstConnection::connect(net::Addr wifi_local, net::Addr cell_local,
+                                  net::Addr remote, net::Port remote_port) {
+  cell_local_ = cell_local;
+  meta_->connect(wifi_local, remote, remote_port);
+}
+
+}  // namespace emptcp::baseline

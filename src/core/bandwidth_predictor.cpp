@@ -1,0 +1,131 @@
+#include "core/bandwidth_predictor.hpp"
+
+#include <algorithm>
+
+namespace emptcp::core {
+
+BandwidthPredictor::BandwidthPredictor(sim::Simulation& sim, Config cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+namespace {
+/// Bytes a subflow has moved in either direction, measured where TCP
+/// confirms them (receive: in-order delivery; send: acknowledgement), so
+/// samples are ack-clocked path throughput rather than queue-burst rates.
+std::uint64_t subflow_progress(const mptcp::Subflow& sf) {
+  return sf.socket().app_bytes_acked() + sf.socket().app_bytes_received();
+}
+}  // namespace
+
+void BandwidthPredictor::attach_subflow(mptcp::Subflow& sf,
+                                        net::NetworkInterface& iface) {
+  IfaceEntry& e = entries_[iface.type()];
+  if (e.iface == nullptr) {
+    e.iface = &iface;
+    e.forecaster = HoltWinters{cfg_.smoothing};
+    e.last_rx = 0;
+  }
+  e.subflows.push_back(&sf);
+
+  const sim::Duration rtt = std::clamp(sf.socket().handshake_rtt(),
+                                       cfg_.min_interval, cfg_.max_interval);
+  if (e.interval == 0 || rtt < e.interval) e.interval = rtt;
+  if (!e.timer) {
+    const net::InterfaceType t = iface.type();
+    e.timer = std::make_unique<sim::Timer>(sim_.scheduler(),
+                                           [this, t] { sample(t); });
+  }
+  if (!e.timer->armed()) e.timer->arm_in(e.interval);
+}
+
+void BandwidthPredictor::sample(net::InterfaceType t) {
+  IfaceEntry& e = entries_.at(t);
+
+  // Drop subflows whose sockets have finished, folding their totals into
+  // the retired base so the running sum never goes backwards.
+  std::erase_if(e.subflows, [&e](const mptcp::Subflow* sf) {
+    if (sf->socket().state() != tcp::TcpState::kDone) return false;
+    e.retired += subflow_progress(*sf);
+    return true;
+  });
+
+  std::uint64_t bytes = e.retired;
+  for (const mptcp::Subflow* sf : e.subflows) bytes += subflow_progress(*sf);
+  const std::uint64_t delta = bytes - e.last_rx;
+  e.last_rx = bytes;
+
+  // Record only while the interface is actively carrying a non-suspended
+  // subflow; a suspended interface tells us nothing about availability.
+  // A zero-throughput interval is a real observation only if something
+  // wanted to transfer (demand probes); otherwise the connection was
+  // simply idle and the old estimate stands.
+  const bool active = std::any_of(
+      e.subflows.begin(), e.subflows.end(),
+      [](const mptcp::Subflow* sf) { return sf->usable() && !sf->backup(); });
+  const sim::Time now = sim_.now();
+  if (delta > 0) e.last_nonzero = now;
+  const bool starving =
+      delta == 0 && demand_now() &&
+      now - e.last_nonzero > std::max<sim::Duration>(2 * e.interval,
+                                                     cfg_.starvation_grace);
+  if (active && (delta > 0 || starving)) {
+    const double mbps = static_cast<double>(delta) * 8.0 / 1e6 /
+                        sim::to_seconds(e.interval);
+    e.last_sample = mbps;
+    ++e.recorded;
+    e.window_peak = std::max(e.window_peak, mbps);
+    if (++e.window_count >= std::max(cfg_.peak_hold_windows, 1)) {
+      e.forecaster.add(e.window_peak);
+      e.window_peak = 0.0;
+      e.window_count = 0;
+    }
+  }
+
+  if (!e.subflows.empty()) e.timer->arm_in(e.interval);
+}
+
+bool BandwidthPredictor::demand_now() const {
+  if (demand_probes_.empty()) return true;
+  for (const auto& probe : demand_probes_) {
+    if (probe()) return true;
+  }
+  return false;
+}
+
+const BandwidthPredictor::IfaceEntry* BandwidthPredictor::find(
+    net::InterfaceType t) const {
+  auto it = entries_.find(t);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double BandwidthPredictor::predicted_mbps(net::InterfaceType t) const {
+  const IfaceEntry* e = find(t);
+  if (e == nullptr || e->forecaster.count() < cfg_.min_forecast_points) {
+    return cfg_.initial_assumption_mbps;
+  }
+  return e->forecaster.forecast(1);
+}
+
+bool BandwidthPredictor::has_measurement(net::InterfaceType t) const {
+  const IfaceEntry* e = find(t);
+  return e != nullptr &&
+         e->forecaster.count() >= cfg_.min_forecast_points;
+}
+
+std::size_t BandwidthPredictor::sample_count(net::InterfaceType t) const {
+  const IfaceEntry* e = find(t);
+  return e != nullptr ? e->recorded : 0;
+}
+
+void BandwidthPredictor::record_sample(net::InterfaceType t, double mbps) {
+  IfaceEntry& e = entries_[t];
+  e.last_sample = mbps;
+  ++e.recorded;
+  e.forecaster.add(mbps);
+}
+
+double BandwidthPredictor::last_sample_mbps(net::InterfaceType t) const {
+  const IfaceEntry* e = find(t);
+  return e != nullptr ? e->last_sample : 0.0;
+}
+
+}  // namespace emptcp::core

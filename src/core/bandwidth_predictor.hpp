@@ -1,0 +1,121 @@
+// Bandwidth predictor (paper §3.2, the left-hand component of Fig. 2).
+//
+// Samples the throughput of each interface that carries active subflows and
+// feeds a per-interface Holt-Winters forecaster:
+//   * the sampling interval δ for an interface is taken from the subflow's
+//     three-way-handshake RTT measured at establishment,
+//   * samples are recorded only while the interface has a usable,
+//     non-suspended subflow — a suspended (backup) interface produces no
+//     traffic, so its forecaster keeps its old state ("the bandwidth
+//     predictor uses old observed samples together with new sampled
+//     throughputs" on reactivation),
+//   * an interface that has never been activated is predicted at an
+//     optimistic prior (5 Mbps) so eMPTCP is willing to probe it.
+//
+// One predictor serves a device: multiple connections (e.g. the six
+// parallel web-browsing connections) attach their subflows to the same
+// instance, and per-interface throughput is read from the interface byte
+// counters, which aggregate across subflows exactly like the kernel's
+// per-device accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/holt_winters.hpp"
+#include "mptcp/subflow.hpp"
+#include "net/interface.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timer.hpp"
+
+namespace emptcp::core {
+
+class BandwidthPredictor {
+ public:
+  struct Config {
+    double initial_assumption_mbps = 5.0;  ///< never-activated prior
+    HoltWinters::Config smoothing;
+    sim::Duration min_interval = sim::milliseconds(50);
+    sim::Duration max_interval = sim::seconds(1);
+    /// A zero-throughput interval only counts as an observation after this
+    /// much continuous silence (filters the idle edges of bursty traffic;
+    /// real stalls last far longer).
+    sim::Duration starvation_grace = sim::milliseconds(200);
+    /// Minimum aggregated observations before the forecast replaces the
+    /// optimistic prior — the φ-samples idea of §3.5/Eq. 1: decisions must
+    /// not act on a slow-start ramp still in progress.
+    std::size_t min_forecast_points = 3;
+    /// Peak-hold aggregation: the forecaster is fed the maximum of this
+    /// many consecutive δ windows. Burst edges produce partial windows
+    /// that would otherwise read as throughput drops; the peak over a
+    /// short group measures what the path actually sustained (the same
+    /// idea as packet-train available-bandwidth probing). 1 disables.
+    int peak_hold_windows = 4;
+  };
+
+  BandwidthPredictor(sim::Simulation& sim, Config cfg);
+
+  BandwidthPredictor(const BandwidthPredictor&) = delete;
+  BandwidthPredictor& operator=(const BandwidthPredictor&) = delete;
+
+  /// Registers a subflow running over `iface`. Starts (or keeps) the
+  /// interface's sampling loop; δ is the smallest handshake RTT seen on
+  /// the interface, clamped to [min_interval, max_interval].
+  void attach_subflow(mptcp::Subflow& sf, net::NetworkInterface& iface);
+
+  /// Registers a demand probe: a zero-throughput interval is recorded as a
+  /// sample only when some probe reports active demand (paper §3.5's idle
+  /// notion). Without any probe, zero intervals are always recorded (the
+  /// paper's continuous-download setting). Bursty workloads (streaming,
+  /// web) would otherwise poison the forecast with idle-gap zeros.
+  void add_demand_probe(std::function<bool()> probe) {
+    demand_probes_.push_back(std::move(probe));
+  }
+
+  /// Predicted throughput for the interface type, in Mbps (rx+tx; the
+  /// transfer direction dominates).
+  [[nodiscard]] double predicted_mbps(net::InterfaceType t) const;
+
+  /// True once the interface has at least one recorded sample.
+  [[nodiscard]] bool has_measurement(net::InterfaceType t) const;
+
+  [[nodiscard]] std::size_t sample_count(net::InterfaceType t) const;
+
+  /// Most recent raw (unsmoothed) sample, for diagnostics/tests.
+  [[nodiscard]] double last_sample_mbps(net::InterfaceType t) const;
+
+  /// Feeds one aggregated observation directly (trace replay and tests;
+  /// live sampling goes through the subflow loop).
+  void record_sample(net::InterfaceType t, double mbps);
+
+ private:
+  struct IfaceEntry {
+    net::NetworkInterface* iface = nullptr;
+    std::vector<mptcp::Subflow*> subflows;
+    HoltWinters forecaster;
+    std::unique_ptr<sim::Timer> timer;
+    sim::Duration interval = 0;
+    std::uint64_t last_rx = 0;   ///< progress sum at the previous sample
+    std::uint64_t retired = 0;   ///< progress of subflows already closed
+    sim::Time last_nonzero = 0;  ///< last sample instant with bytes moving
+    double last_sample = 0.0;
+    double window_peak = 0.0;
+    int window_count = 0;
+    std::size_t recorded = 0;  ///< eligible δ windows observed
+  };
+
+  void sample(net::InterfaceType t);
+  [[nodiscard]] const IfaceEntry* find(net::InterfaceType t) const;
+
+  [[nodiscard]] bool demand_now() const;
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  std::map<net::InterfaceType, IfaceEntry> entries_;
+  std::vector<std::function<bool()>> demand_probes_;
+};
+
+}  // namespace emptcp::core

@@ -1,0 +1,103 @@
+// EmptcpConnection: the full eMPTCP endpoint (paper Fig. 2).
+//
+// Composes a standard MptcpConnection with the four eMPTCP components:
+// the bandwidth predictor, the energy information base, the path usage
+// controller and the delayed-subflow manager. The connection starts on the
+// WiFi interface (the default primary interface, §3.6), postpones the
+// cellular MP_JOIN per §3.5, and afterwards steers the cellular subflow
+// with MP_PRIO per §3.4. It requires no application changes: the app-facing
+// surface is the same as MptcpConnection's.
+//
+// The predictor may be shared across connections of one device (as the
+// kernel shares its per-interface estimates); pass `shared_predictor`.
+// Ablation switches allow disabling either mechanism independently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bandwidth_predictor.hpp"
+#include "core/delayed_subflow.hpp"
+#include "core/energy_info_base.hpp"
+#include "core/path_usage_controller.hpp"
+#include "mptcp/meta_socket.hpp"
+
+namespace emptcp::core {
+
+struct EmptcpConfig {
+  mptcp::MptcpConnection::Config mptcp;
+  BandwidthPredictor::Config predictor;
+  PathUsageController::Config controller;
+  DelayedSubflowManager::Config delayed;
+  bool enable_delayed_establishment = true;  ///< ablation switch
+  bool enable_path_control = true;           ///< ablation switch
+};
+
+class EmptcpConnection {
+ public:
+  struct Callbacks {
+    std::function<void()> on_established;
+    std::function<void(std::uint64_t newly)> on_data;
+    std::function<void()> on_eof;
+    std::function<void()> on_closed;
+  };
+
+  /// `eib` must outlive the connection. When `shared_predictor` is null
+  /// the connection owns a private predictor.
+  EmptcpConnection(sim::Simulation& sim, net::Node& node, EmptcpConfig cfg,
+                   const EnergyInfoBase& eib,
+                   BandwidthPredictor* shared_predictor = nullptr);
+
+  EmptcpConnection(const EmptcpConnection&) = delete;
+  EmptcpConnection& operator=(const EmptcpConnection&) = delete;
+
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  /// Opens the connection: the initial subflow runs over the WiFi address;
+  /// the cellular address is kept for the (possibly delayed) MP_JOIN.
+  void connect(net::Addr wifi_local, net::Addr cell_local, net::Addr remote,
+               net::Port remote_port);
+
+  void send(std::uint64_t bytes);
+  void shutdown_write();
+
+  [[nodiscard]] mptcp::MptcpConnection& mptcp() { return *meta_; }
+  [[nodiscard]] const PathUsageController& controller() const {
+    return *controller_;
+  }
+  [[nodiscard]] const DelayedSubflowManager& delayed() const {
+    return *delayed_;
+  }
+  [[nodiscard]] BandwidthPredictor& predictor() { return *predictor_; }
+  [[nodiscard]] bool cellular_established() const {
+    return cellular_established_;
+  }
+  [[nodiscard]] std::uint64_t data_bytes_received() const {
+    return meta_->data_bytes_received();
+  }
+
+ private:
+  void establish_cellular();
+  void actuate(PathUsage prev, PathUsage next);
+  [[nodiscard]] bool is_idle() const;
+  void on_subflow_established(mptcp::Subflow& sf);
+
+  sim::Simulation& sim_;
+  net::Node& node_;
+  EmptcpConfig cfg_;
+  const EnergyInfoBase& eib_;
+  Callbacks cb_;
+
+  std::unique_ptr<BandwidthPredictor> owned_predictor_;
+  BandwidthPredictor* predictor_ = nullptr;
+  std::unique_ptr<mptcp::MptcpConnection> meta_;
+  std::unique_ptr<PathUsageController> controller_;
+  std::unique_ptr<DelayedSubflowManager> delayed_;
+
+  net::Addr wifi_local_ = net::kAddrInvalid;
+  net::Addr cell_local_ = net::kAddrInvalid;
+  bool cellular_established_ = false;
+  sim::Time last_activity_ = 0;
+};
+
+}  // namespace emptcp::core

@@ -1,0 +1,98 @@
+#include "core/energy_info_base.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace emptcp::core {
+
+EnergyInfoBase EnergyInfoBase::generate(const energy::EnergyModel& model,
+                                        double max_cell_mbps,
+                                        double step_mbps) {
+  if (step_mbps <= 0.0 || max_cell_mbps <= 0.0) {
+    throw std::invalid_argument("EnergyInfoBase::generate: bad grid");
+  }
+  EnergyInfoBase eib;
+  for (double x = step_mbps; x <= max_cell_mbps + 1e-9; x += step_mbps) {
+    const energy::WifiThresholds t = energy::steady_thresholds(model, x);
+    eib.rows_.push_back(Row{x, t.cell_only_below, t.wifi_only_at_least});
+  }
+  return eib;
+}
+
+EnergyInfoBase EnergyInfoBase::from_rows(std::vector<Row> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("EnergyInfoBase::from_rows: no rows");
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].cell_mbps <= 0.0 ||
+        rows[i].cell_only_below >= rows[i].wifi_only_at_least) {
+      throw std::invalid_argument(
+          "EnergyInfoBase::from_rows: row must have cell_mbps > 0 and "
+          "cell_only_below < wifi_only_at_least");
+    }
+    if (i > 0 && rows[i].cell_mbps <= rows[i - 1].cell_mbps) {
+      throw std::invalid_argument(
+          "EnergyInfoBase::from_rows: rows must be sorted by cell_mbps");
+    }
+  }
+  EnergyInfoBase eib;
+  eib.rows_ = std::move(rows);
+  return eib;
+}
+
+EnergyInfoBase EnergyInfoBase::from_csv(const std::string& csv_text) {
+  std::istringstream in(csv_text);
+  std::string line;
+  std::vector<Row> rows;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.find("cell_mbps") != std::string::npos) continue;  // header
+    }
+    Row row;
+    char c1 = 0;
+    char c2 = 0;
+    std::istringstream fields(line);
+    if (!(fields >> row.cell_mbps >> c1 >> row.cell_only_below >> c2 >>
+          row.wifi_only_at_least) ||
+        c1 != ',' || c2 != ',') {
+      throw std::invalid_argument("EnergyInfoBase::from_csv: bad line: " +
+                                  line);
+    }
+    rows.push_back(row);
+  }
+  return from_rows(std::move(rows));
+}
+
+energy::WifiThresholds EnergyInfoBase::thresholds_at(double cell_mbps) const {
+  if (rows_.empty()) {
+    throw std::logic_error("EnergyInfoBase: empty table");
+  }
+  if (cell_mbps <= rows_.front().cell_mbps) {
+    return {rows_.front().cell_only_below, rows_.front().wifi_only_at_least};
+  }
+  if (cell_mbps >= rows_.back().cell_mbps) {
+    return {rows_.back().cell_only_below, rows_.back().wifi_only_at_least};
+  }
+  const auto hi = std::lower_bound(
+      rows_.begin(), rows_.end(), cell_mbps,
+      [](const Row& r, double x) { return r.cell_mbps < x; });
+  const auto lo = hi - 1;
+  const double f = (cell_mbps - lo->cell_mbps) / (hi->cell_mbps - lo->cell_mbps);
+  return {lo->cell_only_below + f * (hi->cell_only_below - lo->cell_only_below),
+          lo->wifi_only_at_least +
+              f * (hi->wifi_only_at_least - lo->wifi_only_at_least)};
+}
+
+energy::PathChoice EnergyInfoBase::lookup(double wifi_mbps,
+                                          double cell_mbps) const {
+  const energy::WifiThresholds t = thresholds_at(cell_mbps);
+  if (wifi_mbps < t.cell_only_below) return energy::PathChoice::kCellOnly;
+  if (wifi_mbps >= t.wifi_only_at_least) return energy::PathChoice::kWifiOnly;
+  return energy::PathChoice::kBoth;
+}
+
+}  // namespace emptcp::core

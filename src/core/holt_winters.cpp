@@ -1,0 +1,43 @@
+#include "core/holt_winters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emptcp::core {
+
+HoltWinters::HoltWinters(Config cfg) : cfg_(cfg) {
+  if (cfg_.alpha <= 0.0 || cfg_.alpha > 1.0 || cfg_.beta < 0.0 ||
+      cfg_.beta > 1.0) {
+    throw std::invalid_argument("HoltWinters: smoothing factors out of range");
+  }
+}
+
+void HoltWinters::add(double x) {
+  if (count_ == 0) {
+    level_ = x;
+    trend_ = 0.0;
+  } else if (count_ == 1) {
+    trend_ = x - level_;
+    level_ = cfg_.alpha * x + (1.0 - cfg_.alpha) * (level_ + trend_);
+  } else {
+    const double prev_level = level_;
+    level_ = cfg_.alpha * x + (1.0 - cfg_.alpha) * (level_ + trend_);
+    trend_ = cfg_.beta * (level_ - prev_level) + (1.0 - cfg_.beta) * trend_;
+  }
+  prev_ = x;
+  ++count_;
+}
+
+double HoltWinters::forecast(int k) const {
+  if (count_ == 0) {
+    throw std::logic_error("HoltWinters::forecast before any observation");
+  }
+  return std::max(0.0, level_ + static_cast<double>(k) * trend_);
+}
+
+void HoltWinters::reset() {
+  level_ = trend_ = prev_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace emptcp::core

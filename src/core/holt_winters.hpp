@@ -1,0 +1,47 @@
+// Holt-Winters (double exponential smoothing) throughput forecaster.
+//
+// Paper §3.2: "Throughput predictions are made using a Holt-Winters
+// time-series forecasting algorithm, which is known to be more accurate
+// than formula-based predictors." Download throughput has level + trend but
+// no seasonality at these time scales, so this is Holt's linear method:
+//   level_t = a * x_t + (1-a) * (level_{t-1} + trend_{t-1})
+//   trend_t = b * (level_t - level_{t-1}) + (1-b) * trend_{t-1}
+//   forecast(k) = level_t + k * trend_t   (clamped at zero)
+#pragma once
+
+#include <cstddef>
+
+namespace emptcp::core {
+
+class HoltWinters {
+ public:
+  struct Config {
+    double alpha = 0.5;  ///< level smoothing in (0,1]
+    double beta = 0.3;   ///< trend smoothing in [0,1]
+  };
+
+  HoltWinters() : HoltWinters(Config{}) {}
+  explicit HoltWinters(Config cfg);
+
+  /// Feeds one observation.
+  void add(double x);
+
+  /// k-step-ahead forecast; requires at least one observation.
+  [[nodiscard]] double forecast(int k = 1) const;
+
+  [[nodiscard]] bool has_forecast() const { return count_ > 0; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double level() const { return level_; }
+  [[nodiscard]] double trend() const { return trend_; }
+
+  void reset();
+
+ private:
+  Config cfg_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  double prev_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace emptcp::core

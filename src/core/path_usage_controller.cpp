@@ -1,0 +1,109 @@
+#include "core/path_usage_controller.hpp"
+
+#include <cstdio>
+
+#include "net/interface.hpp"
+#include "sim/logging.hpp"
+
+namespace emptcp::core {
+
+const char* to_string(PathUsage u) {
+  switch (u) {
+    case PathUsage::kWifiOnly: return "wifi-only";
+    case PathUsage::kBoth: return "both";
+    case PathUsage::kCellOnly: return "cell-only";
+  }
+  return "?";
+}
+
+PathUsageController::PathUsageController(sim::Simulation& sim,
+                                         const EnergyInfoBase& eib,
+                                         const BandwidthPredictor& predictor,
+                                         Config cfg, OnDecision on_decision)
+    : sim_(sim),
+      eib_(eib),
+      predictor_(predictor),
+      cfg_(cfg),
+      on_decision_(std::move(on_decision)),
+      timer_(sim.scheduler(), [this] {
+        evaluate();
+        if (running_) timer_.arm_in(cfg_.decision_interval);
+      }) {}
+
+void PathUsageController::start(PathUsage initial) {
+  current_ = initial;
+  running_ = true;
+  timer_.arm_in(cfg_.decision_interval);
+}
+
+void PathUsageController::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void PathUsageController::evaluate() {
+  const double wifi = predictor_.predicted_mbps(net::InterfaceType::kWifi);
+  const double cell = predictor_.predicted_mbps(net::InterfaceType::kLte);
+  const PathUsage next = decide(wifi, cell);
+#ifdef EMPTCP_DELAYED_DEBUG
+  if (next != current_) {
+    const energy::WifiThresholds th = eib_.thresholds_at(cell);
+    std::printf("[ctrl t=%.2f] %s->%s wifi=%.2f cell=%.2f lo=%.3f hi=%.3f\n",
+                sim::to_seconds(sim_.now()), to_string(current_),
+                to_string(next), wifi, cell, th.cell_only_below,
+                th.wifi_only_at_least);
+  }
+#endif
+  if (next != current_) {
+    const PathUsage prev = current_;
+    current_ = next;
+    ++switches_;
+    EMPTCP_LOG(sim_, sim::LogLevel::kInfo,
+               "path usage " << to_string(prev) << " -> " << to_string(next)
+                             << " (wifi=" << wifi << " cell=" << cell
+                             << " Mbps)");
+    if (on_decision_) on_decision_(prev, next);
+  }
+}
+
+PathUsage PathUsageController::decide(double wifi_mbps,
+                                      double cell_mbps) const {
+  const energy::WifiThresholds t = eib_.thresholds_at(cell_mbps);
+  const double s = cfg_.safety_factor;
+
+  switch (current_) {
+    case PathUsage::kBoth:
+      // Paper example: from `both`, WiFi-only needs x >= hi * 1.1.
+      if (wifi_mbps >= t.wifi_only_at_least * (1.0 + s)) {
+        return PathUsage::kWifiOnly;
+      }
+      if (cfg_.allow_cell_only &&
+          wifi_mbps < t.cell_only_below * (1.0 - s)) {
+        return PathUsage::kCellOnly;
+      }
+      return PathUsage::kBoth;
+
+    case PathUsage::kWifiOnly:
+      if (cfg_.allow_cell_only &&
+          wifi_mbps < t.cell_only_below * (1.0 - s)) {
+        return PathUsage::kCellOnly;
+      }
+      // Paper example: from WiFi-only, `both` needs x <= hi * 0.9.
+      if (wifi_mbps <= t.wifi_only_at_least * (1.0 - s)) {
+        return PathUsage::kBoth;
+      }
+      return PathUsage::kWifiOnly;
+
+    case PathUsage::kCellOnly:
+      if (wifi_mbps >= t.wifi_only_at_least * (1.0 + s)) {
+        return PathUsage::kWifiOnly;
+      }
+      if (wifi_mbps >= t.cell_only_below * (1.0 + s)) {
+        return PathUsage::kBoth;
+      }
+      return PathUsage::kCellOnly;
+  }
+  return current_;
+}
+
+}  // namespace emptcp::core

@@ -1,0 +1,74 @@
+// Path usage controller (paper §3.4).
+//
+// Periodically reads the per-interface throughput predictions, queries the
+// Energy Information Base, and decides which interfaces should carry data:
+// WiFi-only, both, or (optionally) cellular-only. A 10 % safety factor adds
+// hysteresis: from `both`, switching to WiFi-only requires the predicted
+// WiFi throughput to exceed the WiFi-only threshold by 10 %; from
+// WiFi-only, switching back to `both` requires it to fall 10 % below.
+//
+// By default cellular-only is folded into `both`, matching §3.4: "eMPTCP
+// does not typically switch to using a cellular interface only, since the
+// expected gain is not much more than using both."
+//
+// The controller only computes; actuation (MP_PRIO suspend/resume) is done
+// by its owner through the on_decision callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/bandwidth_predictor.hpp"
+#include "core/energy_info_base.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timer.hpp"
+
+namespace emptcp::core {
+
+/// Interface-usage states the controller can request.
+enum class PathUsage { kWifiOnly, kBoth, kCellOnly };
+
+const char* to_string(PathUsage u);
+
+class PathUsageController {
+ public:
+  struct Config {
+    double safety_factor = 0.10;  ///< hysteresis margin (paper: 10 %)
+    bool allow_cell_only = false; ///< fold cell-only into both by default
+    sim::Duration decision_interval = sim::milliseconds(500);
+  };
+
+  using OnDecision = std::function<void(PathUsage previous, PathUsage next)>;
+
+  PathUsageController(sim::Simulation& sim, const EnergyInfoBase& eib,
+                      const BandwidthPredictor& predictor, Config cfg,
+                      OnDecision on_decision);
+
+  /// Starts periodic decisions from `initial` (normally kBoth, right after
+  /// the cellular subflow was established).
+  void start(PathUsage initial);
+  void stop();
+
+  /// One decision step (also called by the periodic timer). Exposed so
+  /// tests and the delayed-subflow manager can force an evaluation.
+  void evaluate();
+
+  [[nodiscard]] PathUsage current() const { return current_; }
+  /// Number of state switches so far (ablation metric).
+  [[nodiscard]] std::uint64_t switch_count() const { return switches_; }
+
+ private:
+  [[nodiscard]] PathUsage decide(double wifi_mbps, double cell_mbps) const;
+
+  sim::Simulation& sim_;
+  const EnergyInfoBase& eib_;
+  const BandwidthPredictor& predictor_;
+  Config cfg_;
+  OnDecision on_decision_;
+  sim::Timer timer_;
+  PathUsage current_ = PathUsage::kBoth;
+  bool running_ = false;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace emptcp::core

@@ -1,0 +1,79 @@
+#include "energy/device_profile.hpp"
+
+namespace emptcp::energy {
+
+DeviceProfile DeviceProfile::galaxy_s3() {
+  DeviceProfile p;
+  p.name = "Samsung Galaxy S3";
+
+  // WiFi: beta = 132.86 mW per Huang et al. [14]. Their alpha_dl
+  // (137 mW/Mbps) was measured on 2011 hotspot-class hardware; the S3's
+  // BCM4334 is an 802.11n design whose receive power is dominated by the
+  // base term rather than the data rate (Halperin et al., HotPower'10 —
+  // the paper's ref [11]), so we use a modern 50 mW/Mbps slope. The EIB
+  // thresholds are insensitive to this choice (alpha_w only enters them
+  // scaled by the small cellular rate), while the high-rate efficiency gap
+  // between WiFi and LTE — which drives the paper's Figs. 8/13 savings —
+  // depends on it directly. Wake overheads sized to Fig. 1's 0.15 J.
+  p.wifi.name = "wifi";
+  p.wifi.idle_mw = 12.0;
+  p.wifi.beta_mw = 132.86;
+  p.wifi.alpha_mw_per_mbps = 50.0;
+  p.wifi.promo_mw = 124.4;
+  p.wifi.promo_s = 0.08;
+  p.wifi.tail_mw = 235.0;
+  p.wifi.tail_s = 0.60;  // PSM exit hold; 0.01 + 0.14 ≈ 0.15 J total
+
+  // 3G (UMTS): promotion ~0.6 s, DCH tail ~8 s [14].
+  p.threeg.name = "3g";
+  p.threeg.idle_mw = 10.0;
+  p.threeg.beta_mw = 817.88;
+  p.threeg.alpha_mw_per_mbps = 122.12;
+  p.threeg.promo_mw = 668.0;
+  p.threeg.promo_s = 0.611;
+  p.threeg.tail_mw = 803.9;
+  p.threeg.tail_s = 8.088;  // fixed overhead ≈ 6.9 J
+
+  // LTE: promotion 260 ms @ 1210.7 mW, tail 11.576 s @ 1060 mW,
+  // alpha_dl = 51.97 mW/Mbps, beta = 1288.04 mW [14].
+  p.lte.name = "lte";
+  p.lte.idle_mw = 11.4;
+  p.lte.beta_mw = 1288.04;
+  p.lte.alpha_mw_per_mbps = 51.97;
+  p.lte.promo_mw = 1210.7;
+  p.lte.promo_s = 0.2601;
+  p.lte.tail_mw = 1060.0;
+  p.lte.tail_s = 11.576;  // fixed overhead ≈ 12.6 J
+
+  // Shared platform power while any transfer is in progress. 400 mW puts
+  // the generated EIB thresholds on the paper's Table 2: e.g. LTE
+  // 0.5 Mbps -> (0.040, 0.211) vs the paper's (0.043, 0.234); LTE
+  // 1.0 Mbps -> (0.079, 0.413) vs (0.134, 0.502).
+  p.platform_mw = 400.0;
+  return p;
+}
+
+DeviceProfile DeviceProfile::nexus5() {
+  DeviceProfile p = galaxy_s3();
+  p.name = "LG Nexus 5";
+
+  // Newer 28nm-HPM SoC and BCM4339: ~15 % lower cellular power, and a much
+  // smaller WiFi wake cost (Fig. 1: 0.06 J vs 0.15 J).
+  const double scale = 0.85;
+  for (InterfacePowerParams* radio : {&p.threeg, &p.lte}) {
+    radio->beta_mw *= scale;
+    radio->alpha_mw_per_mbps *= scale;
+    radio->promo_mw *= scale;
+    radio->tail_mw *= scale;
+  }
+  p.wifi.beta_mw = 124.0;
+  p.wifi.alpha_mw_per_mbps = 45.0;
+  p.wifi.promo_mw = 100.0;
+  p.wifi.promo_s = 0.05;
+  p.wifi.tail_mw = 110.0;
+  p.wifi.tail_s = 0.50;  // ≈ 0.06 J
+  p.platform_mw = 400.0 * scale;
+  return p;
+}
+
+}  // namespace emptcp::energy

@@ -1,0 +1,98 @@
+#include "energy/energy_tracker.hpp"
+
+#include <stdexcept>
+
+namespace emptcp::energy {
+
+EnergyTracker::EnergyTracker(sim::Simulation& sim, Config cfg)
+    : sim_(sim), cfg_(cfg) {}
+
+void EnergyTracker::track(net::NetworkInterface& iface, RadioModel& radio) {
+  iface.set_radio_hook(&radio);
+  Entry e;
+  e.iface = &iface;
+  e.radio = &radio;
+  entries_.push_back(std::move(e));
+}
+
+void EnergyTracker::start() {
+  running_ = true;
+  started_at_ = sim_.now();
+  for (Entry& e : entries_) {
+    e.last_bytes = e.iface->tx_bytes() + e.iface->rx_bytes();
+  }
+  sim_.in(cfg_.sample, [this] { tick(); });
+}
+
+void EnergyTracker::tick() {
+  if (!running_) return;
+  const sim::Time now = sim_.now();
+  const double window_s = sim::to_seconds(cfg_.sample);
+
+  int transferring = 0;
+  for (Entry& e : entries_) {
+    const std::uint64_t bytes = e.iface->tx_bytes() + e.iface->rx_bytes();
+    const std::uint64_t delta = bytes - e.last_bytes;
+    e.last_bytes = bytes;
+    const double mbps = static_cast<double>(delta) * 8.0 / 1e6 / window_s;
+    const bool moved = delta > 0;
+    if (moved) ++transferring;
+    const double power_mw = e.radio->power_mw_at(now, mbps, moved);
+    e.energy_mj += power_mw * window_s;
+    if (cfg_.record_series && sample_index_ % cfg_.series_stride == 0) {
+      e.rates.push_back(RatePoint{sim::to_seconds(now), mbps});
+    }
+  }
+  if (transferring >= 1) {
+    platform_mj_ += cfg_.platform_mw * window_s;
+  }
+  if (cfg_.record_series && sample_index_ % cfg_.series_stride == 0) {
+    energy_series_.push_back(SeriesPoint{sim::to_seconds(now), total_j()});
+  }
+  ++sample_index_;
+  sim_.in(cfg_.sample, [this] { tick(); });
+}
+
+double EnergyTracker::total_j() const {
+  double mj = platform_mj_;
+  for (const Entry& e : entries_) mj += e.energy_mj;
+  return mj / 1000.0;
+}
+
+const EnergyTracker::Entry* EnergyTracker::find(net::InterfaceType t) const {
+  for (const Entry& e : entries_) {
+    if (e.iface->type() == t) return &e;
+  }
+  return nullptr;
+}
+
+double EnergyTracker::iface_j(net::InterfaceType t) const {
+  const Entry* e = find(t);
+  return e != nullptr ? e->energy_mj / 1000.0 : 0.0;
+}
+
+bool EnergyTracker::all_idle() const {
+  for (const Entry& e : entries_) {
+    if (e.radio->state_at(sim_.now()) != RadioState::kIdle) return false;
+  }
+  return true;
+}
+
+const std::vector<EnergyTracker::RatePoint>& EnergyTracker::rate_series(
+    net::InterfaceType t) const {
+  const Entry* e = find(t);
+  if (e == nullptr) {
+    throw std::invalid_argument("EnergyTracker: interface type not tracked");
+  }
+  return e->rates;
+}
+
+double EnergyTracker::mean_rx_mbps(net::InterfaceType t) const {
+  const Entry* e = find(t);
+  if (e == nullptr) return 0.0;
+  const double elapsed = sim::to_seconds(sim_.now() - started_at_);
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(e->iface->rx_bytes()) * 8.0 / 1e6 / elapsed;
+}
+
+}  // namespace emptcp::energy

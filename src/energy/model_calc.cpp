@@ -1,0 +1,130 @@
+#include "energy/model_calc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace emptcp::energy {
+
+const char* to_string(PathChoice c) {
+  switch (c) {
+    case PathChoice::kWifiOnly: return "wifi-only";
+    case PathChoice::kCellOnly: return "cell-only";
+    case PathChoice::kBoth: return "both";
+  }
+  return "?";
+}
+
+PathChoice best_choice_steady(const EnergyModel& m, double x_w, double x_l) {
+  if (x_w <= 0.0 && x_l <= 0.0) {
+    throw std::invalid_argument("best_choice_steady: no usable path");
+  }
+  if (x_w <= 0.0) return PathChoice::kCellOnly;
+  if (x_l <= 0.0) return PathChoice::kWifiOnly;
+  const double w = m.per_mbit_wifi(x_w);
+  const double c = m.per_mbit_cell(x_l);
+  const double b = m.per_mbit_both(x_w, x_l);
+  if (b <= w && b <= c) return PathChoice::kBoth;
+  return w <= c ? PathChoice::kWifiOnly : PathChoice::kCellOnly;
+}
+
+double finite_transfer_j(const EnergyModel& m, PathChoice choice,
+                         double bytes, double x_w, double x_l) {
+  const double mbits = bytes * 8.0 / 1e6;
+  double thpt = 0.0;
+  double power_mw = m.platform_mw;
+  double fixed_j = 0.0;
+  switch (choice) {
+    case PathChoice::kWifiOnly:
+      thpt = x_w;
+      power_mw += m.wifi.active_power_mw(x_w);
+      fixed_j += m.wifi.fixed_overhead_j();
+      break;
+    case PathChoice::kCellOnly:
+      thpt = x_l;
+      power_mw += m.cell.active_power_mw(x_l);
+      fixed_j += m.cell.fixed_overhead_j();
+      break;
+    case PathChoice::kBoth:
+      thpt = x_w + x_l;
+      power_mw += m.wifi.active_power_mw(x_w) + m.cell.active_power_mw(x_l);
+      fixed_j += m.wifi.fixed_overhead_j() + m.cell.fixed_overhead_j();
+      break;
+  }
+  if (thpt <= 0.0) return std::numeric_limits<double>::infinity();
+  const double seconds = mbits / thpt;
+  return power_mw * seconds / 1000.0 + fixed_j;
+}
+
+PathChoice best_choice_finite(const EnergyModel& m, double bytes, double x_w,
+                              double x_l) {
+  const double w = x_w > 0.0
+                       ? finite_transfer_j(m, PathChoice::kWifiOnly, bytes,
+                                           x_w, x_l)
+                       : std::numeric_limits<double>::infinity();
+  const double c = x_l > 0.0
+                       ? finite_transfer_j(m, PathChoice::kCellOnly, bytes,
+                                           x_w, x_l)
+                       : std::numeric_limits<double>::infinity();
+  const double b = (x_w > 0.0 && x_l > 0.0)
+                       ? finite_transfer_j(m, PathChoice::kBoth, bytes, x_w,
+                                           x_l)
+                       : std::numeric_limits<double>::infinity();
+  if (b <= w && b <= c) return PathChoice::kBoth;
+  return w <= c ? PathChoice::kWifiOnly : PathChoice::kCellOnly;
+}
+
+WifiThresholds steady_thresholds(const EnergyModel& m, double x_l) {
+  if (x_l <= 0.0) {
+    throw std::invalid_argument("steady_thresholds: x_l must be positive");
+  }
+  // With P(x) = beta + alpha x and platform power p counted once:
+  //   both beats cell-only  <=>  x_l * P_w(x_w) < x_w * (p + P_l(x_l))
+  //     <=> x_w > x_l * beta_w / (p + P_l(x_l) - x_l * alpha_w)
+  //   both beats wifi-only  <=>  x_w * P_l(x_l) < x_l * (p + P_w(x_w))
+  //     <=> x_w < x_l * (p + beta_w) / (P_l(x_l) - x_l * alpha_w)
+  const double p = m.platform_mw;
+  const double pl = m.cell.active_power_mw(x_l);
+  const double beta_w = m.wifi.beta_mw;
+  const double alpha_w = m.wifi.alpha_mw_per_mbps;
+
+  WifiThresholds t;
+  const double denom_lo = p + pl - x_l * alpha_w;
+  t.cell_only_below =
+      denom_lo > 0.0 ? x_l * beta_w / denom_lo
+                     : std::numeric_limits<double>::infinity();
+  const double denom_hi = pl - x_l * alpha_w;
+  t.wifi_only_at_least =
+      denom_hi > 0.0 ? x_l * (p + beta_w) / denom_hi
+                     : std::numeric_limits<double>::infinity();
+  return t;
+}
+
+double normalized_both_efficiency(const EnergyModel& m, double x_w,
+                                  double x_l) {
+  if (x_w <= 0.0 || x_l <= 0.0) {
+    throw std::invalid_argument("normalized_both_efficiency: throughputs > 0");
+  }
+  const double best_single = std::min(m.per_mbit_wifi(x_w),
+                                      m.per_mbit_cell(x_l));
+  return m.per_mbit_both(x_w, x_l) / best_single;
+}
+
+std::optional<WifiInterval> finite_both_region(const EnergyModel& m,
+                                               double bytes, double x_l,
+                                               double x_w_max, double step) {
+  std::optional<WifiInterval> region;
+  for (double x_w = step; x_w <= x_w_max; x_w += step) {
+    if (best_choice_finite(m, bytes, x_w, x_l) == PathChoice::kBoth) {
+      if (!region) {
+        region = WifiInterval{x_w, x_w};
+      } else {
+        region->hi = x_w;
+      }
+    }
+  }
+  return region;
+}
+
+}  // namespace emptcp::energy

@@ -1,0 +1,66 @@
+// Closed-form energy calculators built on EnergyModel.
+//
+// These are the "offline" computations of the paper:
+//   * Fig. 1 — fixed activation overhead per interface,
+//   * Fig. 3 — per-byte energy of using both interfaces, normalised by the
+//     best single interface, over a (WiFi, LTE) throughput grid,
+//   * Table 2 / the EIB — per-LTE-rate WiFi thresholds where the optimal
+//     choice flips between LTE-only, both, and WiFi-only,
+//   * Fig. 4 — the finite-transfer operating region (promotion and tail
+//     included) where MPTCP completes a whole download of a given size
+//     with the least energy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/power_model.hpp"
+
+namespace emptcp::energy {
+
+enum class PathChoice { kWifiOnly, kCellOnly, kBoth };
+
+const char* to_string(PathChoice c);
+
+/// Steady-state (large transfer) optimal choice at the given throughputs.
+PathChoice best_choice_steady(const EnergyModel& m, double x_w, double x_l);
+
+/// Energy in joules to download `bytes` at the given throughputs with the
+/// given path choice, including the cellular promotion + tail when the
+/// cellular interface participates and the WiFi wake cost when WiFi does.
+double finite_transfer_j(const EnergyModel& m, PathChoice choice,
+                         double bytes, double x_w, double x_l);
+
+/// Optimal choice for a finite transfer (fixed overheads included).
+PathChoice best_choice_finite(const EnergyModel& m, double bytes, double x_w,
+                              double x_l);
+
+/// WiFi-throughput thresholds for a given LTE throughput (one EIB row):
+/// below `cell_only_below` use LTE only; at or above `wifi_only_at_least`
+/// use WiFi only; in between use both. Closed-form from the linear model.
+struct WifiThresholds {
+  double cell_only_below = 0.0;
+  double wifi_only_at_least = 0.0;
+};
+WifiThresholds steady_thresholds(const EnergyModel& m, double x_l);
+
+/// Fig. 3 heat-map cell: per-byte energy of both interfaces normalised by
+/// the best single interface (< 1 means MPTCP wins).
+double normalized_both_efficiency(const EnergyModel& m, double x_w,
+                                  double x_l);
+
+/// Fig. 4: for a transfer of `bytes` and LTE throughput `x_l`, the WiFi
+/// throughput interval in which using both interfaces is the most
+/// energy-efficient way to complete the whole transfer. nullopt when no
+/// such interval exists (e.g. small transfers where the cellular fixed
+/// overhead can never pay off).
+struct WifiInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+std::optional<WifiInterval> finite_both_region(const EnergyModel& m,
+                                               double bytes, double x_l,
+                                               double x_w_max = 20.0,
+                                               double step = 0.01);
+
+}  // namespace emptcp::energy

@@ -1,0 +1,3 @@
+#include "energy/power_model.hpp"
+
+// InterfacePowerParams / EnergyModel are header-only; see power_model.hpp.

@@ -1,0 +1,56 @@
+#include "energy/radio.hpp"
+
+namespace emptcp::energy {
+
+const char* to_string(RadioState s) {
+  switch (s) {
+    case RadioState::kIdle: return "idle";
+    case RadioState::kPromo: return "promo";
+    case RadioState::kActive: return "active";
+    case RadioState::kTail: return "tail";
+  }
+  return "?";
+}
+
+sim::Duration RadioModel::on_activity(sim::Time now, std::uint32_t,
+                                      bool is_tx) {
+  sim::Duration extra = 0;
+  const RadioState st = state_at(now);
+  if (st == RadioState::kIdle && is_tx) {
+    ++activations_;
+    promo_until_ = now + promo_;
+    extra = promo_;
+  } else if (st == RadioState::kPromo && is_tx) {
+    extra = promo_until_ - now;  // still ramping: remainder of the promotion
+  }
+  last_activity_ = now;
+  return extra;
+}
+
+RadioState RadioModel::state_at(sim::Time t) const {
+  if (promo_until_ >= 0 && t < promo_until_) return RadioState::kPromo;
+  if (last_activity_ < 0) return RadioState::kIdle;
+  const sim::Duration since = t - last_activity_;
+  if (since <= active_hold_) return RadioState::kActive;
+  if (since <= active_hold_ + tail_) return RadioState::kTail;
+  return RadioState::kIdle;
+}
+
+double RadioModel::power_mw_at(sim::Time t, double mbps,
+                               bool bytes_in_window) const {
+  switch (state_at(t)) {
+    case RadioState::kPromo:
+      return params_.promo_mw;
+    case RadioState::kActive:
+      return params_.active_power_mw(mbps);
+    case RadioState::kTail:
+      return bytes_in_window ? params_.active_power_mw(mbps)
+                             : params_.tail_mw;
+    case RadioState::kIdle:
+      return bytes_in_window ? params_.active_power_mw(mbps)
+                             : params_.idle_mw;
+  }
+  return params_.idle_mw;
+}
+
+}  // namespace emptcp::energy

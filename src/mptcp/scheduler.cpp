@@ -1,0 +1,43 @@
+#include "mptcp/scheduler.hpp"
+
+#include <algorithm>
+
+namespace emptcp::mptcp {
+
+bool SubflowScheduler::eligible(const Subflow& sf,
+                                const std::vector<Subflow*>& all) const {
+  if (!sf.usable()) return false;
+  if (!sf.backup()) return true;
+  // Backup subflows carry data only when no regular subflow is usable.
+  return std::none_of(all.begin(), all.end(), [](const Subflow* other) {
+    return other->usable() && !other->backup();
+  });
+}
+
+std::vector<Subflow*> MinRttScheduler::preference_order(
+    const std::vector<Subflow*>& all) const {
+  std::vector<Subflow*> out;
+  for (Subflow* sf : all) {
+    if (eligible(*sf, all)) out.push_back(sf);
+  }
+  std::stable_sort(out.begin(), out.end(), [](Subflow* a, Subflow* b) {
+    return a->socket().srtt() < b->socket().srtt();
+  });
+  return out;
+}
+
+std::vector<Subflow*> RoundRobinScheduler::preference_order(
+    const std::vector<Subflow*>& all) const {
+  std::vector<Subflow*> out;
+  for (Subflow* sf : all) {
+    if (eligible(*sf, all)) out.push_back(sf);
+  }
+  if (!out.empty()) {
+    const std::size_t shift = next_++ % out.size();
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(shift),
+                out.end());
+  }
+  return out;
+}
+
+}  // namespace emptcp::mptcp

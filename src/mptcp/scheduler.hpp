@@ -1,0 +1,51 @@
+// MPTCP packet schedulers.
+//
+// The scheduler answers two questions for the sending side:
+//   * is a subflow eligible to carry fresh data right now?  (backup
+//     subflows are not, unless every regular subflow is unusable —
+//     RFC 6824 MP_PRIO semantics, which eMPTCP leans on to suspend the
+//     LTE subflow), and
+//   * in what order should eligible subflows be offered data?  The default
+//     Linux MPTCP scheduler — the one the paper's §3.6 and §4.4 describe —
+//     prefers the subflow with the lowest RTT; eMPTCP additionally resets a
+//     resumed subflow's RTT to zero so it is probed first.
+#pragma once
+
+#include <vector>
+
+#include "mptcp/subflow.hpp"
+
+namespace emptcp::mptcp {
+
+class SubflowScheduler {
+ public:
+  virtual ~SubflowScheduler() = default;
+
+  /// True if `sf` may carry fresh data given the whole subflow set.
+  [[nodiscard]] virtual bool eligible(
+      const Subflow& sf, const std::vector<Subflow*>& all) const;
+
+  /// Eligible subflows in preference order (most preferred first).
+  [[nodiscard]] virtual std::vector<Subflow*> preference_order(
+      const std::vector<Subflow*>& all) const = 0;
+};
+
+/// Default MPTCP scheduler: lowest-SRTT first.
+class MinRttScheduler final : public SubflowScheduler {
+ public:
+  [[nodiscard]] std::vector<Subflow*> preference_order(
+      const std::vector<Subflow*>& all) const override;
+};
+
+/// Round-robin over eligible subflows; kept as a comparison point and for
+/// tests that need deterministic striping.
+class RoundRobinScheduler final : public SubflowScheduler {
+ public:
+  [[nodiscard]] std::vector<Subflow*> preference_order(
+      const std::vector<Subflow*>& all) const override;
+
+ private:
+  mutable std::size_t next_ = 0;
+};
+
+}  // namespace emptcp::mptcp

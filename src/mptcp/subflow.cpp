@@ -1,0 +1,3 @@
+#include "mptcp/subflow.hpp"
+
+// Subflow is header-only; see subflow.hpp.

@@ -1,0 +1,37 @@
+// Addressing for the simulated network.
+//
+// An Addr plays the role of an IP address: it names one network interface.
+// Flows are identified by the classic 4-tuple (src addr, src port, dst addr,
+// dst port); MPTCP subflows of one connection differ in the address part of
+// the tuple, exactly as on the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace emptcp::net {
+
+using Addr = std::uint32_t;
+using Port = std::uint16_t;
+
+inline constexpr Addr kAddrInvalid = 0;
+
+/// Flow 4-tuple, always expressed from the owning endpoint's point of view.
+struct FlowKey {
+  Addr local_addr = kAddrInvalid;
+  Port local_port = 0;
+  Addr remote_addr = kAddrInvalid;
+  Port remote_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t a = (std::uint64_t{k.local_addr} << 32) | k.remote_addr;
+    std::uint64_t b = (std::uint64_t{k.local_port} << 16) | k.remote_port;
+    return std::hash<std::uint64_t>{}(a * 0x9E3779B97F4A7C15ULL ^ b);
+  }
+};
+
+}  // namespace emptcp::net

@@ -1,0 +1,29 @@
+#include "net/channel/onoff_bandwidth.hpp"
+
+namespace emptcp::net {
+
+OnOffBandwidth::OnOffBandwidth(sim::Simulation& sim, Link& link, Config cfg)
+    : sim_(sim), links_{&link}, cfg_(cfg), high_(cfg.start_high) {}
+
+void OnOffBandwidth::start() {
+  apply_state();
+  schedule_flip();
+}
+
+void OnOffBandwidth::apply_state() {
+  const double rate = high_ ? cfg_.high_mbps : cfg_.low_mbps;
+  for (Link* l : links_) l->set_rate(rate);
+  log_.push_back(Transition{sim_.now(), rate});
+}
+
+void OnOffBandwidth::schedule_flip() {
+  const double mean = high_ ? cfg_.mean_high_s : cfg_.mean_low_s;
+  const sim::Duration hold = sim::from_seconds(sim_.rng().exponential(mean));
+  sim_.in(hold, [this] {
+    high_ = !high_;
+    apply_state();
+    schedule_flip();
+  });
+}
+
+}  // namespace emptcp::net

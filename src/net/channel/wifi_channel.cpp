@@ -1,0 +1,40 @@
+#include "net/channel/wifi_channel.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace emptcp::net {
+
+void WifiChannel::set_interferer_active(std::size_t idx, bool active) {
+  if (idx >= active_.size()) return;
+  if (active_[idx] == static_cast<bool>(active)) return;
+  active_[idx] = active;
+  apply();
+  EMPTCP_LOG(sim_, sim::LogLevel::kDebug,
+             "wifi channel: " << active_interferers()
+                              << " active interferers, device share "
+                              << device_share_mbps() << " Mbps");
+}
+
+std::size_t WifiChannel::active_interferers() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+double WifiChannel::device_share_mbps() const {
+  const auto k = static_cast<double>(active_interferers());
+  return cfg_.capacity_mbps / (k + 1.0);
+}
+
+void WifiChannel::apply() {
+  const double share = device_share_mbps();
+  const double loss =
+      cfg_.collision_loss * static_cast<double>(active_interferers());
+  for (Link* l : links_) {
+    l->set_rate(share);
+    l->set_loss_prob(loss);
+  }
+}
+
+}  // namespace emptcp::net

@@ -1,0 +1,72 @@
+// Shared-medium WiFi channel with contending background stations (§4.4).
+//
+// The paper places n = 2 or 3 interfering nodes on the device's WiFi channel,
+// each turning UDP traffic on and off as a two-state Markov process with
+// rates λon / λoff. Contention has two effects on the device:
+//   1. airtime sharing — with k active stations the device's share of the
+//      nominal capacity C shrinks to C / (k + 1);
+//   2. collisions — loss probability grows with the number of contenders.
+// Both are standard first-order DCF behaviour; the paper itself only cites
+// contention and interference ("multiple WiFi nodes can contend for the air
+// channel, causing interference and loss").
+//
+// WifiChannel applies both effects to the access links it governs whenever an
+// interferer toggles. The toggling processes themselves live in
+// app::OnOffUdpSource, which also injects real UDP datagrams so queues see
+// cross traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::net {
+
+class WifiChannel {
+ public:
+  struct Config {
+    double capacity_mbps = 15.0;     ///< nominal 802.11g-class capacity
+    double collision_loss = 0.008;   ///< added loss per active contender
+  };
+
+  WifiChannel(sim::Simulation& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+  /// Registers a link whose rate/loss this channel governs (typically the
+  /// WiFi downlink and uplink).
+  void govern(Link& link) {
+    links_.push_back(&link);
+    apply();
+  }
+
+  /// Registers a background station; returns its index.
+  std::size_t register_interferer() {
+    active_.push_back(false);
+    return active_.size() - 1;
+  }
+
+  /// Flips a station's activity; recomputes the device's share and loss.
+  void set_interferer_active(std::size_t idx, bool active);
+
+  [[nodiscard]] std::size_t active_interferers() const;
+  [[nodiscard]] double device_share_mbps() const;
+  [[nodiscard]] double capacity_mbps() const { return cfg_.capacity_mbps; }
+
+  /// Changes the nominal capacity (used by the mobility model where rate
+  /// depends on distance to the AP) and reapplies contention on top.
+  void set_capacity(double mbps) {
+    cfg_.capacity_mbps = mbps;
+    apply();
+  }
+
+ private:
+  void apply();
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  std::vector<Link*> links_;
+  std::vector<bool> active_;
+};
+
+}  // namespace emptcp::net

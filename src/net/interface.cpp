@@ -1,0 +1,63 @@
+#include "net/interface.hpp"
+
+#include "net/node.hpp"
+#include "sim/logging.hpp"
+
+namespace emptcp::net {
+
+const char* to_string(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kWifi: return "wifi";
+    case InterfaceType::kLte: return "lte";
+    case InterfaceType::kThreeG: return "3g";
+    case InterfaceType::kEthernet: return "eth";
+  }
+  return "?";
+}
+
+NetworkInterface::NetworkInterface(sim::Simulation& sim, Node& node,
+                                   Config cfg)
+    : sim_(sim), node_(node), cfg_(std::move(cfg)) {}
+
+void NetworkInterface::send(const Packet& pkt) {
+  if (!up_) {
+    ++dropped_down_;
+    return;
+  }
+  Link* out = default_route_;
+  if (auto it = routes_.find(pkt.dst); it != routes_.end()) out = it->second;
+  if (out == nullptr) {
+    ++dropped_down_;
+    EMPTCP_LOG(sim_, sim::LogLevel::kWarn,
+               cfg_.name << ": no route for " << pkt.describe());
+    return;
+  }
+  tx_bytes_ += pkt.wire_bytes();
+  if (radio_ != nullptr) {
+    const sim::Duration extra =
+        radio_->on_activity(sim_.now(), pkt.wire_bytes(), /*is_tx=*/true);
+    if (extra > 0) out->add_pending_delay(extra);
+  }
+  out->send(pkt);
+}
+
+void NetworkInterface::deliver(const Packet& pkt) {
+  if (!up_) {
+    ++dropped_down_;
+    return;
+  }
+  rx_bytes_ += pkt.wire_bytes();
+  if (radio_ != nullptr) {
+    radio_->on_activity(sim_.now(), pkt.wire_bytes(), /*is_tx=*/false);
+  }
+  node_.receive(pkt, *this);
+}
+
+void NetworkInterface::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  EMPTCP_LOG(sim_, sim::LogLevel::kInfo,
+             cfg_.name << (up ? " up" : " down"));
+}
+
+}  // namespace emptcp::net

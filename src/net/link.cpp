@@ -1,0 +1,62 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emptcp::net {
+
+Link::Link(sim::Simulation& sim, Config cfg) : sim_(sim), cfg_(std::move(cfg)) {
+  if (cfg_.rate_mbps <= 0.0) {
+    throw std::invalid_argument("Link rate must be positive: " + cfg_.name);
+  }
+}
+
+void Link::send(const Packet& pkt) {
+  if (queued_bytes_ + pkt.wire_bytes() > cfg_.queue_limit_bytes &&
+      !queue_.empty()) {
+    ++dropped_queue_;
+    return;
+  }
+  Packet copy = pkt;
+  copy.enqueued_at = sim_.now();
+  queued_bytes_ += copy.wire_bytes();
+  queue_.push_back(std::move(copy));
+  if (!transmitting_) start_transmission();
+}
+
+void Link::set_rate(double mbps) {
+  cfg_.rate_mbps = std::max(mbps, 1e-3);  // never fully stall the link
+}
+
+void Link::start_transmission() {
+  transmitting_ = true;
+  const Packet& head = queue_.front();
+  const double bits = static_cast<double>(head.wire_bytes()) * 8.0;
+  const sim::Duration tx_time =
+      sim::from_seconds(bits / (cfg_.rate_mbps * 1e6));
+  sim_.in(tx_time, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.wire_bytes();
+  transmitting_ = false;
+
+  const sim::Duration extra = pending_delay_;
+  pending_delay_ = 0;
+
+  if (sim_.rng().chance(cfg_.loss_prob)) {
+    ++dropped_loss_;
+  } else {
+    ++delivered_;
+    delivered_bytes_ += pkt.wire_bytes();
+    sim_.in(cfg_.prop_delay + extra, [this, pkt = std::move(pkt)] {
+      if (receiver_) receiver_(pkt);
+    });
+  }
+
+  if (!queue_.empty()) start_transmission();
+}
+
+}  // namespace emptcp::net

@@ -1,0 +1,86 @@
+// Unidirectional link with rate, propagation delay, loss and a drop-tail
+// queue. This is the bottleneck model for every hop in the testbed: the WiFi
+// access link, the LTE radio bearer, and the wired WAN segment.
+//
+// The rate can change at runtime (set_rate) — the on-off bandwidth modulator,
+// the interference channel and the mobility model all drive a link this way,
+// mirroring how the paper's lab shapes the WiFi AP's bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::net {
+
+class Link {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  struct Config {
+    double rate_mbps = 10.0;            ///< transmission rate
+    sim::Duration prop_delay = sim::milliseconds(10);
+    double loss_prob = 0.0;             ///< i.i.d. random loss after transmission
+    std::size_t queue_limit_bytes = 256 * 1024;  ///< drop-tail buffer
+    std::string name = "link";
+  };
+
+  Link(sim::Simulation& sim, Config cfg);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Sets the function invoked when a packet arrives at the far end.
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Hands a packet to the link. Drops it if the queue is full.
+  void send(const Packet& pkt);
+
+  /// Changes the transmission rate. Takes effect from the next packet
+  /// serviced; the packet currently in the transmitter finishes at its old
+  /// rate, as a real shaper would.
+  void set_rate(double mbps);
+  [[nodiscard]] double rate_mbps() const { return cfg_.rate_mbps; }
+
+  void set_loss_prob(double p) { cfg_.loss_prob = p; }
+  [[nodiscard]] double loss_prob() const { return cfg_.loss_prob; }
+
+  void set_prop_delay(sim::Duration d) { cfg_.prop_delay = d; }
+  [[nodiscard]] sim::Duration prop_delay() const { return cfg_.prop_delay; }
+
+  /// Extra one-shot delay added to the next packet's delivery (used to model
+  /// cellular promotion latency on a radio waking from idle).
+  void add_pending_delay(sim::Duration d) { pending_delay_ += d; }
+
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+
+  // Counters for tests and diagnostics.
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_queue() const { return dropped_queue_; }
+  [[nodiscard]] std::uint64_t dropped_loss() const { return dropped_loss_; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  Receiver receiver_;
+  std::deque<Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+  sim::Duration pending_delay_ = 0;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t dropped_queue_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+};
+
+}  // namespace emptcp::net

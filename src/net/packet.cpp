@@ -1,0 +1,24 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace emptcp::net {
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << src << ":" << sport << ">" << dst << ":" << dport;
+  if (syn) os << " SYN";
+  if (fin) os << " FIN";
+  if (rst) os << " RST";
+  if (is_ack) os << " ACK=" << ack;
+  if (payload > 0) os << " seq=" << seq << " len=" << payload;
+  if (mp_capable) os << " MP_CAPABLE";
+  if (mp_join) os << " MP_JOIN";
+  if (dss) os << " DSS[" << dss->data_seq << "+" << dss->length << "]";
+  if (data_ack) os << " DACK=" << *data_ack;
+  if (mp_prio) os << (mp_prio->backup ? " MP_PRIO(backup)" : " MP_PRIO(normal)");
+  if (udp) os << " UDP len=" << payload;
+  return os.str();
+}
+
+}  // namespace emptcp::net

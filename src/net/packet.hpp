@@ -1,0 +1,110 @@
+// Simulated packet: TCP segment plus the MPTCP options this system needs.
+//
+// The simulator is packet-level: every TCP segment, ACK, SYN and FIN is an
+// individual Packet pushed through links with real transmission and
+// propagation delay, drop-tail queueing and random loss. MPTCP signalling is
+// carried the way the protocol carries it — as options on TCP segments
+// (DSS mappings, data ACKs, MP_PRIO) — so the eMPTCP control decisions
+// travel in-band exactly as in the kernel implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace emptcp::net {
+
+/// DSS option: maps this segment's subflow payload into connection-level
+/// data sequence space (RFC 6824 §3.3).
+struct DssMapping {
+  std::uint64_t data_seq = 0;
+  std::uint64_t subflow_seq = 0;
+  std::uint32_t length = 0;
+};
+
+/// MP_PRIO option: announces a priority change for the subflow it is sent
+/// on (RFC 6824 §3.3.8). eMPTCP uses it to suspend/resume the LTE subflow.
+struct MpPrio {
+  bool backup = false;
+};
+
+struct Packet {
+  // Network layer.
+  Addr src = kAddrInvalid;
+  Addr dst = kAddrInvalid;
+  Port sport = 0;
+  Port dport = 0;
+
+  // TCP header. Sequence numbers are 64-bit in the simulator (a real header
+  // carries 32 bits and wraps; nothing in this system depends on wrapping).
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  bool syn = false;
+  bool is_ack = false;
+  bool fin = false;
+  bool rst = false;
+
+  /// SACK blocks: [start, end) ranges buffered above the cumulative ACK
+  /// (RFC 2018). A real header carries 3-4 blocks but a receiver cycles
+  /// through its whole scoreboard across successive ACKs; carrying the
+  /// scoreboard directly models that steady state without the bookkeeping.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+  static constexpr std::size_t kMaxSackBlocks = 64;
+
+  /// Application payload bytes carried by this segment.
+  std::uint32_t payload = 0;
+
+  // MPTCP options.
+  bool mp_capable = false;  ///< on the initial subflow's SYN
+  bool mp_join = false;     ///< on additional subflows' SYNs
+  /// Connection token carried by MP_CAPABLE / MP_JOIN SYNs so the passive
+  /// side can associate additional subflows with the right connection
+  /// (RFC 6824 derives this from a key exchange; the simulator carries it
+  /// directly).
+  std::uint64_t mp_token = 0;
+  /// RFC 6824 MP_JOIN "B" bit: this subflow starts as a backup path.
+  bool mp_backup = false;
+  /// Application tag carried on the MP_CAPABLE SYN; the evaluation's
+  /// stand-in for request-level identification (e.g. the URL an HTTP
+  /// request would carry), used by the web workload to pair each client
+  /// connection with its object list independent of accept order.
+  std::uint32_t app_tag = 0;
+  std::optional<DssMapping> dss;
+  std::optional<std::uint64_t> data_ack;
+  /// DATA_FIN (RFC 6824 §3.3.3): the connection-level stream ends at this
+  /// data sequence number (one past the last byte). Carried on any
+  /// subflow, so the stream terminates even if other subflows died.
+  std::optional<std::uint64_t> data_fin;
+  std::optional<MpPrio> mp_prio;
+
+  // Non-TCP datagram marker (background UDP traffic).
+  bool udp = false;
+
+  // Simulation metadata (not "on the wire").
+  std::uint64_t id = 0;       ///< unique per simulation, for tracing
+  sim::Time enqueued_at = 0;  ///< when the sender handed it to the link
+
+  /// IP+TCP header overhead modelled on every packet.
+  static constexpr std::uint32_t kHeaderBytes = 40;
+
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    return payload + kHeaderBytes;
+  }
+
+  /// Flow key from the *receiver's* point of view.
+  [[nodiscard]] FlowKey flow_at_receiver() const {
+    return FlowKey{dst, dport, src, sport};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Maximum segment size used by all TCP senders (typical Ethernet MSS).
+inline constexpr std::uint32_t kMss = 1448;
+
+}  // namespace emptcp::net

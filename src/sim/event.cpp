@@ -1,0 +1,56 @@
+#include "sim/event.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace emptcp::sim {
+
+std::string format_time(Time t) {
+  std::ostringstream os;
+  os << to_seconds(t) << "s";
+  return os.str();
+}
+
+bool EventId::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventId Scheduler::schedule_at(Time t, Action action) {
+  if (t < now_) {
+    throw std::logic_error("Scheduler::schedule_at: time " + format_time(t) +
+                           " is in the past (now=" + format_time(now_) + ")");
+  }
+  auto state = std::make_shared<EventId::State>();
+  queue_.push(Entry{t, next_seq_++, std::move(action), state});
+  ++live_count_;
+  return EventId{std::move(state)};
+}
+
+void Scheduler::cancel(EventId& id) {
+  if (id.state_ && !id.state_->fired) id.state_->cancelled = true;
+  id.state_.reset();
+}
+
+std::size_t Scheduler::run_until(Time stop_at) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.t > stop_at) break;
+    Entry entry{top.t, top.seq, std::move(const_cast<Entry&>(top).action),
+                std::move(const_cast<Entry&>(top).state)};
+    queue_.pop();
+    --live_count_;
+    if (entry.state->cancelled) continue;
+    entry.state->fired = true;
+    now_ = entry.t;
+    entry.action();
+    if (++executed >= event_limit_) {
+      throw std::runtime_error("Scheduler: event limit exceeded at t=" +
+                               format_time(now_));
+    }
+  }
+  if (stop_at != kTimeNever && stop_at > now_) now_ = stop_at;
+  return executed;
+}
+
+}  // namespace emptcp::sim

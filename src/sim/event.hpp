@@ -1,0 +1,94 @@
+// Event scheduler: the heart of the discrete-event simulator.
+//
+// The scheduler owns a priority queue of (time, sequence, action) entries.
+// Ties on time are broken by insertion sequence so execution order is fully
+// deterministic. Events can be cancelled; cancellation is O(1) (the entry is
+// marked dead and skipped when popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emptcp::sim {
+
+/// Handle to a scheduled event, usable to cancel it. Default-constructed
+/// handles refer to no event and are safe to cancel (no-op).
+class EventId {
+ public:
+  EventId() = default;
+
+  /// True if this handle refers to an event that has neither fired nor been
+  /// cancelled yet.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `t`. Scheduling in the past
+  /// is a programming error and throws.
+  EventId schedule_at(Time t, Action action);
+
+  /// Schedules `action` to run `dt` from now (dt >= 0).
+  EventId schedule_in(Duration dt, Action action) {
+    return schedule_at(now_ + dt, std::move(action));
+  }
+
+  /// Cancels an event if it is still pending. Safe on empty/fired handles.
+  static void cancel(EventId& id);
+
+  /// Runs events until the queue is empty or `stop_at` is reached. Events
+  /// scheduled exactly at `stop_at` do run. Returns the number of events
+  /// executed.
+  std::size_t run_until(Time stop_at);
+
+  /// Runs until the event queue drains completely.
+  std::size_t run() { return run_until(kTimeNever); }
+
+  /// Number of entries still queued (cancelled entries count until they
+  /// are popped and discarded).
+  [[nodiscard]] std::size_t pending_events() const { return live_count_; }
+
+  /// Hard cap on executed events per run_until call, as a runaway guard.
+  void set_event_limit(std::size_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    Action action;
+    std::shared_ptr<EventId::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+  std::size_t event_limit_ = 500'000'000;
+};
+
+}  // namespace emptcp::sim

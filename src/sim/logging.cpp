@@ -1,0 +1,32 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace emptcp::sim {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, Time t, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, t, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%10.4fs] %-5s %s\n", to_seconds(t), level_name(level),
+               msg.c_str());
+}
+
+}  // namespace emptcp::sim

@@ -1,0 +1,49 @@
+// Lightweight trace logging for the simulator.
+//
+// Traces are off by default (benchmarks and tests run silently); examples
+// and the figure benches enable them selectively to show protocol decisions
+// (subflow suspended/resumed, delayed establishment fired, radio state
+// transitions) the way the paper narrates its time-series figures.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace emptcp::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kOff };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, Time, const std::string&)>;
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the output sink. The default sink writes to stderr.
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, Time t, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace emptcp::sim
+
+/// Streams `expr` into the simulation's logger when the level is enabled.
+/// `simref` must expose .logger() and .now().
+#define EMPTCP_LOG(simref, level, expr)                                   \
+  do {                                                                    \
+    if ((simref).logger().enabled(level)) {                               \
+      std::ostringstream emptcp_log_os_;                                  \
+      emptcp_log_os_ << expr;                                             \
+      (simref).logger().log(level, (simref).now(), emptcp_log_os_.str()); \
+    }                                                                     \
+  } while (0)

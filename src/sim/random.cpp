@@ -1,0 +1,3 @@
+#include "sim/random.hpp"
+
+// Rng is header-only; see random.hpp.

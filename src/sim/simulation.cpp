@@ -1,0 +1,3 @@
+#include "sim/simulation.hpp"
+
+// Simulation is header-only; see simulation.hpp.

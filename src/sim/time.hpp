@@ -1,0 +1,41 @@
+// Simulated-time representation for the eMPTCP simulator.
+//
+// Simulated time is an integer count of nanoseconds since the start of the
+// simulation. An integer representation keeps event ordering exact and makes
+// time arithmetic associative, which matters for reproducibility: two runs
+// with the same seed must schedule events in the same order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace emptcp::sim {
+
+/// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A duration, also in nanoseconds. Kept as a separate alias for readability.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t u) { return u * 1'000; }
+constexpr Duration milliseconds(std::int64_t m) { return m * 1'000'000; }
+constexpr Duration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a floating-point number of seconds to a Duration, rounding to
+/// the nearest nanosecond.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(Time t) { return static_cast<double>(t) * 1e-6; }
+
+/// Formats a time as "12.345s" for traces and error messages.
+std::string format_time(Time t);
+
+}  // namespace emptcp::sim

@@ -1,0 +1,4 @@
+#include "sim/timer.hpp"
+
+// Timer is header-only; this translation unit exists so the build sees one
+// object file per module and to anchor the vtable-free class in the library.

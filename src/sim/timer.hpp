@@ -1,0 +1,57 @@
+// Restartable one-shot timer built on the Scheduler.
+//
+// TCP retransmission timers, eMPTCP's delayed-subflow timer τ, and the
+// bandwidth-predictor sampling loop all need the same pattern: arm a
+// callback at a deadline, possibly re-arm it to a different deadline before
+// it fires, and cancel it when the owner goes away. Timer encapsulates that
+// pattern; destroying a Timer cancels any pending callback, so a Timer member
+// can never outlive its owner.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/event.hpp"
+
+namespace emptcp::sim {
+
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> on_fire)
+      : sched_(&sched), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arms the timer to fire `dt` from now. Replaces any pending deadline.
+  void arm_in(Duration dt) { arm_at(sched_->now() + dt); }
+
+  /// (Re)arms the timer to fire at absolute time `t`.
+  void arm_at(Time t) {
+    cancel();
+    deadline_ = t;
+    id_ = sched_->schedule_at(t, [this] {
+      deadline_ = kTimeNever;
+      on_fire_();
+    });
+  }
+
+  /// Cancels the pending deadline, if any.
+  void cancel() {
+    Scheduler::cancel(id_);
+    deadline_ = kTimeNever;
+  }
+
+  [[nodiscard]] bool armed() const { return id_.pending(); }
+  [[nodiscard]] Time deadline() const { return deadline_; }
+
+ private:
+  Scheduler* sched_;
+  std::function<void()> on_fire_;
+  EventId id_;
+  Time deadline_ = kTimeNever;
+};
+
+}  // namespace emptcp::sim

@@ -1,0 +1,90 @@
+#include "stats/csv.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace emptcp::stats {
+
+std::string csv_field(const std::string& value) {
+  const bool needs_quoting =
+      value.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_field(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string series_to_csv(const Series& series,
+                          const std::string& value_name,
+                          const std::string& time_name) {
+  std::ostringstream os;
+  os << csv_field(time_name) << ',' << csv_field(value_name) << '\n';
+  for (const Point& p : series) {
+    os << p.t << ',' << p.v << '\n';
+  }
+  return os.str();
+}
+
+std::string series_table_to_csv(
+    const std::vector<std::pair<std::string, const Series*>>& columns,
+    std::size_t points) {
+  if (columns.empty() || points == 0) return "";
+
+  double t0 = 0.0;
+  double t1 = 0.0;
+  bool first = true;
+  for (const auto& [name, series] : columns) {
+    if (series == nullptr || series->empty()) continue;
+    if (first) {
+      t0 = series->front().t;
+      t1 = series->back().t;
+      first = false;
+    } else {
+      t0 = std::min(t0, series->front().t);
+      t1 = std::max(t1, series->back().t);
+    }
+  }
+  if (first || t1 <= t0) return "";
+
+  std::ostringstream os;
+  os << "t_s";
+  for (const auto& [name, series] : columns) os << ',' << csv_field(name);
+  os << '\n';
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    os << t;
+    for (const auto& [name, series] : columns) {
+      os << ',';
+      if (series != nullptr && !series->empty()) os << value_at(*series, t);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace emptcp::stats

@@ -1,0 +1,35 @@
+// CSV export: every figure bench prints ASCII, but plotting the traces
+// (Figs. 7/9/12) or the whisker data externally needs machine-readable
+// output. These helpers render tables and time series as RFC-4180-style
+// CSV (quoted only when needed) and write them to files.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+
+namespace emptcp::stats {
+
+/// Escapes one CSV field (quotes when it contains separators/quotes).
+std::string csv_field(const std::string& value);
+
+/// Renders rows (first row = header) as CSV text.
+std::string to_csv(const std::vector<std::vector<std::string>>& rows);
+
+/// One (t, v) series with a named value column.
+std::string series_to_csv(const Series& series,
+                          const std::string& value_name = "value",
+                          const std::string& time_name = "t_s");
+
+/// Multiple series joined on a common resampled time grid (n points over
+/// the union of their time ranges) — the layout the trace figures need.
+std::string series_table_to_csv(
+    const std::vector<std::pair<std::string, const Series*>>& columns,
+    std::size_t points = 200);
+
+/// Writes text to a file; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text);
+
+}  // namespace emptcp::stats

@@ -1,0 +1,73 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emptcp::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("mean of empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double sem(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("sem of empty sample");
+  return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile of empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+Whisker whisker(const std::vector<double>& xs) {
+  Whisker w;
+  w.n = xs.size();
+  if (xs.empty()) return w;
+  w.q1 = quantile(xs, 0.25);
+  w.median = quantile(xs, 0.5);
+  w.q3 = quantile(xs, 0.75);
+  const double iqr = w.q3 - w.q1;
+  const double lo_fence = w.q1 - 1.5 * iqr;
+  const double hi_fence = w.q3 + 1.5 * iqr;
+
+  w.lo_whisker = w.q1;
+  w.hi_whisker = w.q3;
+  bool found_lo = false;
+  bool found_hi = false;
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      w.outliers.push_back(x);
+      continue;
+    }
+    if (!found_lo || x < w.lo_whisker) {
+      w.lo_whisker = x;
+      found_lo = true;
+    }
+    if (!found_hi || x > w.hi_whisker) {
+      w.hi_whisker = x;
+      found_hi = true;
+    }
+  }
+  std::sort(w.outliers.begin(), w.outliers.end());
+  return w;
+}
+
+}  // namespace emptcp::stats

@@ -1,0 +1,40 @@
+// Summary statistics used by the evaluation harness.
+//
+// The paper reports two kinds of aggregates:
+//   * mean ± standard error of the mean (its Eq. 2) for the lab figures,
+//   * five-number whisker summaries with 1.5·IQR outliers for the
+//     in-the-wild figures (§5.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emptcp::stats {
+
+/// Sample mean.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator), the paper's Eq. 2 `s`.
+double stddev(const std::vector<double>& xs);
+
+/// Standard error of the mean: s / sqrt(n).
+double sem(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0,1].
+double quantile(std::vector<double> xs, double q);
+
+/// Whisker-plot summary: quartiles, whiskers at the most extreme samples
+/// within [Q1 - 1.5 IQR, Q3 + 1.5 IQR], and the samples outside (outliers).
+struct Whisker {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double lo_whisker = 0.0;
+  double hi_whisker = 0.0;
+  std::vector<double> outliers;
+  std::size_t n = 0;
+};
+
+Whisker whisker(const std::vector<double>& xs);
+
+}  // namespace emptcp::stats

@@ -1,0 +1,44 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace emptcp::stats {
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    return os.str();
+  };
+
+  std::ostringstream os;
+  const std::string header = render_row(headers_);
+  os << header << "\n" << std::string(header.size(), '-') << "\n";
+  for (const auto& row : rows_) os << render_row(row) << "\n";
+  return os.str();
+}
+
+}  // namespace emptcp::stats

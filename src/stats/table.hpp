@@ -1,0 +1,29 @@
+// Minimal ASCII table renderer: every bench binary prints its figure/table
+// reproduction as rows via this, so outputs are uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emptcp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emptcp::stats

@@ -1,0 +1,89 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace emptcp::stats {
+
+double value_at(const Series& s, double t) {
+  if (s.empty()) return 0.0;
+  if (t <= s.front().t) return s.front().v;
+  auto it = std::upper_bound(
+      s.begin(), s.end(), t,
+      [](double x, const Point& p) { return x < p.t; });
+  return std::prev(it)->v;
+}
+
+Series resample(const Series& s, double t0, double t1, std::size_t n) {
+  Series out;
+  if (n == 0 || t1 <= t0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(Point{t, value_at(s, t)});
+  }
+  return out;
+}
+
+namespace {
+std::pair<double, double> bounds(const Series& s) {
+  double lo = s.front().v;
+  double hi = s.front().v;
+  for (const Point& p : s) {
+    lo = std::min(lo, p.v);
+    hi = std::max(hi, p.v);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  return {lo, hi};
+}
+}  // namespace
+
+std::string sparkline(const Series& s, std::size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (s.empty()) return "";
+  const Series r = resample(s, s.front().t, s.back().t, width);
+  const auto [lo, hi] = bounds(r);
+  std::string out;
+  for (const Point& p : r) {
+    const double f = (p.v - lo) / (hi - lo);
+    const int idx = std::clamp(static_cast<int>(f * 7.999), 0, 7);
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+std::string ascii_chart(const Series& s, std::size_t width,
+                        std::size_t height) {
+  if (s.empty() || height == 0) return "";
+  const Series r = resample(s, s.front().t, s.back().t, width);
+  const auto [lo, hi] = bounds(r);
+
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double f = (r[i].v - lo) / (hi - lo);
+    const auto level = static_cast<std::size_t>(
+        std::clamp(f, 0.0, 1.0) * static_cast<double>(height - 1) + 0.5);
+    for (std::size_t y = 0; y <= level; ++y) {
+      rows[height - 1 - y][i] = y == level ? '#' : '.';
+    }
+  }
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  for (std::size_t y = 0; y < height; ++y) {
+    const double label =
+        hi - (hi - lo) * static_cast<double>(y) / static_cast<double>(height - 1);
+    os.width(9);
+    os << label << " |" << rows[y] << "\n";
+  }
+  os << std::string(11, ' ') << std::string(width, '-') << "\n";
+  os << std::string(11, ' ') << "t=" << r.front().t << "s ... " << r.back().t
+     << "s\n";
+  return os.str();
+}
+
+}  // namespace emptcp::stats

@@ -1,0 +1,34 @@
+// Time-series helpers for the paper's trace figures (7, 9, 12): resampling
+// onto a fixed grid and rendering compact ASCII sparklines so a bench
+// binary can "plot" a trace in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace emptcp::stats {
+
+struct Point {
+  double t = 0.0;
+  double v = 0.0;
+};
+
+using Series = std::vector<Point>;
+
+/// Value at time `t` by step interpolation (last value at or before t;
+/// the first value before the series starts).
+double value_at(const Series& s, double t);
+
+/// Resamples onto [t0, t1] with `n` evenly spaced points.
+Series resample(const Series& s, double t0, double t1, std::size_t n);
+
+/// Renders the series as one line of unicode block characters, scaled to
+/// [min, max] over the series (or the provided bounds).
+std::string sparkline(const Series& s, std::size_t width = 72);
+
+/// Multi-row ASCII chart (height rows, '#' marks), labelled with the value
+/// range; good enough to eyeball the shape of Figs. 7/9/12 in a terminal.
+std::string ascii_chart(const Series& s, std::size_t width = 72,
+                        std::size_t height = 10);
+
+}  // namespace emptcp::stats

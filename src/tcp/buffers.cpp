@@ -1,0 +1,46 @@
+#include "tcp/buffers.hpp"
+
+#include <algorithm>
+
+namespace emptcp::tcp {
+
+std::uint64_t IntervalReassembly::insert(std::uint64_t seq,
+                                         std::uint64_t len) {
+  if (len == 0) return 0;
+  std::uint64_t end = seq + len;
+  if (end <= cum_) return 0;  // stale duplicate
+  seq = std::max(seq, cum_);
+
+  // Merge [seq, end) into the out-of-order set.
+  auto it = segments_.lower_bound(seq);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= seq) {
+      seq = prev->first;
+      end = std::max(end, prev->second);
+      it = segments_.erase(prev);
+    }
+  }
+  while (it != segments_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = segments_.erase(it);
+  }
+  segments_.emplace(seq, end);
+
+  // Advance the cumulative point through any now-contiguous intervals.
+  const std::uint64_t before = cum_;
+  auto head = segments_.begin();
+  while (head != segments_.end() && head->first <= cum_) {
+    cum_ = std::max(cum_, head->second);
+    head = segments_.erase(head);
+  }
+  return cum_ - before;
+}
+
+std::uint64_t IntervalReassembly::buffered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [start, end] : segments_) total += end - start;
+  return total;
+}
+
+}  // namespace emptcp::tcp

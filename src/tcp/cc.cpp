@@ -1,0 +1,43 @@
+#include "tcp/cc.hpp"
+
+namespace emptcp::tcp {
+
+void CongestionControl::on_ack(std::uint64_t acked_bytes) {
+  if (acked_bytes == 0) return;
+  if (in_slow_start()) {
+    // Slow start: one MSS per MSS acked (byte counting).
+    set_cwnd(cwnd_ + std::min<std::uint64_t>(acked_bytes, cfg_.mss * 2));
+  } else {
+    set_cwnd(cwnd_ + ca_increase(acked_bytes));
+  }
+}
+
+std::uint64_t CongestionControl::ca_increase(std::uint64_t acked_bytes) {
+  // Reno: cwnd += mss * (acked / cwnd), i.e. ~one MSS per RTT.
+  const auto inc = static_cast<std::uint64_t>(
+      static_cast<double>(cfg_.mss) * static_cast<double>(acked_bytes) /
+      static_cast<double>(cwnd_));
+  return std::max<std::uint64_t>(inc, 1);
+}
+
+void CongestionControl::on_loss_event() {
+  ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * cfg_.mss);
+  set_cwnd(ssthresh_);
+}
+
+void CongestionControl::on_timeout() {
+  ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * cfg_.mss);
+  set_cwnd(cfg_.mss);
+}
+
+void CongestionControl::on_idle_restart(sim::Duration idle,
+                                        sim::Duration rto) {
+  if (!cwnd_validation_) return;
+  if (idle <= rto) return;
+  // RFC 2861 (simplified as in practice): restart from the initial window
+  // after an idle period longer than one RTO.
+  set_cwnd(std::min(cwnd_, initial_cwnd()));
+  ssthresh_ = std::max(ssthresh_, cwnd_);
+}
+
+}  // namespace emptcp::tcp

@@ -1,0 +1,84 @@
+// Congestion control.
+//
+// RenoCongestionControl implements NewReno-style behaviour: slow start,
+// congestion avoidance, halving on a fast-retransmit loss event, collapse to
+// one segment on RTO. The congestion-avoidance increase is virtual so the
+// MPTCP coupled controller (RFC 6356 LIA) can override just that step while
+// sharing everything else — that is precisely where LIA differs from Reno.
+//
+// RFC 2861 congestion-window validation (reset cwnd after an idle period
+// longer than the RTO) is modelled as a flag: standard subflows have it on;
+// eMPTCP disables it on subflows it resumes, per §3.6 of the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace emptcp::tcp {
+
+class CongestionControl {
+ public:
+  struct Config {
+    std::uint32_t mss = net::kMss;
+    std::uint32_t initial_window_segments = 10;  ///< IW10, RFC 6928
+    std::uint64_t max_cwnd_bytes = 16ull * 1024 * 1024;
+  };
+
+  explicit CongestionControl(Config cfg)
+      : cfg_(cfg),
+        cwnd_(static_cast<std::uint64_t>(cfg.mss) *
+              cfg.initial_window_segments),
+        ssthresh_(cfg.max_cwnd_bytes) {}
+
+  virtual ~CongestionControl() = default;
+
+  /// New cumulative ACK for `acked_bytes` fresh bytes.
+  void on_ack(std::uint64_t acked_bytes);
+
+  /// Fast-retransmit loss event (third duplicate ACK).
+  virtual void on_loss_event();
+
+  /// Retransmission timeout.
+  virtual void on_timeout();
+
+  /// Called when the sender transmits after an idle period of `idle`.
+  /// Applies RFC 2861 cwnd validation when enabled.
+  void on_idle_restart(sim::Duration idle, sim::Duration rto);
+
+  void set_cwnd_validation(bool enabled) { cwnd_validation_ = enabled; }
+  [[nodiscard]] bool cwnd_validation() const { return cwnd_validation_; }
+
+  [[nodiscard]] std::uint64_t cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint64_t ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  [[nodiscard]] std::uint32_t mss() const { return cfg_.mss; }
+  [[nodiscard]] std::uint64_t initial_cwnd() const {
+    return static_cast<std::uint64_t>(cfg_.mss) *
+           cfg_.initial_window_segments;
+  }
+
+ protected:
+  /// Congestion-avoidance increase for `acked_bytes`; Reno adds
+  /// mss*acked/cwnd, LIA overrides with the coupled formula.
+  virtual std::uint64_t ca_increase(std::uint64_t acked_bytes);
+
+  void set_cwnd(std::uint64_t c) {
+    cwnd_ = std::clamp<std::uint64_t>(c, cfg_.mss, cfg_.max_cwnd_bytes);
+  }
+
+  Config cfg_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  bool cwnd_validation_ = true;
+};
+
+/// Plain NewReno, used by single-path TCP.
+class RenoCongestionControl final : public CongestionControl {
+ public:
+  using CongestionControl::CongestionControl;
+};
+
+}  // namespace emptcp::tcp

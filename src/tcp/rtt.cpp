@@ -1,0 +1,33 @@
+#include "tcp/rtt.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace emptcp::tcp {
+
+void RttEstimator::add_sample(sim::Duration rtt) {
+  if (rtt < 0) return;
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298: alpha = 1/8, beta = 1/4.
+    const sim::Duration err = std::abs(srtt_ - rtt);
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+  rto_ = srtt_ + std::max<sim::Duration>(4 * rttvar_, sim::milliseconds(1));
+  clamp_rto();
+}
+
+void RttEstimator::backoff() {
+  rto_ *= 2;
+  clamp_rto();
+}
+
+void RttEstimator::clamp_rto() {
+  rto_ = std::clamp(rto_, cfg_.min_rto, cfg_.max_rto);
+}
+
+}  // namespace emptcp::tcp

@@ -1,0 +1,50 @@
+// RTT estimation and retransmission timeout per RFC 6298, with two hooks the
+// paper's §3.6 needs:
+//   * handshake RTT — the three-way-handshake time, which eMPTCP's bandwidth
+//     predictor uses to choose its per-subflow sampling interval δ;
+//   * force_srtt — eMPTCP "sets the measured round trip time (RTT) of the
+//     [resumed] subflow to zero" so the min-RTT scheduler probes it first.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace emptcp::tcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    sim::Duration initial_rto = sim::seconds(1);
+    sim::Duration min_rto = sim::milliseconds(200);
+    sim::Duration max_rto = sim::seconds(60);
+  };
+
+  RttEstimator() : RttEstimator(Config{}) {}
+  explicit RttEstimator(Config cfg) : cfg_(cfg), rto_(cfg.initial_rto) {}
+
+  /// Feeds one RTT sample (from a segment that was not retransmitted —
+  /// Karn's rule is enforced by the caller).
+  void add_sample(sim::Duration rtt);
+
+  /// Exponential RTO backoff after a retransmission timeout.
+  void backoff();
+
+  /// Overrides the smoothed RTT (eMPTCP resumed-subflow trick). The RTO is
+  /// left untouched so retransmission behaviour stays sane.
+  void force_srtt(sim::Duration srtt) { srtt_ = srtt; }
+
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] sim::Duration rttvar() const { return rttvar_; }
+  [[nodiscard]] sim::Duration rto() const { return rto_; }
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+ private:
+  void clamp_rto();
+
+  Config cfg_;
+  sim::Duration srtt_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_;
+  bool has_sample_ = false;
+};
+
+}  // namespace emptcp::tcp

@@ -1,0 +1,168 @@
+#include "app/bulk_download.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/testnet.hpp"
+
+namespace emptcp::app {
+namespace {
+
+using test::TestNet;
+
+mptcp::MptcpConnection::Config mcfg() {
+  mptcp::MptcpConnection::Config cfg;
+  cfg.classify_peer = [](net::Addr a) {
+    return a == test::kWifiAddr ? net::InterfaceType::kWifi
+                                : net::InterfaceType::kEthernet;
+  };
+  return cfg;
+}
+
+struct ServerWorld {
+  explicit ServerWorld(FileServer::Config cfg)
+      : server(net.sim, net.server, std::move(cfg)) {}
+
+  mptcp::MptcpConnection& connect_client() {
+    clients.push_back(std::make_unique<mptcp::MptcpConnection>(
+        net.sim, net.client, mcfg()));
+    clients.back()->connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+    return *clients.back();
+  }
+
+  TestNet net;
+  FileServer server;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> clients;
+};
+
+FileServer::Config base_config() {
+  FileServer::Config cfg;
+  cfg.port = test::kPort;
+  cfg.request_bytes = 200;
+  cfg.mptcp = mcfg();
+  return cfg;
+}
+
+TEST(FileServerTest, RespondsToCompleteRequest) {
+  FileServer::Config cfg = base_config();
+  cfg.resolver = [](std::size_t, std::size_t req) {
+    return req == 0 ? std::uint64_t{50'000} : 0;
+  };
+  ServerWorld w(std::move(cfg));
+  auto& client = w.connect_client();
+  std::uint64_t got = 0;
+  mptcp::MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { client.send(200); };
+  cb.on_data = [&](std::uint64_t n) { got += n; };
+  cb.on_eof = [&] { client.shutdown_write(); };
+  client.set_callbacks(std::move(cb));
+  w.net.sim.run_until(sim::seconds(10));
+  EXPECT_EQ(got, 50'000u);
+  EXPECT_EQ(w.server.responses_sent(), 1u);
+}
+
+TEST(FileServerTest, PartialRequestWaitsForAllBytes) {
+  FileServer::Config cfg = base_config();
+  cfg.resolver = [](std::size_t, std::size_t) {
+    return std::uint64_t{1000};
+  };
+  cfg.close_after_response = false;
+  ServerWorld w(std::move(cfg));
+  auto& client = w.connect_client();
+  mptcp::MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { client.send(150); };  // under the framing unit
+  client.set_callbacks(std::move(cb));
+  w.net.sim.run_until(sim::seconds(2));
+  EXPECT_EQ(w.server.responses_sent(), 0u);
+  client.send(50);  // completes the request
+  w.net.sim.run_until(sim::seconds(4));
+  EXPECT_EQ(w.server.responses_sent(), 1u);
+}
+
+TEST(FileServerTest, BatchedRequestsEachServed) {
+  FileServer::Config cfg = base_config();
+  cfg.resolver = [](std::size_t, std::size_t) { return std::uint64_t{500}; };
+  cfg.close_after_response = false;
+  ServerWorld w(std::move(cfg));
+  auto& client = w.connect_client();
+  std::uint64_t got = 0;
+  mptcp::MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { client.send(3 * 200); };  // three at once
+  cb.on_data = [&](std::uint64_t n) { got += n; };
+  client.set_callbacks(std::move(cb));
+  w.net.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(w.server.responses_sent(), 3u);
+  EXPECT_EQ(got, 1500u);
+}
+
+TEST(FileServerTest, ZeroSizeResolverIgnoresRequest) {
+  FileServer::Config cfg = base_config();
+  cfg.resolver = [](std::size_t, std::size_t req) {
+    return req == 1 ? std::uint64_t{700} : 0;  // ignore the first request
+  };
+  cfg.close_after_response = false;
+  ServerWorld w(std::move(cfg));
+  auto& client = w.connect_client();
+  std::uint64_t got = 0;
+  mptcp::MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { client.send(400); };  // two requests
+  cb.on_data = [&](std::uint64_t n) { got += n; };
+  client.set_callbacks(std::move(cb));
+  w.net.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(w.server.responses_sent(), 1u);
+  EXPECT_EQ(got, 700u);
+}
+
+TEST(FileServerTest, MultipleConnectionsIndexedByAcceptOrderWhenUntagged) {
+  FileServer::Config cfg = base_config();
+  std::vector<std::size_t> seen;
+  cfg.resolver = [&seen](std::size_t conn, std::size_t) {
+    seen.push_back(conn);
+    return std::uint64_t{100};
+  };
+  cfg.close_after_response = false;
+  ServerWorld w(std::move(cfg));
+  auto& c1 = w.connect_client();
+  auto& c2 = w.connect_client();
+  for (auto* c : {&c1, &c2}) {
+    mptcp::MptcpConnection::Callbacks cb;
+    cb.on_established = [c] { c->send(200); };
+    c->set_callbacks(std::move(cb));
+  }
+  w.net.sim.run_until(sim::seconds(5));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_EQ(w.server.accepted_connections(), 2u);
+}
+
+TEST(FileServerTest, AppTagOverridesAcceptOrder) {
+  FileServer::Config cfg = base_config();
+  std::vector<std::size_t> seen;
+  cfg.resolver = [&seen](std::size_t conn, std::size_t) {
+    seen.push_back(conn);
+    return std::uint64_t{100};
+  };
+  cfg.close_after_response = false;
+  ServerWorld w(std::move(cfg));
+  auto& client = w.connect_client();
+  // Reconnect with a tag is not possible post-connect; instead use a new
+  // connection with a tag and verify the server indexes it by tag.
+  w.clients.push_back(std::make_unique<mptcp::MptcpConnection>(
+      w.net.sim, w.net.client, mcfg()));
+  auto& tagged = *w.clients.back();
+  tagged.set_app_tag(7);  // 1-based: server index 6
+  tagged.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+
+  mptcp::MptcpConnection::Callbacks cb1;
+  cb1.on_established = [&client] { client.send(200); };
+  client.set_callbacks(std::move(cb1));
+  mptcp::MptcpConnection::Callbacks cb2;
+  cb2.on_established = [&tagged] { tagged.send(200); };
+  tagged.set_callbacks(std::move(cb2));
+
+  w.net.sim.run_until(sim::seconds(5));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE((seen[0] == 6 || seen[1] == 6));
+}
+
+}  // namespace
+}  // namespace emptcp::app

@@ -1,0 +1,98 @@
+#include "app/onoff_udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::app {
+namespace {
+
+TEST(OnOffUdpTest, TogglesChannelContention) {
+  sim::Simulation sim(3);
+  net::WifiChannel ch(sim, {15.0, 0.01});
+  net::Link link(sim, net::Link::Config{});
+  ch.govern(link);
+
+  OnOffUdpSource::Config cfg;
+  cfg.lambda_on = 0.5;   // mean 2 s on
+  cfg.lambda_off = 0.5;  // mean 2 s off
+  OnOffUdpSource src(sim, ch, cfg);
+  src.start();
+
+  // Sample channel state over time: we must observe both shared and full
+  // capacity phases.
+  bool saw_contended = false;
+  bool saw_free = false;
+  for (int i = 0; i < 400; ++i) {
+    sim.run_until(sim.now() + sim::milliseconds(100));
+    if (ch.active_interferers() > 0) saw_contended = true;
+    if (ch.active_interferers() == 0) saw_free = true;
+  }
+  EXPECT_TRUE(saw_contended);
+  EXPECT_TRUE(saw_free);
+}
+
+TEST(OnOffUdpTest, MeanSojournTimesFollowLambdas) {
+  sim::Simulation sim(9);
+  net::WifiChannel ch(sim, {15.0, 0.0});
+  OnOffUdpSource::Config cfg;
+  cfg.lambda_on = 0.05;    // paper: mean 20 s on
+  cfg.lambda_off = 0.025;  // paper: mean 40 s off
+  OnOffUdpSource src(sim, ch, cfg);
+  src.start();
+
+  double on_time = 0.0;
+  double off_time = 0.0;
+  const double dt = 0.5;
+  for (int i = 0; i < 40000; ++i) {
+    sim.run_until(sim.now() + sim::from_seconds(dt));
+    (src.on() ? on_time : off_time) += dt;
+  }
+  // Stationary fraction on = (1/λon) / (1/λon + 1/λoff) = 40/(40+20)...
+  // careful: mean on = 1/0.05 = 20 s, mean off = 1/0.025 = 40 s -> 1/3 on.
+  const double frac_on = on_time / (on_time + off_time);
+  EXPECT_NEAR(frac_on, 20.0 / 60.0, 0.05);
+}
+
+TEST(OnOffUdpTest, InjectsDatagramsWhileOn) {
+  sim::Simulation sim(5);
+  net::WifiChannel ch(sim, {15.0, 0.0});
+  net::Link sink(sim, net::Link::Config{});
+  std::uint64_t delivered = 0;
+  sink.set_receiver([&](const net::Packet& p) {
+    EXPECT_TRUE(p.udp);
+    ++delivered;
+  });
+
+  OnOffUdpSource::Config cfg;
+  cfg.lambda_on = 0.001;  // effectively always on once started
+  cfg.lambda_off = 1000.0;
+  cfg.start_on = true;
+  cfg.inject_into = &sink;
+  cfg.inject_rate_mbps = 2.0;
+  OnOffUdpSource src(sim, ch, cfg);
+  src.start();
+  sim.run_until(sim::seconds(5));
+
+  // 2 Mbps of 1240-byte datagrams for 5 s ≈ 1000 packets.
+  EXPECT_NEAR(static_cast<double>(src.datagrams_sent()), 1008.0, 100.0);
+  EXPECT_GT(delivered, 0u);
+}
+
+TEST(OnOffUdpTest, NoInjectionWhileOff) {
+  sim::Simulation sim(5);
+  net::WifiChannel ch(sim, {15.0, 0.0});
+  net::Link sink(sim, net::Link::Config{});
+  OnOffUdpSource::Config cfg;
+  cfg.lambda_on = 1000.0;
+  cfg.lambda_off = 0.001;  // effectively always off
+  cfg.start_on = false;
+  cfg.inject_into = &sink;
+  OnOffUdpSource src(sim, ch, cfg);
+  src.start();
+  sim.run_until(sim::seconds(5));
+  EXPECT_EQ(src.datagrams_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace emptcp::app

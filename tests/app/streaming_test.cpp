@@ -1,0 +1,101 @@
+#include "app/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+
+namespace emptcp::app {
+namespace {
+
+VideoStreamClient::Config stream_config() {
+  VideoStreamClient::Config cfg;
+  cfg.bitrate_mbps = 2.0;
+  cfg.chunk_bytes = 512 * 1024;  // ~2 s of media per chunk
+  cfg.buffer_target_s = 10.0;
+  cfg.startup_s = 4.0;
+  cfg.media_duration_s = 60.0;
+  return cfg;
+}
+
+ScenarioConfig net_config(double wifi, double cell) {
+  ScenarioConfig cfg;
+  cfg.wifi.down_mbps = wifi;
+  cfg.cell.down_mbps = cell;
+  cfg.record_series = false;
+  return cfg;
+}
+
+class NullConn final : public ClientConnHandle {
+ public:
+  void set_callbacks(Callbacks) override {}
+  void connect() override {}
+  void send(std::uint64_t) override {}
+  void shutdown_write() override {}
+  [[nodiscard]] std::uint64_t bytes_received() const override { return 0; }
+};
+
+TEST(StreamingTest, TotalChunksCoversMedia) {
+  sim::Simulation sim(1);
+  // 60 s at 2 Mbps = 15 MB; 512 KB chunks (~2.1 s each) -> 29 chunks.
+  VideoStreamClient player(sim, stream_config(),
+                           std::make_unique<NullConn>(), nullptr);
+  EXPECT_EQ(player.total_chunks(), 29u);
+}
+
+TEST(StreamingTest, SmoothPlaybackOnFastWifi) {
+  Scenario s(net_config(10.0, 9.0));
+  const RunMetrics m = s.run_stream(Protocol::kTcpWifi, stream_config(), 1);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.rebuffer_events, 0);
+  EXPECT_LT(m.stall_time_s, 0.2);
+  EXPECT_LT(m.startup_delay_s, 5.0);
+  // Playback time ~ media duration + startup.
+  EXPECT_NEAR(m.download_time_s, 60.0 + m.startup_delay_s, 3.0);
+}
+
+TEST(StreamingTest, UnderprovisionedLinkRebuffers) {
+  // 1.2 Mbps WiFi cannot sustain a 2 Mbps stream.
+  Scenario s(net_config(1.2, 1.0));
+  const RunMetrics m = s.run_stream(Protocol::kTcpWifi, stream_config(), 2);
+  ASSERT_TRUE(m.completed);
+  EXPECT_GT(m.rebuffer_events, 0);
+  EXPECT_GT(m.stall_time_s, 5.0);
+}
+
+TEST(StreamingTest, EmptcpKeepsLteAsleepWhenWifiSustainsBitrate) {
+  // The §3.5 idle postponement at work: chunk gaps must not wake LTE.
+  Scenario s(net_config(10.0, 9.0));
+  const RunMetrics m = s.run_stream(Protocol::kEmptcp, stream_config(), 3);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.rebuffer_events, 0);
+  EXPECT_FALSE(m.cellular_used);
+  EXPECT_EQ(m.cellular_activations, 0);
+}
+
+TEST(StreamingTest, EmptcpRescuesStreamOnWeakWifi) {
+  // WiFi below the bitrate: eMPTCP must bring in LTE and stream smoothly
+  // where TCP/WiFi stalls throughout.
+  Scenario s(net_config(1.2, 9.0));
+  const RunMetrics tcp = s.run_stream(Protocol::kTcpWifi, stream_config(), 4);
+  const RunMetrics emptcp =
+      s.run_stream(Protocol::kEmptcp, stream_config(), 4);
+  ASSERT_TRUE(tcp.completed);
+  ASSERT_TRUE(emptcp.completed);
+  EXPECT_TRUE(emptcp.cellular_used);
+  EXPECT_LT(emptcp.stall_time_s, tcp.stall_time_s * 0.3);
+}
+
+TEST(StreamingTest, EmptcpCheaperThanMptcpOnGoodWifi) {
+  Scenario s(net_config(10.0, 9.0));
+  const RunMetrics mptcp = s.run_stream(Protocol::kMptcp, stream_config(), 5);
+  const RunMetrics emptcp =
+      s.run_stream(Protocol::kEmptcp, stream_config(), 5);
+  ASSERT_TRUE(mptcp.completed);
+  ASSERT_TRUE(emptcp.completed);
+  EXPECT_LT(emptcp.energy_j, mptcp.energy_j);
+  // Same user experience.
+  EXPECT_EQ(emptcp.rebuffer_events, mptcp.rebuffer_events);
+}
+
+}  // namespace
+}  // namespace emptcp::app

@@ -1,0 +1,70 @@
+// Upload scenarios — the paper's §7 future work. The device is the data
+// *sender*, so eMPTCP's machinery must work off transmit progress: kappa
+// counts acknowledged upload bytes, the predictor measures tx throughput,
+// and the path controller steers the device's own subflow usage directly.
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+
+namespace emptcp::app {
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+ScenarioConfig config(double wifi, double cell) {
+  ScenarioConfig cfg;
+  cfg.wifi.down_mbps = wifi;
+  cfg.wifi.up_mbps = wifi;  // symmetric for upload tests
+  cfg.cell.down_mbps = cell;
+  cfg.cell.up_mbps = cell;
+  cfg.record_series = false;
+  return cfg;
+}
+
+TEST(UploadTest, AllProtocolsCompleteUploads) {
+  Scenario s(config(8.0, 8.0));
+  for (Protocol p : {Protocol::kTcpWifi, Protocol::kTcpLte, Protocol::kMptcp,
+                     Protocol::kEmptcp}) {
+    const RunMetrics m = s.run_upload(p, 4 * kMB, 3);
+    EXPECT_TRUE(m.completed) << to_string(p);
+    EXPECT_EQ(m.bytes_received, 4 * kMB) << to_string(p);
+    EXPECT_GT(m.energy_j, 0.0) << to_string(p);
+  }
+}
+
+TEST(UploadTest, MptcpAggregatesUplink) {
+  Scenario s(config(5.0, 5.0));
+  const RunMetrics tcp = s.run_upload(Protocol::kTcpWifi, 8 * kMB, 1);
+  const RunMetrics mptcp = s.run_upload(Protocol::kMptcp, 8 * kMB, 1);
+  EXPECT_LT(mptcp.download_time_s, tcp.download_time_s * 0.75);
+  EXPECT_GT(mptcp.mean_cell_mbps, 1.0);
+}
+
+TEST(UploadTest, EmptcpGoodWifiUploadsOverWifiOnly) {
+  Scenario s(config(15.0, 9.0));
+  const RunMetrics m = s.run_upload(Protocol::kEmptcp, 16 * kMB, 1);
+  EXPECT_TRUE(m.completed);
+  EXPECT_FALSE(m.cellular_used);
+  const RunMetrics mptcp = s.run_upload(Protocol::kMptcp, 16 * kMB, 1);
+  EXPECT_LT(m.energy_j, mptcp.energy_j * 0.9);
+}
+
+TEST(UploadTest, EmptcpBadWifiJoinsLteForUpload) {
+  Scenario s(config(0.8, 9.0));
+  const RunMetrics m = s.run_upload(Protocol::kEmptcp, 16 * kMB, 1);
+  EXPECT_TRUE(m.completed);
+  EXPECT_TRUE(m.cellular_used);
+  // The upload went mostly over LTE.
+  EXPECT_GT(m.mean_cell_mbps, m.mean_wifi_mbps);
+}
+
+TEST(UploadTest, SmallUploadAvoidsCellular) {
+  Scenario s(config(6.0, 9.0));
+  const RunMetrics m = s.run_upload(Protocol::kEmptcp, 256 * 1024, 1);
+  EXPECT_TRUE(m.completed);
+  EXPECT_FALSE(m.cellular_used);
+  EXPECT_LT(m.energy_j, 3.0);  // no LTE fixed cost
+}
+
+}  // namespace
+}  // namespace emptcp::app

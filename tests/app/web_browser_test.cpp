@@ -1,0 +1,135 @@
+#include "app/web_browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::app {
+namespace {
+
+TEST(WebPageTest, CnnLikeComposition) {
+  const WebPage page = WebPage::cnn_like(42);
+  EXPECT_EQ(page.object_sizes.size(), 107u);  // paper: 107 objects
+  EXPECT_EQ(page.object_sizes[0], 100u * 1024u);
+  std::size_t small = 0;
+  for (std::uint64_t s : page.object_sizes) {
+    EXPECT_GE(s, 300u);
+    EXPECT_LE(s, 256u * 1024u);  // "almost all objects ... small (<256 KB)"
+    if (s < 256 * 1024) ++small;
+  }
+  EXPECT_EQ(small, page.object_sizes.size());
+  // Total in the plausible range for the 2014 CNN home page.
+  EXPECT_GT(page.total_bytes(), 500u * 1024u);
+  EXPECT_LT(page.total_bytes(), 6u * 1024u * 1024u);
+}
+
+TEST(WebPageTest, DeterministicPerSeed) {
+  const WebPage a = WebPage::cnn_like(7);
+  const WebPage b = WebPage::cnn_like(7);
+  const WebPage c = WebPage::cnn_like(8);
+  EXPECT_EQ(a.object_sizes, b.object_sizes);
+  EXPECT_NE(a.object_sizes, c.object_sizes);
+}
+
+TEST(WebPageTest, RoundRobinAssignmentCoversAllObjectsOnce) {
+  const WebPage page = WebPage::cnn_like(1, 20);
+  const std::size_t parallel = 6;
+  std::vector<std::uint64_t> seen;
+  for (std::size_t c = 0; c < parallel; ++c) {
+    for (std::size_t r = 0;; ++r) {
+      const std::uint64_t s = page.object_for(c, r, parallel);
+      if (s == 0) break;
+      seen.push_back(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), page.object_sizes.size());
+}
+
+/// In-process fake connection: "server" replies after a simulated delay,
+/// sized by the same round-robin rule the real FileServer uses.
+class FakeConn final : public ClientConnHandle {
+ public:
+  FakeConn(sim::Simulation& sim, const WebPage& page, std::size_t index,
+           std::size_t parallel)
+      : sim_(sim), page_(page), index_(index), parallel_(parallel) {}
+
+  void set_callbacks(Callbacks cb) override { cb_ = std::move(cb); }
+  void connect() override {
+    sim_.in(sim::milliseconds(10), [this] {
+      if (cb_.on_established) cb_.on_established();
+    });
+  }
+  void send(std::uint64_t) override {
+    const std::uint64_t size = page_.object_for(index_, request_, parallel_);
+    ++request_;
+    sim_.in(sim::milliseconds(20), [this, size] {
+      received_ += size;
+      if (cb_.on_data) cb_.on_data(size);
+    });
+  }
+  void shutdown_write() override { shut_ = true; }
+  [[nodiscard]] std::uint64_t bytes_received() const override {
+    return received_;
+  }
+  [[nodiscard]] bool shut() const { return shut_; }
+
+ private:
+  sim::Simulation& sim_;
+  const WebPage& page_;
+  std::size_t index_;
+  std::size_t parallel_;
+  std::size_t request_ = 0;
+  std::uint64_t received_ = 0;
+  Callbacks cb_;
+  bool shut_ = false;
+};
+
+TEST(WebBrowserClientTest, FetchesWholePageAndReportsLoad) {
+  sim::Simulation sim(1);
+  const WebPage page = WebPage::cnn_like(3);
+  WebBrowserClient::Config cfg;
+  cfg.parallel = 6;
+  bool loaded = false;
+  std::size_t created = 0;
+  std::vector<FakeConn*> conns;
+  WebBrowserClient browser(
+      page, cfg,
+      [&]() -> std::unique_ptr<ClientConnHandle> {
+        auto conn = std::make_unique<FakeConn>(sim, page, created++,
+                                               cfg.parallel);
+        conns.push_back(conn.get());
+        return conn;
+      },
+      [&] { loaded = true; });
+  browser.start();
+  sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(loaded);
+  EXPECT_TRUE(browser.page_loaded());
+  EXPECT_EQ(browser.bytes_received(), page.total_bytes());
+  EXPECT_EQ(created, 6u);
+  for (FakeConn* c : conns) EXPECT_TRUE(c->shut());
+}
+
+TEST(WebBrowserClientTest, SingleConnectionSequentialFetch) {
+  sim::Simulation sim(1);
+  const WebPage page = WebPage::cnn_like(3, 10);
+  WebBrowserClient::Config cfg;
+  cfg.parallel = 1;
+  bool loaded = false;
+  WebBrowserClient browser(
+      page, cfg,
+      [&]() -> std::unique_ptr<ClientConnHandle> {
+        return std::make_unique<FakeConn>(sim, page, 0, 1);
+      },
+      [&] { loaded = true; });
+  browser.start();
+  sim.run_until(sim::seconds(60));
+  EXPECT_TRUE(loaded);
+  EXPECT_EQ(browser.bytes_received(), page.total_bytes());
+}
+
+}  // namespace
+}  // namespace emptcp::app

@@ -1,0 +1,113 @@
+#include "baselines/wifi_first.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/bulk_download.hpp"
+#include "support/testnet.hpp"
+
+namespace emptcp::baseline {
+namespace {
+
+using test::TestNet;
+
+mptcp::MptcpConnection::Config config() {
+  mptcp::MptcpConnection::Config cfg;
+  cfg.classify_peer = [](net::Addr a) {
+    if (a == test::kWifiAddr) return net::InterfaceType::kWifi;
+    if (a == test::kCellAddr) return net::InterfaceType::kLte;
+    return net::InterfaceType::kEthernet;
+  };
+  return cfg;
+}
+
+struct WifiFirstWorld {
+  explicit WifiFirstWorld(std::uint64_t file_bytes,
+                          std::uint64_t seed = 1)
+      : net(seed, 8.0, 8.0), conn(net.sim, net.client, config()) {
+    app::FileServer::Config scfg;
+    scfg.port = test::kPort;
+    scfg.resolver = [file_bytes](std::size_t, std::size_t req) {
+      return req == 0 ? file_bytes : 0;
+    };
+    scfg.mptcp = config();
+    // Fail subflows quickly when a path dies so the backup takes over.
+    scfg.mptcp.subflow.max_data_rtos = 4;
+    server = std::make_unique<app::FileServer>(net.sim, net.server,
+                                               std::move(scfg));
+
+    mptcp::MptcpConnection::Callbacks cb;
+    cb.on_established = [this] { conn.send(200); };
+    cb.on_data = [this](std::uint64_t n) { received += n; };
+    cb.on_eof = [this] {
+      eof = true;
+      conn.shutdown_write();
+    };
+    conn.set_callbacks(std::move(cb));
+  }
+
+  void connect() {
+    conn.connect(test::kWifiAddr, test::kCellAddr, test::kServerAddr,
+                 test::kPort);
+  }
+
+  TestNet net;
+  WifiFirstConnection conn;
+  std::unique_ptr<app::FileServer> server;
+  std::uint64_t received = 0;
+  bool eof = false;
+};
+
+TEST(WifiFirstTest, ActivatesCellularAtEstablishmentButAsBackup) {
+  WifiFirstWorld w(4'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(2));
+
+  // The paper's critique: the cellular radio is woken immediately (the
+  // MP_JOIN handshake) even though it carries no data.
+  mptcp::Subflow* lte = w.conn.mptcp().subflow_on(net::InterfaceType::kLte);
+  ASSERT_NE(lte, nullptr);
+  EXPECT_TRUE(lte->established());
+  EXPECT_TRUE(lte->backup());
+  EXPECT_GT(w.net.cell_if->tx_bytes(), 0u);  // handshake chatter
+}
+
+TEST(WifiFirstTest, AllPayloadTravelsOverWifiWhileAssociated) {
+  WifiFirstWorld w(4'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(60));
+  EXPECT_TRUE(w.eof);
+  EXPECT_EQ(w.received, 4'000'000u);
+  EXPECT_LT(w.net.cell_if->rx_bytes(), 10'000u);  // options/handshake only
+}
+
+TEST(WifiFirstTest, DegradedButAssociatedWifiDoesNotFailOver) {
+  // §4.6: "if WiFi provides too low bandwidth ... while it is still
+  // associated, MPTCP with WiFi First degenerates into single-path TCP
+  // over WiFi."
+  WifiFirstWorld w(2'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(2));
+  w.net.wifi_down->set_rate(0.2);  // degraded, not broken
+  w.net.wifi_up->set_rate(0.2);
+  w.net.sim.run_until(sim::seconds(60));
+  // LTE still idle: all (slow) progress is over WiFi.
+  EXPECT_LT(w.net.cell_if->rx_bytes(), 10'000u);
+}
+
+TEST(WifiFirstTest, WifiBreakActivatesBackup) {
+  WifiFirstWorld w(4'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(2));
+  // Hard association loss: the WiFi subflow dies after its RTO budget and
+  // the backup subflow must finish the download.
+  w.net.wifi_down->set_loss_prob(1.0);
+  w.net.wifi_up->set_loss_prob(1.0);
+  w.net.sim.run_until(sim::seconds(300));
+
+  EXPECT_TRUE(w.eof);
+  EXPECT_EQ(w.received, 4'000'000u);
+  EXPECT_GT(w.net.cell_if->rx_bytes(), 1'000'000u);
+}
+
+}  // namespace
+}  // namespace emptcp::baseline

@@ -1,0 +1,193 @@
+#include "core/bandwidth_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/testnet.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace emptcp::core {
+namespace {
+
+using test::TestNet;
+
+/// A subflow whose socket actually transfers data over the test network.
+struct LiveSubflow {
+  LiveSubflow(TestNet& net, net::Addr local, net::InterfaceType type,
+              std::uint64_t download_bytes)
+      : listener(net.server, test::kPort, [&, download_bytes](
+                                              const net::Packet& syn) {
+          server = tcp::TcpSocket::accept(net.sim, net.server,
+                                          tcp::TcpSocket::Config{}, syn);
+          server->send_app_data(download_bytes);
+        }) {
+    auto sock = std::make_unique<tcp::TcpSocket>(net.sim, net.client,
+                                                 tcp::TcpSocket::Config{});
+    tcp::TcpSocket* raw = sock.get();
+    subflow = std::make_unique<mptcp::Subflow>(0, type, std::move(sock));
+    raw->connect(local, 5001, test::kServerAddr, test::kPort);
+  }
+
+  tcp::TcpListener listener;
+  std::unique_ptr<tcp::TcpSocket> server;
+  std::unique_ptr<mptcp::Subflow> subflow;
+};
+
+TEST(BandwidthPredictorTest, NeverActivatedUsesOptimisticPrior) {
+  TestNet net;
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  EXPECT_FALSE(pred.has_measurement(net::InterfaceType::kWifi));
+  EXPECT_DOUBLE_EQ(pred.predicted_mbps(net::InterfaceType::kWifi), 5.0);
+  EXPECT_DOUBLE_EQ(pred.predicted_mbps(net::InterfaceType::kLte), 5.0);
+}
+
+TEST(BandwidthPredictorTest, MeasuresActiveSubflowThroughput) {
+  TestNet net(1, /*wifi=*/8.0, /*cell=*/8.0);
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   12'000'000);
+  net.sim.run_until(sim::seconds(1));
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::seconds(8));
+
+  EXPECT_TRUE(pred.has_measurement(net::InterfaceType::kWifi));
+  EXPECT_GT(pred.sample_count(net::InterfaceType::kWifi), 10u);
+  // Steady-state prediction should be near the 8 Mbps bottleneck.
+  EXPECT_NEAR(pred.predicted_mbps(net::InterfaceType::kWifi), 8.0, 3.5);
+}
+
+TEST(BandwidthPredictorTest, SamplingIntervalFromHandshakeRtt) {
+  TestNet net;
+  BandwidthPredictor::Config cfg;
+  cfg.min_interval = sim::milliseconds(1);
+  BandwidthPredictor pred(net.sim, cfg);
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   4'000'000);
+  net.sim.run_until(sim::seconds(1));
+  ASSERT_TRUE(live.subflow->established());
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::seconds(3));
+  // Path RTT ~21 ms -> about (2000/21) ≈ 95 samples in 2 s.
+  const std::size_t n = pred.sample_count(net::InterfaceType::kWifi);
+  EXPECT_GT(n, 50u);
+  EXPECT_LT(n, 200u);
+}
+
+TEST(BandwidthPredictorTest, BackupSubflowProducesNoSamples) {
+  TestNet net;
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  LiveSubflow live(net, test::kCellAddr, net::InterfaceType::kLte,
+                   4'000'000);
+  net.sim.run_until(sim::seconds(1));
+  live.subflow->set_backup(true);
+  pred.attach_subflow(*live.subflow, *net.cell_if);
+  net.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(pred.sample_count(net::InterfaceType::kLte), 0u);
+  // Prediction falls back to the prior while suspended.
+  EXPECT_DOUBLE_EQ(pred.predicted_mbps(net::InterfaceType::kLte), 5.0);
+}
+
+TEST(BandwidthPredictorTest, KeepsOldSamplesWhileSuspended) {
+  TestNet net(1, 8.0, 8.0);
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   50'000'000);
+  net.sim.run_until(sim::seconds(1));
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::seconds(6));
+  const double before = pred.predicted_mbps(net::InterfaceType::kWifi);
+  const std::size_t n_before = pred.sample_count(net::InterfaceType::kWifi);
+  ASSERT_GT(before, 3.0);
+
+  live.subflow->set_backup(true);  // suspend: sampling pauses
+  net.sim.run_until(sim::seconds(12));
+  EXPECT_EQ(pred.sample_count(net::InterfaceType::kWifi), n_before);
+  // Old observations still back the prediction (paper §3.2).
+  EXPECT_NEAR(pred.predicted_mbps(net::InterfaceType::kWifi), before, 2.0);
+}
+
+TEST(BandwidthPredictorTest, ZeroSamplesRecordedWhenLinkStalls) {
+  TestNet net(1, 8.0, 8.0);
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   50'000'000);
+  net.sim.run_until(sim::seconds(1));
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::seconds(5));
+  // Stall the path completely; an active-but-starved subflow records
+  // zero-throughput samples and the prediction collapses.
+  net.wifi_down->set_loss_prob(1.0);
+  net.wifi_up->set_loss_prob(1.0);
+  net.sim.run_until(sim::seconds(15));
+  EXPECT_LT(pred.predicted_mbps(net::InterfaceType::kWifi), 1.0);
+}
+
+TEST(BandwidthPredictorTest, RecordSampleFeedsForecaster) {
+  TestNet net;
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  // Fewer than min_forecast_points aggregated observations: still prior.
+  pred.record_sample(net::InterfaceType::kWifi, 3.0);
+  pred.record_sample(net::InterfaceType::kWifi, 3.0);
+  EXPECT_FALSE(pred.has_measurement(net::InterfaceType::kWifi));
+  EXPECT_DOUBLE_EQ(pred.predicted_mbps(net::InterfaceType::kWifi), 5.0);
+  pred.record_sample(net::InterfaceType::kWifi, 3.0);
+  EXPECT_TRUE(pred.has_measurement(net::InterfaceType::kWifi));
+  EXPECT_NEAR(pred.predicted_mbps(net::InterfaceType::kWifi), 3.0, 0.01);
+}
+
+TEST(BandwidthPredictorTest, DemandProbeGatesZeroSamples) {
+  // Without demand, a silent interval is "idle", not "zero throughput":
+  // the estimate must hold its last value.
+  TestNet net(1, 8.0, 8.0);
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  bool demand = true;
+  pred.add_demand_probe([&demand] { return demand; });
+
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   4'000'000);
+  net.sim.run_until(sim::seconds(1));
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::from_seconds(4.0));  // still mid-transfer
+  const double measured = pred.predicted_mbps(net::InterfaceType::kWifi);
+  ASSERT_GT(measured, 3.0);
+
+  // The application goes idle before the stream runs dry: the silence
+  // that follows must not be recorded as zero throughput.
+  demand = false;
+  net.sim.run_until(sim::seconds(20));
+  EXPECT_GT(pred.predicted_mbps(net::InterfaceType::kWifi), 3.0);
+}
+
+TEST(BandwidthPredictorTest, PeakHoldIgnoresBurstEdges) {
+  // A bursty pattern of full-rate and edge (partial) windows must still
+  // predict close to the sustained rate, thanks to peak-hold grouping.
+  TestNet net;
+  BandwidthPredictor::Config cfg;
+  cfg.peak_hold_windows = 1;  // record_sample is already aggregated
+  BandwidthPredictor pred(net.sim, cfg);
+  for (int i = 0; i < 10; ++i) {
+    pred.record_sample(net::InterfaceType::kWifi, 10.0);
+    pred.record_sample(net::InterfaceType::kWifi, 10.0);
+    pred.record_sample(net::InterfaceType::kWifi, 2.0);  // burst edge
+  }
+  // Even with alpha smoothing over the raw mix, the forecast stays within
+  // the sustained band — and the live path (peak_hold_windows = 4) would
+  // have absorbed the edges entirely.
+  EXPECT_GT(pred.predicted_mbps(net::InterfaceType::kWifi), 4.0);
+}
+
+TEST(BandwidthPredictorTest, LastSampleExposedForDiagnostics) {
+  TestNet net(1, 8.0, 8.0);
+  BandwidthPredictor pred(net.sim, BandwidthPredictor::Config{});
+  EXPECT_DOUBLE_EQ(pred.last_sample_mbps(net::InterfaceType::kWifi), 0.0);
+  LiveSubflow live(net, test::kWifiAddr, net::InterfaceType::kWifi,
+                   8'000'000);
+  net.sim.run_until(sim::seconds(1));
+  pred.attach_subflow(*live.subflow, *net.wifi_if);
+  net.sim.run_until(sim::seconds(4));
+  EXPECT_GT(pred.last_sample_mbps(net::InterfaceType::kWifi), 0.0);
+}
+
+}  // namespace
+}  // namespace emptcp::core

@@ -1,0 +1,175 @@
+#include "core/delayed_subflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/device_profile.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::core {
+namespace {
+
+struct Harness {
+  Harness()
+      : eib(EnergyInfoBase::generate(
+            energy::DeviceProfile::galaxy_s3().model())),
+        predictor(sim, BandwidthPredictor::Config{}) {}
+
+  DelayedSubflowManager make(DelayedSubflowManager::Config cfg) {
+    DelayedSubflowManager::Hooks hooks;
+    hooks.establish = [this] { ++established; };
+    hooks.bytes_received = [this] { return bytes; };
+    hooks.is_idle = [this] { return idle; };
+    return DelayedSubflowManager(sim, eib, predictor, cfg,
+                                 std::move(hooks));
+  }
+
+  sim::Simulation sim;
+  EnergyInfoBase eib;
+  BandwidthPredictor predictor;
+  int established = 0;
+  std::uint64_t bytes = 0;
+  bool idle = false;
+};
+
+// Most tests pre-load the predictor with low WiFi samples: establishment
+// requires a measured-and-not-good WiFi path (an unmeasured one keeps the
+// manager rechecking, and a fast one postpones per §3.5).
+
+void measure_wifi(Harness& h, double mbps, int n = 12) {
+  for (int i = 0; i < n; ++i) {
+    h.predictor.record_sample(net::InterfaceType::kWifi, mbps);
+  }
+}
+
+TEST(DelayedSubflowTest, KappaCrossingEstablishes) {
+  Harness h;
+  measure_wifi(h, 0.5);  // bad WiFi: no postponement
+  DelayedSubflowManager::Config cfg;
+  cfg.kappa_bytes = 1024 * 1024;
+  auto mgr = h.make(cfg);
+  mgr.start();
+
+  h.bytes = cfg.kappa_bytes - 1;
+  mgr.on_progress();
+  EXPECT_EQ(h.established, 0);
+
+  h.bytes = cfg.kappa_bytes;
+  mgr.on_progress();
+  EXPECT_EQ(h.established, 1);
+  EXPECT_TRUE(mgr.established());
+}
+
+TEST(DelayedSubflowTest, TauExpiryEstablishesWithoutKappa) {
+  Harness h;
+  measure_wifi(h, 0.5);
+  DelayedSubflowManager::Config cfg;
+  cfg.tau_s = 3.0;
+  auto mgr = h.make(cfg);
+  mgr.start();
+  h.bytes = 100;  // far below kappa
+
+  h.sim.run_until(sim::from_seconds(2.9));
+  EXPECT_EQ(h.established, 0);
+  h.sim.run_until(sim::from_seconds(3.1));
+  EXPECT_EQ(h.established, 1);
+  EXPECT_TRUE(mgr.timer_expired());
+}
+
+TEST(DelayedSubflowTest, IdleConnectionPostponesPastTau) {
+  // §3.5: "eMPTCP also postpones cellular subflow establishment if the
+  // current MPTCP connection is in an idle state ... even if the timer τ
+  // expires."
+  Harness h;
+  measure_wifi(h, 0.5);
+  DelayedSubflowManager::Config cfg;
+  cfg.tau_s = 1.0;
+  auto mgr = h.make(cfg);
+  h.idle = true;
+  mgr.start();
+  h.sim.run_until(sim::seconds(20));
+  EXPECT_EQ(h.established, 0);
+
+  // Activity resumes: the next recheck establishes.
+  h.idle = false;
+  h.sim.run_until(sim::seconds(21));
+  EXPECT_EQ(h.established, 1);
+}
+
+TEST(DelayedSubflowTest, UnmeasuredWifiPostponesUntilSamplesArrive) {
+  Harness h;
+  DelayedSubflowManager::Config cfg;
+  cfg.tau_s = 1.0;
+  auto mgr = h.make(cfg);
+  mgr.start();
+  h.bytes = 10 * 1024 * 1024;  // far past kappa
+  mgr.on_progress();
+  h.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(h.established, 0);  // no WiFi estimate yet: keep waiting
+
+  measure_wifi(h, 0.5);  // bad WiFi measured: next recheck establishes
+  h.sim.run_until(sim::seconds(6));
+  EXPECT_EQ(h.established, 1);
+}
+
+TEST(DelayedSubflowTest, GoodWifiPostponesIndefinitely) {
+  Harness h;
+  measure_wifi(h, 15.0);  // well above any threshold
+  DelayedSubflowManager::Config cfg;
+  cfg.tau_s = 1.0;
+  auto mgr = h.make(cfg);
+  mgr.start();
+  h.bytes = 64 * 1024 * 1024;
+  mgr.on_progress();
+  h.sim.run_until(sim::seconds(30));
+  EXPECT_EQ(h.established, 0);
+}
+
+TEST(DelayedSubflowTest, EstablishHappensOnlyOnce) {
+  Harness h;
+  measure_wifi(h, 0.5);
+  auto mgr = h.make(DelayedSubflowManager::Config{});
+  mgr.start();
+  h.bytes = 10 * 1024 * 1024;
+  mgr.on_progress();
+  mgr.on_progress();
+  h.sim.run_until(sim::seconds(10));
+  EXPECT_EQ(h.established, 1);
+}
+
+TEST(DelayedSubflowTest, StopCancelsPendingTimers) {
+  Harness h;
+  measure_wifi(h, 0.5);
+  DelayedSubflowManager::Config cfg;
+  cfg.tau_s = 1.0;
+  auto mgr = h.make(cfg);
+  mgr.start();
+  mgr.stop();
+  h.sim.run_until(sim::seconds(10));
+  EXPECT_EQ(h.established, 0);
+}
+
+TEST(DelayedSubflowTest, Equation1MatchesPaperExample) {
+  // §4.1: "given our experimental setting, the estimated condition based
+  // on equation (1) to guarantee ten bandwidth samples is τ ≥ 2.67 s."
+  // The paper doesn't list its B_W/R_W; Eq. 1 with IW10 (14480 B), φ=10,
+  // B_W = 10 Mbps reproduces 2.67 s at R_W ≈ 190 ms (a far server over
+  // congested WiFi). What matters is that our implementation of Eq. 1
+  // hits the paper's number for a plausible operating point.
+  const double tau = DelayedSubflowManager::minimum_tau_s(
+      10.0, 0.19, 10 * 1448.0, 10);
+  EXPECT_NEAR(tau, 2.67, 0.1);
+}
+
+TEST(DelayedSubflowTest, Equation1MonotoneInBandwidthAndPhi) {
+  const double base =
+      DelayedSubflowManager::minimum_tau_s(10.0, 0.05, 14480.0, 10);
+  EXPECT_GT(DelayedSubflowManager::minimum_tau_s(100.0, 0.05, 14480.0, 10),
+            base);
+  EXPECT_GT(DelayedSubflowManager::minimum_tau_s(10.0, 0.05, 14480.0, 20),
+            base);
+  EXPECT_GT(DelayedSubflowManager::minimum_tau_s(10.0, 0.10, 14480.0, 10),
+            base);
+}
+
+}  // namespace
+}  // namespace emptcp::core

@@ -1,0 +1,201 @@
+#include "core/emptcp_connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/bulk_download.hpp"
+#include "energy/device_profile.hpp"
+#include "support/testnet.hpp"
+
+namespace emptcp::core {
+namespace {
+
+using test::TestNet;
+
+mptcp::MptcpConnection::Config mptcp_config() {
+  mptcp::MptcpConnection::Config cfg;
+  cfg.classify_peer = [](net::Addr a) {
+    if (a == test::kWifiAddr) return net::InterfaceType::kWifi;
+    if (a == test::kCellAddr) return net::InterfaceType::kLte;
+    return net::InterfaceType::kEthernet;
+  };
+  return cfg;
+}
+
+struct EmptcpWorld {
+  EmptcpWorld(double wifi_mbps, double cell_mbps, std::uint64_t file_bytes,
+              EmptcpConfig cfg = {})
+      : net(1, wifi_mbps, cell_mbps),
+        eib(EnergyInfoBase::generate(
+            energy::DeviceProfile::galaxy_s3().model())) {
+    cfg.mptcp = mptcp_config();
+    app::FileServer::Config scfg;
+    scfg.port = test::kPort;
+    scfg.resolver = [file_bytes](std::size_t, std::size_t req) {
+      return req == 0 ? file_bytes : 0;
+    };
+    scfg.mptcp = mptcp_config();
+    server = std::make_unique<app::FileServer>(net.sim, net.server,
+                                               std::move(scfg));
+    conn = std::make_unique<EmptcpConnection>(net.sim, net.client,
+                                              std::move(cfg), eib);
+
+    EmptcpConnection::Callbacks cb;
+    cb.on_established = [this] { conn->send(200); };
+    cb.on_data = [this](std::uint64_t n) { received += n; };
+    cb.on_eof = [this] {
+      eof = true;
+      eof_at = net.sim.now();
+      conn->shutdown_write();
+    };
+    conn->set_callbacks(std::move(cb));
+  }
+
+  void connect() {
+    conn->connect(test::kWifiAddr, test::kCellAddr, test::kServerAddr,
+                  test::kPort);
+  }
+
+  TestNet net;
+  EnergyInfoBase eib;
+  std::unique_ptr<app::FileServer> server;
+  std::unique_ptr<EmptcpConnection> conn;
+  std::uint64_t received = 0;
+  bool eof = false;
+  sim::Time eof_at = 0;
+};
+
+TEST(EmptcpConnectionTest, GoodWifiNeverEstablishesCellular) {
+  // Paper Fig. 5 behaviour: with fast WiFi, eMPTCP behaves like TCP/WiFi.
+  EmptcpWorld w(/*wifi=*/15.0, /*cell=*/9.0, 16'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(w.eof);
+  EXPECT_EQ(w.received, 16'000'000u);
+  EXPECT_FALSE(w.conn->cellular_established());
+  EXPECT_EQ(w.net.cell_if->rx_bytes(), 0u);
+}
+
+TEST(EmptcpConnectionTest, BadWifiEstablishesCellularViaTau) {
+  // Paper Fig. 6: with <1 Mbps WiFi the LTE subflow comes up after the
+  // startup delay determined by κ and τ (τ = 3 s here, since κ = 1 MB
+  // takes ~10 s at 0.8 Mbps).
+  EmptcpWorld w(/*wifi=*/0.8, /*cell=*/9.0, 16'000'000);
+  w.connect();
+
+  w.net.sim.run_until(sim::seconds(2));
+  EXPECT_FALSE(w.conn->cellular_established());
+  w.net.sim.run_until(sim::seconds(5));
+  EXPECT_TRUE(w.conn->cellular_established());
+
+  w.net.sim.run_until(sim::seconds(120));
+  EXPECT_TRUE(w.eof);
+  EXPECT_EQ(w.received, 16'000'000u);
+  // The bulk of the data went over LTE.
+  EXPECT_GT(w.net.cell_if->rx_bytes(), w.net.wifi_if->rx_bytes());
+}
+
+TEST(EmptcpConnectionTest, SmallTransferAvoidsCellularEntirely) {
+  // Paper §5.2: 256 KB over even a mediocre WiFi completes before κ or a
+  // useful τ-triggered join, so the LTE radio never wakes.
+  EmptcpWorld w(/*wifi=*/6.0, /*cell=*/9.0, 256 * 1024);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(30));
+  EXPECT_TRUE(w.eof);
+  EXPECT_EQ(w.net.cell_if->rx_bytes(), 0u);
+}
+
+TEST(EmptcpConnectionTest, DelayedEstablishmentAblationJoinsImmediately) {
+  EmptcpConfig cfg;
+  cfg.enable_delayed_establishment = false;
+  EmptcpWorld w(/*wifi=*/6.0, /*cell=*/9.0, 4'000'000, cfg);
+  w.connect();
+  w.net.sim.run_until(sim::milliseconds(500));
+  EXPECT_TRUE(w.conn->cellular_established());
+}
+
+TEST(EmptcpConnectionTest, ControllerSuspendsLteWhenWifiRecovers) {
+  // Start with WiFi bad enough to join LTE, then make WiFi fast: the path
+  // usage controller must issue MP_PRIO(backup) and LTE traffic stops.
+  EmptcpWorld w(/*wifi=*/0.8, /*cell=*/9.0, 64'000'000);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(8));
+  ASSERT_TRUE(w.conn->cellular_established());
+
+  w.net.wifi_down->set_rate(20.0);
+  w.net.wifi_up->set_rate(20.0);
+  // Give the predictor and controller time to react.
+  bool suspended = false;
+  for (int i = 0; i < 200 && !suspended; ++i) {
+    w.net.sim.run_until(w.net.sim.now() + sim::milliseconds(100));
+    mptcp::Subflow* lte =
+        w.conn->mptcp().subflow_on(net::InterfaceType::kLte);
+    suspended = lte != nullptr && lte->backup();
+  }
+  EXPECT_TRUE(suspended);
+  EXPECT_EQ(w.conn->controller().current(), PathUsage::kWifiOnly);
+  EXPECT_GE(w.conn->controller().switch_count(), 1u);
+
+  // LTE payload flow dries up after the suspension — after the data the
+  // server had already committed to the subflow drains (the "switching
+  // overhead" the paper notes in §4.4).
+  w.net.sim.run_until(w.net.sim.now() + sim::seconds(3));
+  const std::uint64_t rx_then = w.net.cell_if->rx_bytes();
+  w.net.sim.run_until(w.net.sim.now() + sim::seconds(5));
+  EXPECT_LT(w.net.cell_if->rx_bytes() - rx_then, 50'000u);
+}
+
+TEST(EmptcpConnectionTest, PathControlAblationKeepsBothActive) {
+  EmptcpConfig cfg;
+  cfg.enable_path_control = false;
+  EmptcpWorld w(/*wifi=*/0.8, /*cell=*/9.0, 32'000'000, cfg);
+  w.connect();
+  w.net.sim.run_until(sim::seconds(8));
+  ASSERT_TRUE(w.conn->cellular_established());
+  w.net.wifi_down->set_rate(20.0);
+  w.net.wifi_up->set_rate(20.0);
+  w.net.sim.run_until(w.net.sim.now() + sim::seconds(20));
+  mptcp::Subflow* lte = w.conn->mptcp().subflow_on(net::InterfaceType::kLte);
+  ASSERT_NE(lte, nullptr);
+  EXPECT_FALSE(lte->backup());
+  EXPECT_EQ(w.conn->controller().switch_count(), 0u);
+}
+
+TEST(EmptcpConnectionTest, SharedPredictorAcrossConnections) {
+  TestNet net(1, 10.0, 10.0);
+  EnergyInfoBase eib =
+      EnergyInfoBase::generate(energy::DeviceProfile::galaxy_s3().model());
+  BandwidthPredictor shared(net.sim, BandwidthPredictor::Config{});
+
+  app::FileServer::Config scfg;
+  scfg.port = test::kPort;
+  scfg.resolver = [](std::size_t, std::size_t req) {
+    return req == 0 ? std::uint64_t{2'000'000} : 0;
+  };
+  scfg.mptcp = mptcp_config();
+  app::FileServer server(net.sim, net.server, std::move(scfg));
+
+  EmptcpConfig cfg;
+  cfg.mptcp = mptcp_config();
+  EmptcpConnection c1(net.sim, net.client, cfg, eib, &shared);
+  EmptcpConnection c2(net.sim, net.client, cfg, eib, &shared);
+  EmptcpConnection::Callbacks cb1;
+  cb1.on_established = [&] { c1.send(200); };
+  c1.set_callbacks(std::move(cb1));
+  EmptcpConnection::Callbacks cb2;
+  cb2.on_established = [&] { c2.send(200); };
+  c2.set_callbacks(std::move(cb2));
+  c1.connect(test::kWifiAddr, test::kCellAddr, test::kServerAddr,
+             test::kPort);
+  c2.connect(test::kWifiAddr, test::kCellAddr, test::kServerAddr,
+             test::kPort);
+  net.sim.run_until(sim::seconds(10));
+
+  // One predictor saw both connections' traffic on the WiFi interface.
+  EXPECT_TRUE(shared.has_measurement(net::InterfaceType::kWifi));
+  EXPECT_EQ(&c1.predictor(), &shared);
+  EXPECT_EQ(&c2.predictor(), &shared);
+}
+
+}  // namespace
+}  // namespace emptcp::core

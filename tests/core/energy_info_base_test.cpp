@@ -1,0 +1,129 @@
+#include "core/energy_info_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/device_profile.hpp"
+
+namespace emptcp::core {
+namespace {
+
+energy::EnergyModel model() {
+  return energy::DeviceProfile::galaxy_s3().model();
+}
+
+TEST(EnergyInfoBaseTest, GenerateProducesMonotoneRows) {
+  const EnergyInfoBase eib = EnergyInfoBase::generate(model(), 10.0, 0.5);
+  ASSERT_EQ(eib.rows().size(), 20u);
+  for (std::size_t i = 1; i < eib.rows().size(); ++i) {
+    EXPECT_GT(eib.rows()[i].cell_mbps, eib.rows()[i - 1].cell_mbps);
+    EXPECT_GT(eib.rows()[i].cell_only_below,
+              eib.rows()[i - 1].cell_only_below);
+    EXPECT_GT(eib.rows()[i].wifi_only_at_least,
+              eib.rows()[i - 1].wifi_only_at_least);
+  }
+}
+
+TEST(EnergyInfoBaseTest, RowsMatchClosedFormThresholds) {
+  const EnergyInfoBase eib = EnergyInfoBase::generate(model(), 10.0, 0.5);
+  for (const auto& row : eib.rows()) {
+    const energy::WifiThresholds t =
+        energy::steady_thresholds(model(), row.cell_mbps);
+    EXPECT_NEAR(row.cell_only_below, t.cell_only_below, 1e-9);
+    EXPECT_NEAR(row.wifi_only_at_least, t.wifi_only_at_least, 1e-9);
+  }
+}
+
+TEST(EnergyInfoBaseTest, LookupPicksRegion) {
+  const EnergyInfoBase eib = EnergyInfoBase::generate(model());
+  // Paper Table 2 semantics at LTE = 1 Mbps.
+  const energy::WifiThresholds t = eib.thresholds_at(1.0);
+  EXPECT_EQ(eib.lookup(t.cell_only_below * 0.5, 1.0),
+            energy::PathChoice::kCellOnly);
+  EXPECT_EQ(eib.lookup((t.cell_only_below + t.wifi_only_at_least) / 2, 1.0),
+            energy::PathChoice::kBoth);
+  EXPECT_EQ(eib.lookup(t.wifi_only_at_least * 1.5, 1.0),
+            energy::PathChoice::kWifiOnly);
+}
+
+TEST(EnergyInfoBaseTest, InterpolatesBetweenRows) {
+  const EnergyInfoBase eib = EnergyInfoBase::generate(model(), 10.0, 1.0);
+  const auto t_lo = eib.thresholds_at(2.0);
+  const auto t_mid = eib.thresholds_at(2.5);
+  const auto t_hi = eib.thresholds_at(3.0);
+  EXPECT_GT(t_mid.cell_only_below, t_lo.cell_only_below);
+  EXPECT_LT(t_mid.cell_only_below, t_hi.cell_only_below);
+  EXPECT_GT(t_mid.wifi_only_at_least, t_lo.wifi_only_at_least);
+  EXPECT_LT(t_mid.wifi_only_at_least, t_hi.wifi_only_at_least);
+}
+
+TEST(EnergyInfoBaseTest, ClampsOutsideTable) {
+  const EnergyInfoBase eib = EnergyInfoBase::generate(model(), 10.0, 0.5);
+  const auto t_low = eib.thresholds_at(0.01);
+  EXPECT_NEAR(t_low.cell_only_below, eib.rows().front().cell_only_below,
+              1e-9);
+  const auto t_high = eib.thresholds_at(99.0);
+  EXPECT_NEAR(t_high.wifi_only_at_least,
+              eib.rows().back().wifi_only_at_least, 1e-9);
+}
+
+TEST(EnergyInfoBaseTest, BadGridThrows) {
+  EXPECT_THROW(EnergyInfoBase::generate(model(), 10.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(EnergyInfoBase::generate(model(), -1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(EnergyInfoBaseTest, FromRowsAcceptsPaperTable2) {
+  // §3.3: the EIB can be populated from any external energy model. Feed
+  // the paper's own Table 2 rows and check the lookups follow them.
+  const EnergyInfoBase eib = EnergyInfoBase::from_rows({
+      {0.5, 0.043, 0.234},
+      {1.0, 0.134, 0.502},
+      {1.5, 0.209, 0.803},
+      {2.0, 0.304, 1.070},
+  });
+  EXPECT_EQ(eib.lookup(0.1, 1.0), energy::PathChoice::kCellOnly);
+  EXPECT_EQ(eib.lookup(0.3, 1.0), energy::PathChoice::kBoth);
+  EXPECT_EQ(eib.lookup(0.6, 1.0), energy::PathChoice::kWifiOnly);
+  // Interpolation between the published rows.
+  const auto t = eib.thresholds_at(1.25);
+  EXPECT_GT(t.cell_only_below, 0.134);
+  EXPECT_LT(t.cell_only_below, 0.209);
+}
+
+TEST(EnergyInfoBaseTest, FromRowsValidates) {
+  EXPECT_THROW(EnergyInfoBase::from_rows({}), std::invalid_argument);
+  // lo >= hi
+  EXPECT_THROW(EnergyInfoBase::from_rows({{1.0, 0.6, 0.5}}),
+               std::invalid_argument);
+  // unsorted
+  EXPECT_THROW(EnergyInfoBase::from_rows(
+                   {{2.0, 0.3, 1.0}, {1.0, 0.1, 0.5}}),
+               std::invalid_argument);
+  // non-positive index
+  EXPECT_THROW(EnergyInfoBase::from_rows({{0.0, 0.1, 0.5}}),
+               std::invalid_argument);
+}
+
+TEST(EnergyInfoBaseTest, FromCsvRoundTrip) {
+  const EnergyInfoBase eib = EnergyInfoBase::from_csv(
+      "cell_mbps,cell_only_below,wifi_only_at_least\n"
+      "0.5,0.043,0.234\n"
+      "1.0,0.134,0.502\n");
+  ASSERT_EQ(eib.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(eib.rows()[1].cell_only_below, 0.134);
+  // Headerless input also parses.
+  const EnergyInfoBase bare = EnergyInfoBase::from_csv("1.0,0.1,0.5\n");
+  ASSERT_EQ(bare.rows().size(), 1u);
+  // Malformed input throws.
+  EXPECT_THROW(EnergyInfoBase::from_csv("1.0;0.1;0.5\n"),
+               std::invalid_argument);
+}
+
+TEST(EnergyInfoBaseTest, EmptyTableLookupThrows) {
+  EnergyInfoBase eib;
+  EXPECT_THROW(eib.thresholds_at(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace emptcp::core

@@ -1,0 +1,90 @@
+#include "core/holt_winters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::core {
+namespace {
+
+TEST(HoltWintersTest, NoForecastBeforeFirstSample) {
+  HoltWinters hw;
+  EXPECT_FALSE(hw.has_forecast());
+  EXPECT_THROW(hw.forecast(), std::logic_error);
+}
+
+TEST(HoltWintersTest, FirstSampleIsTheForecast) {
+  HoltWinters hw;
+  hw.add(5.0);
+  EXPECT_TRUE(hw.has_forecast());
+  EXPECT_DOUBLE_EQ(hw.forecast(), 5.0);
+}
+
+TEST(HoltWintersTest, ConstantSeriesForecastsConstant) {
+  HoltWinters hw;
+  for (int i = 0; i < 50; ++i) hw.add(7.5);
+  EXPECT_NEAR(hw.forecast(), 7.5, 1e-9);
+  EXPECT_NEAR(hw.trend(), 0.0, 1e-9);
+}
+
+TEST(HoltWintersTest, LinearTrendExtrapolated) {
+  HoltWinters hw;
+  for (int i = 0; i < 100; ++i) hw.add(static_cast<double>(i));
+  // Next value should be close to 100; k=2 close to 101.
+  EXPECT_NEAR(hw.forecast(1), 100.0, 2.0);
+  EXPECT_NEAR(hw.forecast(2), 101.0, 2.0);
+}
+
+TEST(HoltWintersTest, ForecastClampedAtZero) {
+  HoltWinters hw;
+  // Steeply decreasing series: raw forecast would go negative.
+  for (int i = 0; i < 20; ++i) hw.add(20.0 - 2.0 * i);
+  EXPECT_GE(hw.forecast(5), 0.0);
+}
+
+TEST(HoltWintersTest, TracksLevelShiftFasterThanItForgets) {
+  HoltWinters hw;
+  for (int i = 0; i < 30; ++i) hw.add(1.0);
+  for (int i = 0; i < 10; ++i) hw.add(10.0);
+  // After 10 samples at the new level, forecast should be mostly there.
+  EXPECT_GT(hw.forecast(), 8.0);
+}
+
+TEST(HoltWintersTest, MoreAccurateThanLastSampleOnTrendedSeries) {
+  // The paper's reason for Holt-Winters: beats naive predictors on
+  // trending bandwidth. Compare one-step-ahead squared error.
+  HoltWinters hw;
+  double hw_err = 0.0;
+  double naive_err = 0.0;
+  double prev = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.1 * i + ((i % 7) - 3) * 0.05;  // trend + ripple
+    if (i > 0) {
+      const double e_hw = hw.forecast() - x;
+      const double e_naive = prev - x;
+      hw_err += e_hw * e_hw;
+      naive_err += e_naive * e_naive;
+    }
+    hw.add(x);
+    prev = x;
+  }
+  EXPECT_LT(hw_err, naive_err);
+}
+
+TEST(HoltWintersTest, ResetClearsState) {
+  HoltWinters hw;
+  hw.add(3.0);
+  hw.add(4.0);
+  hw.reset();
+  EXPECT_FALSE(hw.has_forecast());
+  EXPECT_EQ(hw.count(), 0u);
+}
+
+TEST(HoltWintersTest, InvalidSmoothingFactorsThrow) {
+  EXPECT_THROW(HoltWinters({0.0, 0.3}), std::invalid_argument);
+  EXPECT_THROW(HoltWinters({1.5, 0.3}), std::invalid_argument);
+  EXPECT_THROW(HoltWinters({0.5, -0.1}), std::invalid_argument);
+  EXPECT_THROW(HoltWinters({0.5, 1.1}), std::invalid_argument);
+  EXPECT_NO_THROW(HoltWinters({1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace emptcp::core

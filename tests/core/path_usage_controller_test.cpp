@@ -1,0 +1,111 @@
+#include "core/path_usage_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "energy/device_profile.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::core {
+namespace {
+
+/// An unsampled predictor sits at its 5 Mbps prior for both interfaces,
+/// which pins the controller's inputs; the EIB generated from the Galaxy
+/// S3 model puts the WiFi-only threshold at cell=5 Mbps around 3.1 Mbps.
+/// Tests exploit these fixed points; the full dynamic behaviour (suspend
+/// on good WiFi, resume on bad) is covered by the integration tests.
+struct Harness {
+  Harness()
+      : eib(EnergyInfoBase::generate(
+            energy::DeviceProfile::galaxy_s3().model())),
+        predictor(sim, BandwidthPredictor::Config{}) {}
+
+  PathUsageController make(PathUsageController::Config cfg,
+                           std::vector<std::pair<PathUsage, PathUsage>>* log) {
+    return PathUsageController(
+        sim, eib, predictor, cfg,
+        [log](PathUsage a, PathUsage b) {
+          if (log != nullptr) log->emplace_back(a, b);
+        });
+  }
+
+  sim::Simulation sim;
+  EnergyInfoBase eib;
+  BandwidthPredictor predictor;
+};
+
+TEST(PathUsageControllerTest, StableAtPriorPrediction) {
+  // Both interfaces predicted at the 5 Mbps prior: the EIB says the
+  // WiFi-only threshold at cell=5 is ~3.1 Mbps, so 5 Mbps WiFi means
+  // WiFi-only is the steady answer; starting from kBoth the controller
+  // must switch exactly once and then hold.
+  Harness h;
+  std::vector<std::pair<PathUsage, PathUsage>> log;
+  auto ctrl = h.make(PathUsageController::Config{}, &log);
+  ctrl.start(PathUsage::kBoth);
+  h.sim.run_until(sim::seconds(10));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, PathUsage::kBoth);
+  EXPECT_EQ(log[0].second, PathUsage::kWifiOnly);
+  EXPECT_EQ(ctrl.current(), PathUsage::kWifiOnly);
+  EXPECT_EQ(ctrl.switch_count(), 1u);
+}
+
+TEST(PathUsageControllerTest, StopHaltsDecisions) {
+  Harness h;
+  std::vector<std::pair<PathUsage, PathUsage>> log;
+  auto ctrl = h.make(PathUsageController::Config{}, &log);
+  ctrl.start(PathUsage::kBoth);
+  ctrl.stop();
+  h.sim.run_until(sim::seconds(10));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(PathUsageControllerTest, HysteresisWindowHoldsState) {
+  // With a huge safety factor nothing can cross the margins, so the
+  // controller never leaves its initial state.
+  Harness h;
+  PathUsageController::Config cfg;
+  cfg.safety_factor = 100.0;
+  std::vector<std::pair<PathUsage, PathUsage>> log;
+  auto ctrl = h.make(cfg, &log);
+  ctrl.start(PathUsage::kBoth);
+  h.sim.run_until(sim::seconds(10));
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(ctrl.current(), PathUsage::kBoth);
+}
+
+TEST(PathUsageControllerTest, CellOnlyDisabledByDefault) {
+  // Even with WiFi predicted at ~0 (fresh predictor has prior 5, so use a
+  // generated EIB whose thresholds sit above 5: a model with enormous
+  // cellular power makes wifi-only dominant — inverted check: ensure the
+  // default config never reports kCellOnly across a long run).
+  Harness h;
+  std::vector<std::pair<PathUsage, PathUsage>> log;
+  auto ctrl = h.make(PathUsageController::Config{}, &log);
+  ctrl.start(PathUsage::kBoth);
+  h.sim.run_until(sim::seconds(30));
+  for (const auto& [from, to] : log) {
+    EXPECT_NE(to, PathUsage::kCellOnly);
+  }
+}
+
+TEST(PathUsageControllerTest, EvaluateIsIdempotentWithoutChange) {
+  Harness h;
+  std::vector<std::pair<PathUsage, PathUsage>> log;
+  auto ctrl = h.make(PathUsageController::Config{}, &log);
+  ctrl.start(PathUsage::kWifiOnly);  // already the steady state for 5 Mbps
+  for (int i = 0; i < 20; ++i) ctrl.evaluate();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(ctrl.switch_count(), 0u);
+}
+
+TEST(PathUsageControllerTest, ToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(PathUsage::kWifiOnly), "wifi-only");
+  EXPECT_STREQ(to_string(PathUsage::kBoth), "both");
+  EXPECT_STREQ(to_string(PathUsage::kCellOnly), "cell-only");
+}
+
+}  // namespace
+}  // namespace emptcp::core

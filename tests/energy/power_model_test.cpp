@@ -1,0 +1,88 @@
+#include "energy/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/device_profile.hpp"
+
+namespace emptcp::energy {
+namespace {
+
+TEST(PowerModelTest, ActivePowerIsLinearInThroughput) {
+  InterfacePowerParams p;
+  p.beta_mw = 100.0;
+  p.alpha_mw_per_mbps = 10.0;
+  EXPECT_DOUBLE_EQ(p.active_power_mw(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.active_power_mw(5.0), 150.0);
+}
+
+TEST(PowerModelTest, FixedOverheadIsPromoPlusTail) {
+  InterfacePowerParams p;
+  p.promo_mw = 1000.0;
+  p.promo_s = 0.5;
+  p.tail_mw = 2000.0;
+  p.tail_s = 2.0;
+  EXPECT_DOUBLE_EQ(p.fixed_overhead_j(), 0.5 + 4.0);
+}
+
+TEST(DeviceProfileTest, GalaxyS3MatchesPaperFig1) {
+  const DeviceProfile s3 = DeviceProfile::galaxy_s3();
+  // Fig. 1: WiFi ~0.15 J, 3G ~7 J, LTE ~12.5 J.
+  EXPECT_NEAR(s3.wifi.fixed_overhead_j(), 0.15, 0.03);
+  EXPECT_NEAR(s3.threeg.fixed_overhead_j(), 6.9, 0.8);
+  EXPECT_NEAR(s3.lte.fixed_overhead_j(), 12.6, 0.8);
+}
+
+TEST(DeviceProfileTest, Nexus5CheaperThanS3) {
+  const DeviceProfile s3 = DeviceProfile::galaxy_s3();
+  const DeviceProfile n5 = DeviceProfile::nexus5();
+  EXPECT_LT(n5.wifi.fixed_overhead_j(), s3.wifi.fixed_overhead_j());
+  EXPECT_LT(n5.lte.fixed_overhead_j(), s3.lte.fixed_overhead_j());
+  EXPECT_LT(n5.threeg.fixed_overhead_j(), s3.threeg.fixed_overhead_j());
+  EXPECT_NEAR(n5.wifi.fixed_overhead_j(), 0.06, 0.02);
+}
+
+TEST(DeviceProfileTest, CellTechSelectsRadioParams) {
+  const DeviceProfile s3 = DeviceProfile::galaxy_s3();
+  EXPECT_EQ(s3.model(CellTech::kLte).cell.name, "lte");
+  EXPECT_EQ(s3.model(CellTech::kThreeG).cell.name, "3g");
+}
+
+TEST(EnergyModelTest, WifiCheaperPerBitThanLteAtEqualRate) {
+  const EnergyModel m = DeviceProfile::galaxy_s3().model();
+  for (double x : {1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_LT(m.per_mbit_wifi(x), m.per_mbit_cell(x));
+  }
+}
+
+TEST(EnergyModelTest, PerMbitFallsWithThroughput) {
+  const EnergyModel m = DeviceProfile::galaxy_s3().model();
+  EXPECT_GT(m.per_mbit_wifi(0.5), m.per_mbit_wifi(5.0));
+  EXPECT_GT(m.per_mbit_cell(0.5), m.per_mbit_cell(5.0));
+}
+
+TEST(EnergyModelTest, BothIsSubAdditiveThanksToPlatformSharing) {
+  const EnergyModel m = DeviceProfile::galaxy_s3().model();
+  // Energy rate of `both` is less than the sum of standalone rates because
+  // the platform term is paid once.
+  const double x_w = 2.0;
+  const double x_l = 2.0;
+  const double both_rate = m.per_mbit_both(x_w, x_l) * (x_w + x_l);
+  const double sum_rate = m.per_mbit_wifi(x_w) * x_w +
+                          m.per_mbit_cell(x_l) * x_l;
+  EXPECT_LT(both_rate, sum_rate);
+  EXPECT_NEAR(sum_rate - both_rate, m.platform_mw, 1e-6);
+}
+
+TEST(EnergyModelTest, VRegionExists) {
+  // Paper Fig. 3: there are throughput pairs where both interfaces beat
+  // either single one per byte.
+  const EnergyModel m = DeviceProfile::galaxy_s3().model();
+  const double x_w = 0.3;
+  const double x_l = 1.0;  // inside the paper's Table 2 band for 1 Mbps LTE
+  const double both = m.per_mbit_both(x_w, x_l);
+  EXPECT_LT(both, m.per_mbit_wifi(x_w));
+  EXPECT_LT(both, m.per_mbit_cell(x_l));
+}
+
+}  // namespace
+}  // namespace emptcp::energy

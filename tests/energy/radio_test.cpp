@@ -1,0 +1,95 @@
+#include "energy/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/device_profile.hpp"
+
+namespace emptcp::energy {
+namespace {
+
+InterfacePowerParams lte_params() { return DeviceProfile::galaxy_s3().lte; }
+
+TEST(RadioTest, StartsIdle) {
+  RadioModel radio(lte_params());
+  EXPECT_EQ(radio.state_at(0), RadioState::kIdle);
+  EXPECT_EQ(radio.activations(), 0);
+}
+
+TEST(RadioTest, FirstTxTriggersPromotionWithDelay) {
+  RadioModel radio(lte_params());
+  const sim::Duration delay = radio.on_activity(0, 100, /*is_tx=*/true);
+  EXPECT_EQ(delay, sim::from_seconds(lte_params().promo_s));
+  EXPECT_EQ(radio.activations(), 1);
+  EXPECT_EQ(radio.state_at(sim::milliseconds(100)), RadioState::kPromo);
+}
+
+TEST(RadioTest, TxDuringPromotionPaysRemainingDelayOnly) {
+  RadioModel radio(lte_params());
+  radio.on_activity(0, 100, true);
+  const sim::Duration d2 =
+      radio.on_activity(sim::milliseconds(100), 100, true);
+  EXPECT_EQ(d2, sim::from_seconds(lte_params().promo_s) -
+                    sim::milliseconds(100));
+  EXPECT_EQ(radio.activations(), 1);  // still the same activation
+}
+
+TEST(RadioTest, ActiveThenTailThenIdle) {
+  RadioModel radio(lte_params());
+  radio.on_activity(0, 100, true);
+  const sim::Time after_promo = sim::milliseconds(400);
+  radio.on_activity(after_promo, 1000, false);  // rx refreshes activity
+  EXPECT_EQ(radio.state_at(after_promo + sim::milliseconds(50)),
+            RadioState::kActive);
+  // 1 s after last activity: inside the 11.576 s tail.
+  EXPECT_EQ(radio.state_at(after_promo + sim::seconds(1)),
+            RadioState::kTail);
+  // Well past the tail: idle again.
+  EXPECT_EQ(radio.state_at(after_promo + sim::seconds(13)),
+            RadioState::kIdle);
+}
+
+TEST(RadioTest, RxDoesNotPayPromotionDelay) {
+  RadioModel radio(lte_params());
+  const sim::Duration d = radio.on_activity(0, 100, /*is_tx=*/false);
+  EXPECT_EQ(d, 0);
+}
+
+TEST(RadioTest, SecondActivationAfterIdleCountsAgain) {
+  RadioModel radio(lte_params());
+  radio.on_activity(0, 100, true);
+  const sim::Time much_later = sim::seconds(60);
+  EXPECT_EQ(radio.state_at(much_later), RadioState::kIdle);
+  radio.on_activity(much_later, 100, true);
+  EXPECT_EQ(radio.activations(), 2);
+}
+
+TEST(RadioTest, PowerByState) {
+  const InterfacePowerParams p = lte_params();
+  RadioModel radio(p);
+  // Idle.
+  EXPECT_DOUBLE_EQ(radio.power_mw_at(0, 0.0, false), p.idle_mw);
+  radio.on_activity(0, 100, true);
+  // Promo (regardless of bytes).
+  EXPECT_DOUBLE_EQ(
+      radio.power_mw_at(sim::milliseconds(100), 5.0, true), p.promo_mw);
+  // Active with throughput-dependent power.
+  const sim::Time active_t = sim::milliseconds(300);
+  radio.on_activity(active_t, 1000, false);
+  EXPECT_DOUBLE_EQ(radio.power_mw_at(active_t, 5.0, true),
+                   p.active_power_mw(5.0));
+  // Tail.
+  EXPECT_DOUBLE_EQ(
+      radio.power_mw_at(active_t + sim::seconds(2), 0.0, false), p.tail_mw);
+}
+
+TEST(RadioTest, WifiTailIsShort) {
+  RadioModel radio(DeviceProfile::galaxy_s3().wifi);
+  radio.on_activity(0, 100, true);
+  radio.on_activity(sim::milliseconds(200), 100, false);
+  // WiFi's 0.6 s PSM-exit hold has drained after 1 s.
+  EXPECT_EQ(radio.state_at(sim::milliseconds(200) + sim::seconds(1)),
+            RadioState::kIdle);
+}
+
+}  // namespace
+}  // namespace emptcp::energy

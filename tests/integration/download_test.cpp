@@ -1,0 +1,109 @@
+// Cross-module integration: every protocol variant downloading through the
+// full stack (scenario topology + TCP + MPTCP + energy model), checking the
+// relationships the paper's evaluation is built on.
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+
+namespace emptcp::app {
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+ScenarioConfig config(double wifi, double cell) {
+  ScenarioConfig cfg;
+  cfg.wifi.down_mbps = wifi;
+  cfg.cell.down_mbps = cell;
+  cfg.record_series = false;
+  return cfg;
+}
+
+TEST(DownloadIntegrationTest, AllProtocolsCompleteAndDeliverAllBytes) {
+  Scenario s(config(8.0, 8.0));
+  for (Protocol p : {Protocol::kTcpWifi, Protocol::kTcpLte, Protocol::kMptcp,
+                     Protocol::kEmptcp, Protocol::kWifiFirst,
+                     Protocol::kMdp}) {
+    const RunMetrics m = s.run_download(p, 4 * kMB, 3);
+    EXPECT_TRUE(m.completed) << to_string(p);
+    EXPECT_EQ(m.bytes_received, 4 * kMB) << to_string(p);
+    EXPECT_GT(m.energy_j, 0.0) << to_string(p);
+  }
+}
+
+TEST(DownloadIntegrationTest, LossyPathsStillDeliverEverything) {
+  ScenarioConfig cfg = config(6.0, 6.0);
+  cfg.wifi.loss = 0.02;
+  cfg.cell.loss = 0.01;
+  Scenario s(cfg);
+  for (Protocol p : {Protocol::kTcpWifi, Protocol::kMptcp,
+                     Protocol::kEmptcp}) {
+    const RunMetrics m = s.run_download(p, 4 * kMB, 5);
+    EXPECT_TRUE(m.completed) << to_string(p);
+    EXPECT_EQ(m.bytes_received, 4 * kMB) << to_string(p);
+  }
+}
+
+TEST(DownloadIntegrationTest, HighRttPathsWork) {
+  // Singapore-class RTT (paper §5: servers in SNG/AMS/WDC).
+  ScenarioConfig cfg = config(8.0, 8.0);
+  cfg.wifi.rtt = sim::milliseconds(250);
+  cfg.cell.rtt = sim::milliseconds(280);
+  Scenario s(cfg);
+  const RunMetrics m = s.run_download(Protocol::kMptcp, 4 * kMB, 1);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.bytes_received, 4 * kMB);
+}
+
+TEST(DownloadIntegrationTest, EnergyScalesWithDownloadSize) {
+  Scenario s(config(8.0, 8.0));
+  const RunMetrics small = s.run_download(Protocol::kTcpWifi, 1 * kMB, 1);
+  const RunMetrics large = s.run_download(Protocol::kTcpWifi, 16 * kMB, 1);
+  EXPECT_GT(large.energy_j, small.energy_j * 4);
+  EXPECT_GT(large.download_time_s, small.download_time_s * 4);
+}
+
+TEST(DownloadIntegrationTest, WifiFirstEnergyExceedsTcpWifi) {
+  // The needless cellular activation (promotion + tail) shows up as a
+  // roughly constant energy penalty over TCP/WiFi.
+  Scenario s(config(10.0, 9.0));
+  const RunMetrics tcp = s.run_download(Protocol::kTcpWifi, 8 * kMB, 1);
+  const RunMetrics wf = s.run_download(Protocol::kWifiFirst, 8 * kMB, 1);
+  EXPECT_GT(wf.energy_j, tcp.energy_j + 8.0);  // ~12.6 J of LTE fixed cost
+  EXPECT_NEAR(wf.download_time_s, tcp.download_time_s,
+              tcp.download_time_s * 0.2);
+}
+
+TEST(DownloadIntegrationTest, MdpSchedulerBehavesLikeTcpWifi) {
+  // Paper §4.6's conclusion about Pluntke et al.'s scheduler under this
+  // energy model.
+  Scenario s(config(8.0, 8.0));
+  const RunMetrics mdp = s.run_download(Protocol::kMdp, 8 * kMB, 1);
+  const RunMetrics tcp = s.run_download(Protocol::kTcpWifi, 8 * kMB, 1);
+  EXPECT_NEAR(mdp.download_time_s, tcp.download_time_s,
+              tcp.download_time_s * 0.35);
+  // It still pays the cellular activation it never uses.
+  EXPECT_GE(mdp.energy_j, tcp.energy_j);
+}
+
+TEST(DownloadIntegrationTest, PromotionDelayVisibleOnLteHandshake) {
+  // TCP over LTE must pay the promotion latency before its SYN leaves.
+  ScenarioConfig cfg = config(8.0, 8.0);
+  Scenario s(cfg);
+  const RunMetrics wifi = s.run_download(Protocol::kTcpWifi, 64 * 1024, 1);
+  const RunMetrics lte = s.run_download(Protocol::kTcpLte, 64 * 1024, 1);
+  // Promotion is 260 ms on the Galaxy S3.
+  EXPECT_GT(lte.download_time_s, wifi.download_time_s + 0.2);
+}
+
+TEST(DownloadIntegrationTest, SmallFileEnergyDominatedByTailForMptcp) {
+  // Paper Fig. 15: for 256 KB, MPTCP pays ~the full LTE fixed cost while
+  // eMPTCP stays within WiFi-only numbers (75-90 % saving).
+  Scenario s(config(8.0, 8.0));
+  const RunMetrics mptcp = s.run_download(Protocol::kMptcp, 256 * 1024, 1);
+  const RunMetrics emptcp = s.run_download(Protocol::kEmptcp, 256 * 1024, 1);
+  EXPECT_GT(mptcp.energy_j, 12.0);
+  EXPECT_LT(emptcp.energy_j, mptcp.energy_j * 0.3);
+}
+
+}  // namespace
+}  // namespace emptcp::app

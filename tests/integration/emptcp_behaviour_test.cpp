@@ -1,0 +1,159 @@
+// End-to-end checks of the paper's headline claims about eMPTCP, §4-§5.
+#include <gtest/gtest.h>
+
+#include "app/scenario.hpp"
+
+namespace emptcp::app {
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+ScenarioConfig config(double wifi, double cell) {
+  ScenarioConfig cfg;
+  cfg.wifi.down_mbps = wifi;
+  cfg.cell.down_mbps = cell;
+  cfg.record_series = false;
+  return cfg;
+}
+
+TEST(EmptcpBehaviourTest, StaticGoodWifi_Fig5) {
+  // "eMPTCP chooses WiFi-only, effectively behaving similar to single-path
+  // TCP over WiFi" — and spends much less than MPTCP.
+  Scenario s(config(12.0, 9.0));
+  const RunMetrics tcp = s.run_download(Protocol::kTcpWifi, 16 * kMB, 1);
+  const RunMetrics mptcp = s.run_download(Protocol::kMptcp, 16 * kMB, 1);
+  const RunMetrics emptcp = s.run_download(Protocol::kEmptcp, 16 * kMB, 1);
+
+  EXPECT_FALSE(emptcp.cellular_used);
+  EXPECT_NEAR(emptcp.energy_j, tcp.energy_j, tcp.energy_j * 0.08);
+  EXPECT_NEAR(emptcp.download_time_s, tcp.download_time_s,
+              tcp.download_time_s * 0.08);
+  EXPECT_LT(emptcp.energy_j, mptcp.energy_j * 0.95);
+}
+
+TEST(EmptcpBehaviourTest, StaticBadWifi_Fig6) {
+  // "when WiFi bandwidth is small (<1 Mbps) ... eMPTCP yields almost the
+  // same performance as MPTCP by using both interfaces."
+  Scenario s(config(0.8, 9.0));
+  const RunMetrics tcp = s.run_download(Protocol::kTcpWifi, 16 * kMB, 1);
+  const RunMetrics mptcp = s.run_download(Protocol::kMptcp, 16 * kMB, 1);
+  const RunMetrics emptcp = s.run_download(Protocol::kEmptcp, 16 * kMB, 1);
+
+  EXPECT_TRUE(emptcp.cellular_used);
+  // eMPTCP tracks MPTCP within the LTE-startup delay margin.
+  EXPECT_LT(emptcp.download_time_s, mptcp.download_time_s + 8.0);
+  EXPECT_NEAR(emptcp.energy_j, mptcp.energy_j, mptcp.energy_j * 0.25);
+  // Both MPTCP flavours crush TCP-over-bad-WiFi on time.
+  EXPECT_LT(emptcp.download_time_s, tcp.download_time_s * 0.4);
+}
+
+TEST(EmptcpBehaviourTest, BandwidthChanges_Fig8) {
+  // Random on-off WiFi: eMPTCP saves energy vs MPTCP at some time cost,
+  // and beats TCP/WiFi on completion time.
+  // Paper parameters: >=10 / <=1 Mbps states with 40 s mean sojourns.
+  ScenarioConfig cfg = config(12.0, 9.0);
+  cfg.wifi_onoff = true;
+  cfg.onoff.high_mbps = 12.0;
+  cfg.onoff.low_mbps = 0.8;
+  cfg.onoff.mean_high_s = 40.0;
+  cfg.onoff.mean_low_s = 40.0;
+  Scenario s(cfg);
+
+  double e_tcp = 0;
+  double e_mptcp = 0;
+  double e_emptcp = 0;
+  double t_tcp = 0;
+  double t_mptcp = 0;
+  double t_emptcp = 0;
+  const int runs = 3;
+  for (int i = 0; i < runs; ++i) {
+    const auto a = s.run_download(Protocol::kTcpWifi, 96 * kMB, 100 + i);
+    const auto b = s.run_download(Protocol::kMptcp, 96 * kMB, 100 + i);
+    const auto c = s.run_download(Protocol::kEmptcp, 96 * kMB, 100 + i);
+    ASSERT_TRUE(a.completed && b.completed && c.completed);
+    e_tcp += a.energy_j;
+    e_mptcp += b.energy_j;
+    e_emptcp += c.energy_j;
+    t_tcp += a.download_time_s;
+    t_mptcp += b.download_time_s;
+    t_emptcp += c.download_time_s;
+  }
+  // Shape per the paper: e(eMPTCP) < e(MPTCP); t(MPTCP) <= t(eMPTCP)
+  // < t(TCP/WiFi).
+  EXPECT_LT(e_emptcp, e_mptcp);
+  EXPECT_LE(t_mptcp, t_emptcp);
+  EXPECT_LT(t_emptcp, t_tcp);
+}
+
+TEST(EmptcpBehaviourTest, EmptcpSuspendsAndResumesOverOnOffWifi) {
+  ScenarioConfig cfg = config(12.0, 9.0);
+  cfg.wifi_onoff = true;
+  cfg.onoff.high_mbps = 12.0;
+  cfg.onoff.low_mbps = 0.6;
+  cfg.onoff.mean_high_s = 15.0;
+  cfg.onoff.mean_low_s = 15.0;
+  cfg.onoff.start_high = false;  // force an early LTE join
+  Scenario s(cfg);
+  const RunMetrics m = s.run_timed(Protocol::kEmptcp, sim::seconds(120), 9);
+  EXPECT_TRUE(m.cellular_used);
+  // The controller actually moved between states at least once.
+  EXPECT_GE(m.controller_switches, 1u);
+}
+
+TEST(EmptcpBehaviourTest, Mobility_Fig13) {
+  // Per-byte energy: eMPTCP below MPTCP; download amount: eMPTCP above
+  // TCP/WiFi (it uses LTE during the coverage gaps).
+  ScenarioConfig cfg = config(18.0, 9.0);
+  cfg.mobility = true;
+  Scenario s(cfg);
+  const RunMetrics tcp = s.run_timed(Protocol::kTcpWifi,
+                                     sim::seconds(250), 21);
+  const RunMetrics mptcp = s.run_timed(Protocol::kMptcp,
+                                       sim::seconds(250), 21);
+  const RunMetrics emptcp = s.run_timed(Protocol::kEmptcp,
+                                        sim::seconds(250), 21);
+
+  EXPECT_LT(emptcp.energy_per_mb(), mptcp.energy_per_mb());
+  EXPECT_GT(emptcp.bytes_received, tcp.bytes_received);
+  EXPECT_LE(emptcp.bytes_received, mptcp.bytes_received);
+}
+
+TEST(EmptcpBehaviourTest, WildCategories_Fig16Shape) {
+  // Good WiFi & Bad LTE: eMPTCP ≈ half of MPTCP's energy (paper: "uses
+  // roughly 50% of the energy that MPTCP does, since it never utilizes
+  // the LTE subflow").
+  Scenario s(config(15.0, 2.0));
+  const RunMetrics mptcp = s.run_download(Protocol::kMptcp, 16 * kMB, 2);
+  const RunMetrics emptcp = s.run_download(Protocol::kEmptcp, 16 * kMB, 2);
+  EXPECT_FALSE(emptcp.cellular_used);
+  EXPECT_LT(emptcp.energy_j, mptcp.energy_j * 0.7);
+
+  // Bad WiFi & Good LTE: similar energy, slightly longer time.
+  Scenario s2(config(1.5, 12.0));
+  const RunMetrics mptcp2 = s2.run_download(Protocol::kMptcp, 16 * kMB, 2);
+  const RunMetrics emptcp2 = s2.run_download(Protocol::kEmptcp, 16 * kMB, 2);
+  EXPECT_TRUE(emptcp2.cellular_used);
+  EXPECT_NEAR(emptcp2.energy_j, mptcp2.energy_j, mptcp2.energy_j * 0.3);
+}
+
+TEST(EmptcpBehaviourTest, SmallFiles_Fig15Shape) {
+  // 256 KB downloads: 75-90 % energy saving vs MPTCP at similar time.
+  Scenario s(config(10.0, 9.0));
+  double saving_sum = 0.0;
+  const int runs = 3;
+  for (int i = 0; i < runs; ++i) {
+    const RunMetrics mptcp =
+        s.run_download(Protocol::kMptcp, 256 * 1024, 300 + i);
+    const RunMetrics emptcp =
+        s.run_download(Protocol::kEmptcp, 256 * 1024, 300 + i);
+    EXPECT_FALSE(emptcp.cellular_used);
+    saving_sum += 1.0 - emptcp.energy_j / mptcp.energy_j;
+    // Download times statistically similar (sub-second transfers).
+    EXPECT_NEAR(emptcp.download_time_s, mptcp.download_time_s, 1.0);
+  }
+  const double mean_saving = saving_sum / runs;
+  EXPECT_GT(mean_saving, 0.6);
+}
+
+}  // namespace
+}  // namespace emptcp::app

@@ -1,0 +1,131 @@
+#include "mptcp/coupled_cc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emptcp::mptcp {
+namespace {
+
+tcp::CongestionControl::Config config() {
+  tcp::CongestionControl::Config cfg;
+  cfg.mss = 1000;
+  cfg.initial_window_segments = 10;
+  return cfg;
+}
+
+/// Drives a controller into congestion avoidance.
+void to_ca(tcp::CongestionControl& cc) { cc.on_loss_event(); }
+
+TEST(LiaTest, SingleSubflowAlphaIsOne) {
+  LiaState state;
+  LiaCoupledCc cc(config(), state);
+  state.add_member({&cc, [] { return sim::milliseconds(50); }});
+  EXPECT_NEAR(state.alpha(), 1.0, 1e-9);
+}
+
+TEST(LiaTest, EqualSubflowsAlphaHalf) {
+  // RFC 6356: with n identical subflows alpha = 1/n (total grows like one
+  // Reno flow).
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  state.add_member({&b, [] { return sim::milliseconds(50); }});
+  EXPECT_NEAR(state.alpha(), 0.5, 1e-9);
+}
+
+TEST(LiaTest, CoupledIncreaseSlowerThanReno) {
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  state.add_member({&b, [] { return sim::milliseconds(50); }});
+  to_ca(a);
+  to_ca(b);
+
+  tcp::RenoCongestionControl reno(config());
+  to_ca(reno);
+
+  const std::uint64_t a0 = a.cwnd();
+  const std::uint64_t r0 = reno.cwnd();
+  // Ack one full window on each.
+  for (int i = 0; i < 5; ++i) {
+    a.on_ack(1000);
+    reno.on_ack(1000);
+  }
+  EXPECT_LT(a.cwnd() - a0, reno.cwnd() - r0);
+}
+
+TEST(LiaTest, FasterSubflowGetsCappedByRenoTerm) {
+  // The per-subflow increase never exceeds the uncoupled Reno increase.
+  LiaState state;
+  LiaCoupledCc fast(config(), state);
+  LiaCoupledCc slow(config(), state);
+  state.add_member({&fast, [] { return sim::milliseconds(10); }});
+  state.add_member({&slow, [] { return sim::milliseconds(200); }});
+  to_ca(fast);
+  to_ca(slow);
+
+  tcp::RenoCongestionControl reno(config());
+  to_ca(reno);
+
+  const std::uint64_t f0 = fast.cwnd();
+  const std::uint64_t r0 = reno.cwnd();
+  fast.on_ack(1000);
+  reno.on_ack(1000);
+  EXPECT_LE(fast.cwnd() - f0, reno.cwnd() - r0);
+}
+
+TEST(LiaTest, AlphaRecomputesAfterMemberRemoval) {
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  state.add_member({&b, [] { return sim::milliseconds(50); }});
+  EXPECT_NEAR(state.alpha(), 0.5, 1e-9);
+  state.remove_member(&b);
+  EXPECT_NEAR(state.alpha(), 1.0, 1e-9);
+  EXPECT_EQ(state.total_cwnd(), a.cwnd());
+}
+
+TEST(LiaTest, EmptyStateAlphaDefaultsToOne) {
+  LiaState state;
+  EXPECT_DOUBLE_EQ(state.alpha(), 1.0);
+  EXPECT_EQ(state.total_cwnd(), 0u);
+}
+
+TEST(LiaTest, ZeroRttGuarded) {
+  // A resumed subflow has srtt forced to 0; alpha must stay finite.
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::Duration{0}; }});
+  state.add_member({&b, [] { return sim::milliseconds(100); }});
+  const double alpha = state.alpha();
+  EXPECT_TRUE(std::isfinite(alpha));
+  EXPECT_GT(alpha, 0.0);
+}
+
+TEST(LiaTest, SlowStartStillDoublesIndividually) {
+  // RFC 6356 couples only congestion avoidance.
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  EXPECT_TRUE(a.in_slow_start());
+  const std::uint64_t before = a.cwnd();
+  for (int i = 0; i < 10; ++i) a.on_ack(1000);
+  EXPECT_EQ(a.cwnd(), 2 * before);
+}
+
+TEST(LiaTest, TotalCwndSumsMembers) {
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  state.add_member({&b, [] { return sim::milliseconds(50); }});
+  EXPECT_EQ(state.total_cwnd(), a.cwnd() + b.cwnd());
+}
+
+}  // namespace
+}  // namespace emptcp::mptcp

@@ -1,0 +1,454 @@
+#include "mptcp/meta_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/testnet.hpp"
+
+namespace emptcp::mptcp {
+namespace {
+
+using test::TestNet;
+
+MptcpConnection::Config make_config() {
+  MptcpConnection::Config cfg;
+  cfg.classify_peer = [](net::Addr a) {
+    if (a == test::kWifiAddr) return net::InterfaceType::kWifi;
+    if (a == test::kCellAddr) return net::InterfaceType::kLte;
+    return net::InterfaceType::kEthernet;
+  };
+  return cfg;
+}
+
+/// Client MPTCP connection + a listening server that answers a fixed-size
+/// response to the first request bytes it sees.
+struct MetaPair {
+  explicit MetaPair(TestNet& net, std::uint64_t response = 0,
+                    MptcpConnection::Config cfg = make_config())
+      : net_(net), client(net.sim, net.client, cfg) {
+    listener = std::make_unique<MptcpListener>(
+        net.sim, net.server, test::kPort, cfg,
+        [this, response](MptcpConnection& conn) {
+          server = &conn;
+          MptcpConnection::Callbacks cb;
+          cb.on_data = [this, response, &conn](std::uint64_t) {
+            if (response > 0 && !responded_) {
+              responded_ = true;
+              conn.send(response);
+              conn.shutdown_write();
+            }
+          };
+          cb.on_eof = [&conn] { conn.shutdown_write(); };
+          conn.set_callbacks(std::move(cb));
+        });
+  }
+
+  TestNet& net_;
+  MptcpConnection client;
+  MptcpConnection* server = nullptr;
+  std::unique_ptr<MptcpListener> listener;
+  bool responded_ = false;
+};
+
+TEST(MetaSocketTest, EstablishesInitialSubflowWithMpCapable) {
+  TestNet net;
+  MetaPair pair(net);
+  bool established = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { established = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(1));
+
+  EXPECT_TRUE(established);
+  ASSERT_NE(pair.server, nullptr);
+  EXPECT_EQ(pair.server->token(), pair.client.token());
+  EXPECT_EQ(pair.client.subflows().size(), 1u);
+  EXPECT_EQ(pair.server->subflows().size(), 1u);
+  EXPECT_EQ(pair.server->subflows()[0]->iface(), net::InterfaceType::kWifi);
+}
+
+TEST(MetaSocketTest, MpJoinAttachesSecondSubflowByToken) {
+  TestNet net;
+  MetaPair pair(net);
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { pair.client.add_subflow(test::kCellAddr); };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(1));
+
+  ASSERT_NE(pair.server, nullptr);
+  EXPECT_EQ(pair.client.subflows().size(), 2u);
+  EXPECT_EQ(pair.server->subflows().size(), 2u);
+  EXPECT_EQ(pair.listener->connection_count(), 1u);  // join, not new conn
+  EXPECT_NE(pair.client.subflow_on(net::InterfaceType::kLte), nullptr);
+}
+
+TEST(MetaSocketTest, DuplicateSubflowOnSameInterfaceRefused) {
+  TestNet net;
+  MetaPair pair(net);
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(1));
+  EXPECT_EQ(pair.client.add_subflow(test::kWifiAddr), nullptr);
+}
+
+TEST(MetaSocketTest, TransfersDataAcrossBothSubflows) {
+  TestNet net;
+  MetaPair pair(net, /*response=*/4'000'000);
+  std::uint64_t received = 0;
+  bool eof = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_data = [&](std::uint64_t n) { received += n; };
+  cb.on_eof = [&] {
+    eof = true;
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 4'000'000u);
+  // Both interfaces carried payload (striping happened).
+  EXPECT_GT(net.wifi_if->rx_bytes(), 500'000u);
+  EXPECT_GT(net.cell_if->rx_bytes(), 500'000u);
+}
+
+TEST(MetaSocketTest, AggregatesBandwidthOfBothPaths) {
+  TestNet net(1, /*wifi=*/5.0, /*cell=*/5.0);
+  MetaPair pair(net, /*response=*/8'000'000);
+  bool eof = false;
+  sim::Time done = 0;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_eof = [&] {
+    eof = true;
+    done = net.sim.now();
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(120));
+
+  ASSERT_TRUE(eof);
+  const double mbps = 8e6 * 8.0 / 1e6 / sim::to_seconds(done);
+  // Must beat what a single 5 Mbps path could possibly deliver.
+  EXPECT_GT(mbps, 5.5);
+}
+
+TEST(MetaSocketTest, BackupSubflowCarriesNoFreshData) {
+  TestNet net;
+  MetaPair pair(net, /*response=*/2'000'000);
+  bool eof = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { pair.client.add_subflow(test::kCellAddr); };
+  cb.on_subflow_established = [&](Subflow& sf) {
+    if (sf.iface() == net::InterfaceType::kLte) {
+      pair.client.request_priority(sf, /*backup=*/true);
+      pair.client.send(200);  // request after the backup mark is out
+    }
+  };
+  cb.on_eof = [&] {
+    eof = true;
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(eof);
+  // LTE saw only handshake/option chatter, no payload striping.
+  EXPECT_LT(net.cell_if->rx_bytes(), 10'000u);
+}
+
+TEST(MetaSocketTest, SuspendThenResumeViaMpPrio) {
+  TestNet net;
+  MetaPair pair(net, /*response=*/6'000'000);
+  std::uint64_t received = 0;
+  bool eof = false;
+  std::uint64_t cell_rx_at_resume = 0;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_data = [&](std::uint64_t n) {
+    received += n;
+    Subflow* lte = pair.client.subflow_on(net::InterfaceType::kLte);
+    if (lte == nullptr) return;
+    if (received > 500'000 && received < 3'000'000 && !lte->backup()) {
+      pair.client.request_priority(*lte, true);  // suspend mid-transfer
+    } else if (received >= 3'000'000 && lte->backup()) {
+      cell_rx_at_resume = net.cell_if->rx_bytes();
+      pair.client.request_priority(*lte, false);  // resume
+    }
+  };
+  cb.on_eof = [&] {
+    eof = true;
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(120));
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 6'000'000u);
+  // After the resume the LTE path carried fresh payload again.
+  EXPECT_GT(net.cell_if->rx_bytes(), cell_rx_at_resume + 100'000u);
+}
+
+TEST(MetaSocketTest, ResumeAppliesSenderSideTweaks) {
+  TestNet net;
+  MetaPair pair(net, /*response=*/4'000'000);
+  bool checked = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  std::uint64_t received = 0;
+  cb.on_data = [&](std::uint64_t n) {
+    received += n;
+    Subflow* lte = pair.client.subflow_on(net::InterfaceType::kLte);
+    if (lte == nullptr) return;
+    if (received > 500'000 && received < 1'000'000) {
+      pair.client.request_priority(*lte, true);
+    } else if (received >= 2'000'000 && lte->backup()) {
+      pair.client.request_priority(*lte, false);
+    }
+  };
+  pair.client.set_callbacks(std::move(cb));
+
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  // Poll for the server-side resumed subflow treatment (§3.6).
+  for (int i = 0; i < 600 && !checked; ++i) {
+    net.sim.run_until(net.sim.now() + sim::milliseconds(100));
+    if (pair.server == nullptr) continue;
+    Subflow* lte = pair.server->subflow_on(net::InterfaceType::kLte);
+    if (lte != nullptr && !lte->backup() && received >= 2'000'000) {
+      EXPECT_FALSE(lte->socket().congestion_control().cwnd_validation());
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(MetaSocketTest, SubflowFailureReinjectsDataOnSurvivor) {
+  TestNet net;
+  tcp::TcpSocket::Config sock_cfg;
+  sock_cfg.max_data_rtos = 3;
+  auto cfg = make_config();
+  cfg.subflow = sock_cfg;
+  MetaPair pair(net, /*response=*/3'000'000, cfg);
+  std::uint64_t received = 0;
+  bool eof = false;
+  bool killed = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_data = [&](std::uint64_t n) {
+    received += n;
+    if (!killed && received > 500'000) {
+      killed = true;
+      net.cell_down->set_loss_prob(1.0);  // cellular path dies
+      net.cell_up->set_loss_prob(1.0);
+    }
+  };
+  cb.on_eof = [&] {
+    eof = true;
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(300));
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 3'000'000u);  // nothing lost despite subflow death
+}
+
+TEST(MetaSocketTest, SinglePathModeRefusesSecondSubflowWhileActive) {
+  TestNet net;
+  auto cfg = make_config();
+  cfg.mode = Mode::kSinglePath;
+  MetaPair pair(net, 0, cfg);
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(1));
+  EXPECT_EQ(pair.client.add_subflow(test::kCellAddr), nullptr);
+}
+
+TEST(MetaSocketTest, SinglePathModeAllowsReplacementAfterPathDeath) {
+  // Paper §2.1: "In Single-Path mode, MPTCP uses only one path at a time,
+  // establishing a new subflow only after the interface of the active
+  // current subflow goes down."
+  TestNet net;
+  auto cfg = make_config();
+  cfg.mode = Mode::kSinglePath;
+  cfg.subflow.max_data_rtos = 3;
+  MetaPair pair(net, /*response=*/4'000'000, cfg);
+  std::uint64_t received = 0;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { pair.client.send(200); };
+  cb.on_data = [&](std::uint64_t n) { received += n; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(1));
+  ASSERT_EQ(pair.client.add_subflow(test::kCellAddr), nullptr);
+
+  // The WiFi association drops: the OS signals interface-down and MPTCP
+  // resets the subflows on it.
+  net.wifi_if->set_up(false);
+  pair.client.handle_interface_down(net::InterfaceType::kWifi);
+  net.sim.run_until(sim::seconds(2));
+  mptcp::Subflow* wifi = pair.client.subflow_on(net::InterfaceType::kWifi);
+  ASSERT_NE(wifi, nullptr);
+  ASSERT_FALSE(wifi->usable());
+
+  // Now — and only now — a replacement subflow is allowed.
+  mptcp::Subflow* lte = pair.client.add_subflow(test::kCellAddr);
+  ASSERT_NE(lte, nullptr);
+  net.sim.run_until(sim::seconds(120));
+  EXPECT_EQ(received, 4'000'000u);  // transfer rescued over the new path
+}
+
+TEST(MetaSocketTest, PlainSynAcceptedAsSingleSubflowConnection) {
+  // The TCP-over-WiFi baseline: a client that never joins a second path.
+  TestNet net;
+  MetaPair pair(net, /*response=*/500'000);
+  std::uint64_t received = 0;
+  bool eof = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { pair.client.send(200); };
+  cb.on_data = [&](std::uint64_t n) { received += n; };
+  cb.on_eof = [&] {
+    eof = true;
+    pair.client.shutdown_write();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(30));
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 500'000u);
+  EXPECT_EQ(net.cell_if->rx_bytes(), 0u);
+}
+
+TEST(MetaSocketTest, MpPrioSurvivesLossyPath) {
+  // The priority announcement repeats on every packet, so even heavy loss
+  // on the announcing path cannot strand the sender on a stale priority.
+  TestNet net;
+  net.wifi_up->set_loss_prob(0.4);  // the path MP_PRIO(wifi ack) travels
+  net.cell_up->set_loss_prob(0.4);
+  MetaPair pair(net, /*response=*/8'000'000);
+  std::uint64_t received = 0;
+  bool suspended_requested = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_data = [&](std::uint64_t n) {
+    received += n;
+    Subflow* lte = pair.client.subflow_on(net::InterfaceType::kLte);
+    if (lte != nullptr && received > 500'000 && !suspended_requested) {
+      suspended_requested = true;
+      pair.client.request_priority(*lte, true);
+    }
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+
+  bool server_saw_backup = false;
+  for (int i = 0; i < 600 && !server_saw_backup; ++i) {
+    net.sim.run_until(net.sim.now() + sim::milliseconds(100));
+    if (pair.server == nullptr) continue;
+    Subflow* lte = pair.server->subflow_on(net::InterfaceType::kLte);
+    server_saw_backup = lte != nullptr && lte->backup();
+  }
+  EXPECT_TRUE(suspended_requested);
+  EXPECT_TRUE(server_saw_backup);
+}
+
+TEST(MetaSocketTest, DataFinTravelsOnTheWire) {
+  // The DATA_FIN option must appear on the closing subflow packets, and
+  // the receiver's connection-level EOF must fire exactly when the data
+  // stream completes (the wire-level complement of the failure-path test
+  // SubflowFailureReinjectsDataOnSurvivor).
+  TestNet net;
+  MetaPair pair(net, /*response=*/100'000);
+  std::uint64_t wire_data_fin = 0;
+  net.wifi_down->set_receiver([&](const net::Packet& p) {
+    if (p.data_fin) wire_data_fin = std::max(wire_data_fin, *p.data_fin);
+    net.wifi_if->deliver(p);
+  });
+
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] { pair.client.send(200); };
+  cb.on_eof = [&] { pair.client.shutdown_write(); };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(5));
+
+  EXPECT_TRUE(pair.client.eof());
+  EXPECT_EQ(pair.client.data_bytes_received(), 100'000u);
+  // Data space starts at 1, so the stream ends at 100'001.
+  EXPECT_EQ(wire_data_fin, 100'001u);
+}
+
+TEST(MetaSocketTest, MinRttSchedulerPrefersFasterLiveSubflow) {
+  // With a fast WiFi path (20 ms) and a slow LTE path (200 ms), the
+  // min-RTT scheduler's preference order puts WiFi first once both are
+  // established and measured.
+  TestNet net;
+  net.cell_up->set_prop_delay(sim::milliseconds(100));
+  net.cell_down->set_prop_delay(sim::milliseconds(100));
+  MetaPair pair(net, /*response=*/64'000'000);  // still mid-transfer at 3 s
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(3));
+
+  ASSERT_NE(pair.server, nullptr);
+  MinRttScheduler sched;
+  const auto order = sched.preference_order(pair.server->subflows());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0]->iface(), net::InterfaceType::kWifi);
+  EXPECT_LT(order[0]->socket().srtt(), order[1]->socket().srtt());
+}
+
+TEST(MetaSocketTest, ConnectionClosesFullyOnBothEnds) {
+  TestNet net;
+  MetaPair pair(net, /*response=*/100'000);
+  bool closed = false;
+  MptcpConnection::Callbacks cb;
+  cb.on_established = [&] {
+    pair.client.add_subflow(test::kCellAddr);
+    pair.client.send(200);
+  };
+  cb.on_eof = [&] { pair.client.shutdown_write(); };
+  cb.on_closed = [&] { closed = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.client.connect(test::kWifiAddr, test::kServerAddr, test::kPort);
+  net.sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(pair.client.closed());
+  for (Subflow* sf : pair.client.subflows()) {
+    EXPECT_EQ(sf->socket().state(), tcp::TcpState::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace emptcp::mptcp

@@ -1,0 +1,167 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::net {
+namespace {
+
+Packet make_packet(std::uint32_t payload) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload = payload;
+  return p;
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim{1};
+};
+
+TEST_F(LinkTest, DeliversAfterTransmissionPlusPropagation) {
+  Link::Config cfg;
+  cfg.rate_mbps = 8.0;  // 1 byte per microsecond
+  cfg.prop_delay = sim::milliseconds(10);
+  Link link(sim, cfg);
+
+  sim::Time delivered_at = -1;
+  link.set_receiver([&](const Packet&) { delivered_at = sim.now(); });
+  link.send(make_packet(960));  // 1000 wire bytes -> 1 ms at 8 Mbps
+
+  sim.run();
+  EXPECT_EQ(delivered_at, sim::milliseconds(11));
+  EXPECT_EQ(link.delivered_packets(), 1u);
+}
+
+TEST_F(LinkTest, SerializesBackToBackPackets) {
+  Link::Config cfg;
+  cfg.rate_mbps = 8.0;
+  cfg.prop_delay = 0;
+  Link link(sim, cfg);
+
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](const Packet&) { arrivals.push_back(sim.now()); });
+  link.send(make_packet(960));
+  link.send(make_packet(960));
+  link.send(make_packet(960));
+
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], sim::milliseconds(1));
+  EXPECT_EQ(arrivals[1], sim::milliseconds(2));
+  EXPECT_EQ(arrivals[2], sim::milliseconds(3));
+}
+
+TEST_F(LinkTest, DropTailWhenQueueFull) {
+  Link::Config cfg;
+  cfg.rate_mbps = 0.008;  // very slow so queue builds
+  cfg.queue_limit_bytes = 2500;
+  Link link(sim, cfg);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+
+  for (int i = 0; i < 5; ++i) link.send(make_packet(960));  // 1000 B each
+
+  EXPECT_GT(link.dropped_queue(), 0u);
+  sim.run();
+  EXPECT_EQ(delivered + static_cast<int>(link.dropped_queue()), 5);
+}
+
+TEST_F(LinkTest, OversizedPacketPassesOnEmptyQueue) {
+  Link::Config cfg;
+  cfg.queue_limit_bytes = 100;  // smaller than any packet
+  Link link(sim, cfg);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+  link.send(make_packet(960));
+  sim.run();
+  EXPECT_EQ(delivered, 1);  // no livelock on tiny queues
+}
+
+TEST_F(LinkTest, RandomLossDropsApproximatelyAtRate) {
+  Link::Config cfg;
+  cfg.rate_mbps = 1000.0;
+  cfg.loss_prob = 0.2;
+  cfg.queue_limit_bytes = 8 << 20;  // no queue drops in this test
+  Link link(sim, cfg);
+  int delivered = 0;
+  link.set_receiver([&](const Packet&) { ++delivered; });
+
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) link.send(make_packet(100));
+  sim.run();
+  const double loss_rate =
+      static_cast<double>(link.dropped_loss()) / static_cast<double>(n);
+  EXPECT_NEAR(loss_rate, 0.2, 0.03);
+  EXPECT_EQ(delivered, n - static_cast<int>(link.dropped_loss()));
+}
+
+TEST_F(LinkTest, RateChangeAffectsSubsequentPackets) {
+  Link::Config cfg;
+  cfg.rate_mbps = 8.0;
+  cfg.prop_delay = 0;
+  Link link(sim, cfg);
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](const Packet&) { arrivals.push_back(sim.now()); });
+
+  link.send(make_packet(960));  // 1 ms at 8 Mbps
+  sim.run();
+  link.set_rate(4.0);
+  link.send(make_packet(960));  // 2 ms at 4 Mbps
+  sim.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::milliseconds(1));
+  EXPECT_EQ(arrivals[1] - arrivals[0], sim::milliseconds(2));
+}
+
+TEST_F(LinkTest, SetRateClampsToPositive) {
+  Link::Config cfg;
+  Link link(sim, cfg);
+  link.set_rate(0.0);
+  EXPECT_GT(link.rate_mbps(), 0.0);
+  link.set_rate(-5.0);
+  EXPECT_GT(link.rate_mbps(), 0.0);
+}
+
+TEST_F(LinkTest, ZeroInitialRateThrows) {
+  Link::Config cfg;
+  cfg.rate_mbps = 0.0;
+  EXPECT_THROW(Link(sim, cfg), std::invalid_argument);
+}
+
+TEST_F(LinkTest, PendingDelayAppliesOnceToNextDelivery) {
+  Link::Config cfg;
+  cfg.rate_mbps = 8.0;
+  cfg.prop_delay = sim::milliseconds(1);
+  Link link(sim, cfg);
+  std::vector<sim::Time> arrivals;
+  link.set_receiver([&](const Packet&) { arrivals.push_back(sim.now()); });
+
+  link.add_pending_delay(sim::milliseconds(200));  // cellular promotion
+  link.send(make_packet(960));
+  sim.run();
+  link.send(make_packet(960));
+  sim.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::milliseconds(202));  // 1 tx + 1 prop + 200
+  EXPECT_EQ(arrivals[1] - arrivals[0], sim::milliseconds(2));  // no extra
+}
+
+TEST_F(LinkTest, CountsDeliveredBytes) {
+  Link::Config cfg;
+  Link link(sim, cfg);
+  link.set_receiver([](const Packet&) {});
+  link.send(make_packet(960));
+  link.send(make_packet(460));
+  sim.run();
+  EXPECT_EQ(link.delivered_bytes(), 1000u + 500u);
+}
+
+}  // namespace
+}  // namespace emptcp::net

@@ -1,0 +1,82 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::net {
+namespace {
+
+TEST(PacketTest, WireBytesIncludeHeader) {
+  Packet p;
+  p.payload = 1000;
+  EXPECT_EQ(p.wire_bytes(), 1000u + Packet::kHeaderBytes);
+  Packet ack;
+  EXPECT_EQ(ack.wire_bytes(), Packet::kHeaderBytes);
+}
+
+TEST(PacketTest, FlowAtReceiverSwapsPerspective) {
+  Packet p;
+  p.src = 1;
+  p.sport = 5000;
+  p.dst = 10;
+  p.dport = 80;
+  const FlowKey k = p.flow_at_receiver();
+  EXPECT_EQ(k.local_addr, 10u);
+  EXPECT_EQ(k.local_port, 80);
+  EXPECT_EQ(k.remote_addr, 1u);
+  EXPECT_EQ(k.remote_port, 5000);
+}
+
+TEST(PacketTest, FlowKeyEqualityAndHash) {
+  const FlowKey a{1, 2, 3, 4};
+  const FlowKey b{1, 2, 3, 4};
+  const FlowKey c{1, 2, 3, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  FlowKeyHash h;
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_NE(h(a), h(c));  // not guaranteed in general, but true here
+}
+
+TEST(PacketTest, DescribeMentionsFlagsAndOptions) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.syn = true;
+  p.mp_capable = true;
+  EXPECT_NE(p.describe().find("SYN"), std::string::npos);
+  EXPECT_NE(p.describe().find("MP_CAPABLE"), std::string::npos);
+
+  Packet d;
+  d.payload = 100;
+  d.seq = 42;
+  d.dss = DssMapping{7, 0, 100};
+  d.data_ack = 55;
+  const std::string s = d.describe();
+  EXPECT_NE(s.find("seq=42"), std::string::npos);
+  EXPECT_NE(s.find("DSS[7+100]"), std::string::npos);
+  EXPECT_NE(s.find("DACK=55"), std::string::npos);
+
+  Packet prio;
+  prio.mp_prio = MpPrio{true};
+  EXPECT_NE(prio.describe().find("backup"), std::string::npos);
+}
+
+TEST(PacketTest, DefaultsAreInert) {
+  Packet p;
+  EXPECT_FALSE(p.syn);
+  EXPECT_FALSE(p.fin);
+  EXPECT_FALSE(p.rst);
+  EXPECT_FALSE(p.is_ack);
+  EXPECT_FALSE(p.mp_capable);
+  EXPECT_FALSE(p.mp_join);
+  EXPECT_FALSE(p.mp_backup);
+  EXPECT_FALSE(p.dss.has_value());
+  EXPECT_FALSE(p.data_ack.has_value());
+  EXPECT_FALSE(p.data_fin.has_value());
+  EXPECT_FALSE(p.udp);
+  EXPECT_TRUE(p.sack.empty());
+  EXPECT_EQ(p.app_tag, 0u);
+}
+
+}  // namespace
+}  // namespace emptcp::net

@@ -1,0 +1,127 @@
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace emptcp::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), kTimeZero);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadlineInclusive) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(milliseconds(10), [&] { ++fired; });
+  s.schedule_at(milliseconds(20), [&] { ++fired; });
+  s.schedule_at(milliseconds(21), [&] { ++fired; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), milliseconds(20));
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler s;
+  s.run_until(seconds(5));
+  EXPECT_EQ(s.now(), seconds(5));
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(milliseconds(1), [&] {
+    ++count;
+    s.schedule_in(milliseconds(1), [&] { ++count; });
+  });
+  s.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), milliseconds(2));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.schedule_at(milliseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(id.pending());
+  Scheduler::cancel(id);
+  EXPECT_FALSE(id.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeOnEmptyHandle) {
+  Scheduler s;
+  EventId empty;
+  Scheduler::cancel(empty);  // no-op
+  EventId id = s.schedule_at(milliseconds(1), [] {});
+  Scheduler::cancel(id);
+  Scheduler::cancel(id);  // second cancel is a no-op
+  s.run();
+}
+
+TEST(SchedulerTest, PendingReflectsFiredState) {
+  Scheduler s;
+  EventId id = s.schedule_at(milliseconds(1), [] {});
+  EXPECT_TRUE(id.pending());
+  s.run();
+  EXPECT_FALSE(id.pending());
+}
+
+TEST(SchedulerTest, SchedulingInPastThrows) {
+  Scheduler s;
+  s.schedule_at(milliseconds(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(milliseconds(5), [] {}), std::logic_error);
+}
+
+TEST(SchedulerTest, ReturnsExecutedCount) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(milliseconds(i), [] {});
+  EXPECT_EQ(s.run(), 7u);
+}
+
+TEST(SchedulerTest, EventLimitGuardsRunawayLoops) {
+  Scheduler s;
+  s.set_event_limit(100);
+  std::function<void()> loop = [&] { s.schedule_in(1, loop); };
+  s.schedule_at(0, loop);
+  EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(seconds(2), milliseconds(2000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_EQ(from_seconds(1.5), milliseconds(1500));
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(250)), 250.0);
+}
+
+}  // namespace
+}  // namespace emptcp::sim

@@ -1,0 +1,75 @@
+#include "sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::sim {
+namespace {
+
+TEST(LoggerTest, OffByDefault) {
+  Logger log;
+  EXPECT_EQ(log.level(), LogLevel::kOff);
+  EXPECT_FALSE(log.enabled(LogLevel::kWarn));
+}
+
+TEST(LoggerTest, LevelFiltering) {
+  Logger log;
+  log.set_level(LogLevel::kInfo);
+  EXPECT_FALSE(log.enabled(LogLevel::kTrace));
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kWarn));
+}
+
+TEST(LoggerTest, SinkReceivesMessages) {
+  Logger log;
+  log.set_level(LogLevel::kDebug);
+  std::vector<std::string> messages;
+  log.set_sink([&](LogLevel, Time, const std::string& msg) {
+    messages.push_back(msg);
+  });
+  log.log(LogLevel::kInfo, seconds(1), "hello");
+  log.log(LogLevel::kTrace, seconds(2), "filtered");
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0], "hello");
+}
+
+TEST(LoggerTest, MacroOnlyEvaluatesWhenEnabled) {
+  Simulation sim(1);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  EMPTCP_LOG(sim, LogLevel::kInfo, "value=" << expensive());
+  EXPECT_EQ(evaluations, 0);  // logger off: expression not evaluated
+
+  sim.logger().set_level(LogLevel::kInfo);
+  std::vector<std::string> got;
+  sim.logger().set_sink([&](LogLevel, Time, const std::string& m) {
+    got.push_back(m);
+  });
+  EMPTCP_LOG(sim, LogLevel::kInfo, "value=" << expensive());
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "value=42");
+}
+
+TEST(LoggerTest, MessageCarriesSimulationTime) {
+  Simulation sim(1);
+  sim.logger().set_level(LogLevel::kDebug);
+  Time seen = -1;
+  sim.logger().set_sink(
+      [&](LogLevel, Time t, const std::string&) { seen = t; });
+  sim.in(milliseconds(250), [&] {
+    EMPTCP_LOG(sim, LogLevel::kInfo, "tick");
+  });
+  sim.run();
+  EXPECT_EQ(seen, milliseconds(250));
+}
+
+}  // namespace
+}  // namespace emptcp::sim

@@ -1,0 +1,88 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace emptcp::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = r.uniform_int(1, 4);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 4);
+    saw_lo |= x == 1;
+    saw_hi |= x == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng r(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(40.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 40.0, 1.5);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyTracksProbability) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ReseedReproducesSequence) {
+  Rng r(11);
+  std::vector<double> first;
+  for (int i = 0; i < 10; ++i) first.push_back(r.uniform());
+  r.seed(11);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(r.uniform(), first[i]);
+}
+
+}  // namespace
+}  // namespace emptcp::sim

@@ -1,0 +1,79 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace emptcp::sim {
+namespace {
+
+TEST(TimerTest, FiresAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm_in(milliseconds(50));
+  EXPECT_TRUE(t.armed());
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(s.now(), milliseconds(50));
+}
+
+TEST(TimerTest, RearmReplacesDeadline) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm_in(milliseconds(50));
+  t.arm_in(milliseconds(10));  // replaces, does not add
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), milliseconds(10));
+}
+
+TEST(TimerTest, CancelPreventsFiring) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.arm_in(milliseconds(10));
+  t.cancel();
+  EXPECT_FALSE(t.armed());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, DeadlineAccessor) {
+  Scheduler s;
+  Timer t(s, [] {});
+  EXPECT_EQ(t.deadline(), kTimeNever);
+  t.arm_at(milliseconds(42));
+  EXPECT_EQ(t.deadline(), milliseconds(42));
+  t.cancel();
+  EXPECT_EQ(t.deadline(), kTimeNever);
+}
+
+TEST(TimerTest, DestructionCancelsPendingCallback) {
+  Scheduler s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.arm_in(milliseconds(5));
+  }  // destroyed while armed
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, CanRearmInsideCallback) {
+  Scheduler s;
+  int fired = 0;
+  std::unique_ptr<Timer> t;
+  t = std::make_unique<Timer>(s, [&] {
+    if (++fired < 3) t->arm_in(milliseconds(10));
+  });
+  t->arm_in(milliseconds(10));
+  s.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+}  // namespace
+}  // namespace emptcp::sim

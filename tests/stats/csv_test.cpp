@@ -1,0 +1,65 @@
+#include "stats/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace emptcp::stats {
+namespace {
+
+TEST(CsvTest, PlainFieldsUnquoted) {
+  EXPECT_EQ(csv_field("hello"), "hello");
+  EXPECT_EQ(csv_field("12.5"), "12.5");
+}
+
+TEST(CsvTest, SpecialFieldsQuotedAndEscaped) {
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RowsRender) {
+  const std::string csv = to_csv({{"a", "b"}, {"1", "x,y"}});
+  EXPECT_EQ(csv, "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvTest, SeriesToCsv) {
+  const Series s{{0.0, 1.0}, {1.0, 2.5}};
+  const std::string csv = series_to_csv(s, "energy_j");
+  EXPECT_EQ(csv, "t_s,energy_j\n0,1\n1,2.5\n");
+}
+
+TEST(CsvTest, SeriesTableJoinsOnCommonGrid) {
+  const Series a{{0.0, 1.0}, {10.0, 2.0}};
+  const Series b{{0.0, 5.0}, {5.0, 7.0}, {10.0, 9.0}};
+  const std::string csv = series_table_to_csv({{"a", &a}, {"b", &b}}, 3);
+  // Header + 3 grid rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("t_s,a,b"), std::string::npos);
+  // At t=5: a holds its last value (1), b stepped to 7.
+  EXPECT_NE(csv.find("5,1,7"), std::string::npos);
+}
+
+TEST(CsvTest, SeriesTableDegenerateInputs) {
+  EXPECT_TRUE(series_table_to_csv({}, 10).empty());
+  const Series empty;
+  EXPECT_TRUE(series_table_to_csv({{"e", &empty}}, 10).empty());
+}
+
+TEST(CsvTest, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/emptcp_csv_test.csv";
+  ASSERT_TRUE(write_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-xyz/file.csv", "x"));
+}
+
+}  // namespace
+}  // namespace emptcp::stats

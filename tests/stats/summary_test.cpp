@@ -1,0 +1,77 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emptcp::stats {
+namespace {
+
+TEST(SummaryTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(SummaryTest, StddevMatchesPaperEquation2) {
+  // Eq. 2: s = sqrt( 1/(n-1) * sum (x_i - mean)^2 ).
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(SummaryTest, SemIsStddevOverSqrtN) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sem(xs), stddev(xs) / 2.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(SummaryTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(SummaryTest, WhiskerFiveNumberSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 11; ++i) xs.push_back(static_cast<double>(i));
+  const Whisker w = whisker(xs);
+  EXPECT_DOUBLE_EQ(w.median, 6.0);
+  EXPECT_DOUBLE_EQ(w.q1, 3.5);
+  EXPECT_DOUBLE_EQ(w.q3, 8.5);
+  EXPECT_DOUBLE_EQ(w.lo_whisker, 1.0);
+  EXPECT_DOUBLE_EQ(w.hi_whisker, 11.0);
+  EXPECT_TRUE(w.outliers.empty());
+  EXPECT_EQ(w.n, 11u);
+}
+
+TEST(SummaryTest, WhiskerFlagsOutliersBeyond15Iqr) {
+  // §5.2: outliers sit outside [Q1 - 1.5 IQR, Q3 + 1.5 IQR].
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100};
+  const Whisker w = whisker(xs);
+  ASSERT_EQ(w.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(w.hi_whisker, 10.0);  // whisker ends at last in-fence
+}
+
+TEST(SummaryTest, WhiskerEmptySampleSafe) {
+  const Whisker w = whisker({});
+  EXPECT_EQ(w.n, 0u);
+}
+
+TEST(SummaryTest, WhiskerAllIdentical) {
+  const Whisker w = whisker({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(w.q1, 5.0);
+  EXPECT_DOUBLE_EQ(w.q3, 5.0);
+  EXPECT_DOUBLE_EQ(w.lo_whisker, 5.0);
+  EXPECT_DOUBLE_EQ(w.hi_whisker, 5.0);
+  EXPECT_TRUE(w.outliers.empty());
+}
+
+}  // namespace
+}  // namespace emptcp::stats

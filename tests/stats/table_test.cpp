@@ -1,0 +1,49 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::stats {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"longer-cell", "1"});
+  const std::string out = t.render();
+  // Header row and data row have equal length.
+  const auto nl1 = out.find('\n');
+  const auto nl2 = out.find('\n', nl1 + 1);
+  const auto nl3 = out.find('\n', nl2 + 1);
+  EXPECT_EQ(nl1, nl3 - nl2 - 1);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TableTest, ExtraCellsIgnored) {
+  Table t({"a"});
+  t.add_row({"x", "overflow"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace emptcp::stats

@@ -1,0 +1,61 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::stats {
+namespace {
+
+Series ramp() {
+  return Series{{0.0, 0.0}, {1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+}
+
+TEST(TimeseriesTest, ValueAtUsesStepInterpolation) {
+  const Series s = ramp();
+  EXPECT_DOUBLE_EQ(value_at(s, -1.0), 0.0);   // before start
+  EXPECT_DOUBLE_EQ(value_at(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(value_at(s, 1.5), 10.0);   // last value at/before t
+  EXPECT_DOUBLE_EQ(value_at(s, 3.0), 30.0);
+  EXPECT_DOUBLE_EQ(value_at(s, 99.0), 30.0);  // after end
+}
+
+TEST(TimeseriesTest, ValueAtEmptySeriesIsZero) {
+  EXPECT_DOUBLE_EQ(value_at(Series{}, 1.0), 0.0);
+}
+
+TEST(TimeseriesTest, ResampleProducesEvenGrid) {
+  const Series r = resample(ramp(), 0.0, 3.0, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(r[3].t, 3.0);
+  EXPECT_DOUBLE_EQ(r[1].v, 10.0);
+}
+
+TEST(TimeseriesTest, ResampleDegenerateInputs) {
+  EXPECT_TRUE(resample(ramp(), 0.0, 3.0, 0).empty());
+  EXPECT_TRUE(resample(ramp(), 3.0, 3.0, 5).empty());
+}
+
+TEST(TimeseriesTest, SparklineHasRequestedWidth) {
+  const std::string sl = sparkline(ramp(), 20);
+  // Each glyph is a 3-byte UTF-8 block character.
+  EXPECT_EQ(sl.size(), 20u * 3u);
+  EXPECT_TRUE(sparkline(Series{}).empty());
+}
+
+TEST(TimeseriesTest, AsciiChartContainsAxisAndMarks) {
+  const std::string chart = ascii_chart(ramp(), 40, 8);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("t="), std::string::npos);
+  // 8 data rows + separator + time label.
+  int lines = 0;
+  for (char c : chart) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 10);
+}
+
+TEST(TimeseriesTest, AsciiChartFlatSeriesSafe) {
+  const Series flat{{0.0, 5.0}, {10.0, 5.0}};
+  EXPECT_FALSE(ascii_chart(flat).empty());  // no divide-by-zero
+}
+
+}  // namespace
+}  // namespace emptcp::stats

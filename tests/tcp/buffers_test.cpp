@@ -1,0 +1,122 @@
+#include "tcp/buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace emptcp::tcp {
+namespace {
+
+TEST(IntervalReassemblyTest, InOrderAdvancesCumulative) {
+  IntervalReassembly r(1);
+  EXPECT_EQ(r.insert(1, 100), 100u);
+  EXPECT_EQ(r.cumulative(), 101u);
+  EXPECT_EQ(r.insert(101, 50), 50u);
+  EXPECT_EQ(r.cumulative(), 151u);
+  EXPECT_FALSE(r.has_gaps());
+}
+
+TEST(IntervalReassemblyTest, OutOfOrderBuffersThenDrains) {
+  IntervalReassembly r(1);
+  EXPECT_EQ(r.insert(101, 100), 0u);  // gap at [1,101)
+  EXPECT_TRUE(r.has_gaps());
+  EXPECT_EQ(r.buffered_bytes(), 100u);
+  EXPECT_EQ(r.insert(1, 100), 200u);  // fills the gap, drains the buffer
+  EXPECT_EQ(r.cumulative(), 201u);
+  EXPECT_FALSE(r.has_gaps());
+}
+
+TEST(IntervalReassemblyTest, DuplicatesCountZero) {
+  IntervalReassembly r(1);
+  r.insert(1, 100);
+  EXPECT_EQ(r.insert(1, 100), 0u);
+  EXPECT_EQ(r.insert(50, 51), 0u);
+  EXPECT_EQ(r.cumulative(), 101u);
+}
+
+TEST(IntervalReassemblyTest, PartialOverlapCountsOnlyNewBytes) {
+  IntervalReassembly r(1);
+  r.insert(1, 100);
+  EXPECT_EQ(r.insert(51, 100), 50u);  // [101,151) is new
+  EXPECT_EQ(r.cumulative(), 151u);
+}
+
+TEST(IntervalReassemblyTest, MergesAdjacentOutOfOrderIntervals) {
+  IntervalReassembly r(1);
+  r.insert(101, 50);
+  r.insert(151, 50);  // adjacent: one interval [101,201)
+  EXPECT_EQ(r.gap_segments(), 1u);
+  r.insert(301, 50);  // disjoint: second interval
+  EXPECT_EQ(r.gap_segments(), 2u);
+  r.insert(201, 100);  // bridges [201,301): all merge
+  EXPECT_EQ(r.gap_segments(), 1u);
+  EXPECT_EQ(r.buffered_bytes(), 250u);
+}
+
+TEST(IntervalReassemblyTest, OverlappingSpanMergesEverything) {
+  IntervalReassembly r(0);
+  r.insert(10, 10);
+  r.insert(30, 10);
+  r.insert(50, 10);
+  EXPECT_EQ(r.gap_segments(), 3u);
+  EXPECT_EQ(r.insert(5, 60), 0u);  // covers all three
+  EXPECT_EQ(r.gap_segments(), 1u);
+  EXPECT_EQ(r.buffered_bytes(), 60u);
+  EXPECT_EQ(r.insert(0, 5), 65u);  // completes from the cumulative point
+  EXPECT_EQ(r.cumulative(), 65u);
+}
+
+TEST(IntervalReassemblyTest, ZeroLengthInsertIsNoop) {
+  IntervalReassembly r(1);
+  EXPECT_EQ(r.insert(1, 0), 0u);
+  EXPECT_EQ(r.cumulative(), 1u);
+}
+
+TEST(IntervalReassemblyTest, StaleSegmentBelowCumulativeIgnored) {
+  IntervalReassembly r(1);
+  r.insert(1, 1000);
+  EXPECT_EQ(r.insert(500, 100), 0u);
+  EXPECT_EQ(r.cumulative(), 1001u);
+  EXPECT_FALSE(r.has_gaps());
+}
+
+TEST(IntervalReassemblyTest, SegmentStraddlingCumulative) {
+  IntervalReassembly r(1);
+  r.insert(1, 100);
+  // Segment [51, 201): only [101, 201) is new.
+  EXPECT_EQ(r.insert(51, 150), 100u);
+  EXPECT_EQ(r.cumulative(), 201u);
+}
+
+TEST(IntervalReassemblyTest, IntervalsExposedForSack) {
+  IntervalReassembly r(1);
+  r.insert(101, 50);
+  r.insert(301, 20);
+  const auto& iv = r.intervals();
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv.begin()->first, 101u);
+  EXPECT_EQ(iv.begin()->second, 151u);
+  EXPECT_EQ(std::next(iv.begin())->first, 301u);
+  EXPECT_EQ(std::next(iv.begin())->second, 321u);
+}
+
+TEST(IntervalReassemblyTest, LargeRandomisedSequenceReassembles) {
+  // Property test: inserting a permutation of 1000 segments always ends
+  // with the same cumulative point and no gaps.
+  IntervalReassembly r(0);
+  std::vector<std::uint64_t> offsets;
+  for (std::uint64_t i = 0; i < 1000; ++i) offsets.push_back(i * 100);
+  std::mt19937 gen(7);
+  std::shuffle(offsets.begin(), offsets.end(), gen);
+  std::uint64_t total = 0;
+  for (std::uint64_t off : offsets) total += r.insert(off, 100);
+  EXPECT_EQ(total, 100'000u);
+  EXPECT_EQ(r.cumulative(), 100'000u);
+  EXPECT_FALSE(r.has_gaps());
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace emptcp::tcp

@@ -1,0 +1,108 @@
+#include "tcp/cc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::tcp {
+namespace {
+
+CongestionControl::Config config() {
+  CongestionControl::Config cfg;
+  cfg.mss = 1000;
+  cfg.initial_window_segments = 10;
+  return cfg;
+}
+
+TEST(CongestionControlTest, StartsAtInitialWindowInSlowStart) {
+  RenoCongestionControl cc(config());
+  EXPECT_EQ(cc.cwnd(), 10'000u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(CongestionControlTest, SlowStartDoublesPerWindow) {
+  RenoCongestionControl cc(config());
+  // Acking a full window in MSS-sized chunks roughly doubles cwnd.
+  for (int i = 0; i < 10; ++i) cc.on_ack(1000);
+  EXPECT_EQ(cc.cwnd(), 20'000u);
+}
+
+TEST(CongestionControlTest, LossEventHalvesWindow) {
+  RenoCongestionControl cc(config());
+  cc.on_loss_event();
+  EXPECT_EQ(cc.cwnd(), 5'000u);
+  EXPECT_EQ(cc.ssthresh(), 5'000u);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(CongestionControlTest, CongestionAvoidanceGrowsLinearly) {
+  RenoCongestionControl cc(config());
+  cc.on_loss_event();  // cwnd = ssthresh = 5000 -> CA
+  const std::uint64_t start = cc.cwnd();
+  // One full window of acks should add about one MSS.
+  std::uint64_t acked = 0;
+  while (acked < start) {
+    cc.on_ack(1000);
+    acked += 1000;
+  }
+  EXPECT_NEAR(static_cast<double>(cc.cwnd() - start), 1000.0, 150.0);
+}
+
+TEST(CongestionControlTest, TimeoutCollapsesToOneMss) {
+  RenoCongestionControl cc(config());
+  cc.on_timeout();
+  EXPECT_EQ(cc.cwnd(), 1000u);
+  EXPECT_EQ(cc.ssthresh(), 5'000u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(CongestionControlTest, LossFloorsAtTwoMss) {
+  RenoCongestionControl cc(config());
+  cc.on_timeout();
+  cc.on_loss_event();
+  cc.on_loss_event();
+  EXPECT_GE(cc.cwnd(), 2000u);
+  EXPECT_GE(cc.ssthresh(), 2000u);
+}
+
+TEST(CongestionControlTest, ZeroAckIsNoop) {
+  RenoCongestionControl cc(config());
+  const std::uint64_t before = cc.cwnd();
+  cc.on_ack(0);
+  EXPECT_EQ(cc.cwnd(), before);
+}
+
+TEST(CongestionControlTest, IdleRestartResetsToInitialWindowWhenEnabled) {
+  RenoCongestionControl cc(config());
+  for (int i = 0; i < 30; ++i) cc.on_ack(1000);
+  const std::uint64_t grown = cc.cwnd();
+  ASSERT_GT(grown, cc.initial_cwnd());
+
+  // Idle shorter than RTO: no reset.
+  cc.on_idle_restart(sim::milliseconds(100), sim::milliseconds(200));
+  EXPECT_EQ(cc.cwnd(), grown);
+
+  // Idle longer than RTO: RFC 2861 reset.
+  cc.on_idle_restart(sim::seconds(5), sim::milliseconds(200));
+  EXPECT_EQ(cc.cwnd(), cc.initial_cwnd());
+}
+
+TEST(CongestionControlTest, IdleRestartDisabledKeepsWindow) {
+  // Paper §3.6: eMPTCP disables the reset on resumed subflows so they can
+  // ramp immediately.
+  RenoCongestionControl cc(config());
+  for (int i = 0; i < 30; ++i) cc.on_ack(1000);
+  const std::uint64_t grown = cc.cwnd();
+  cc.set_cwnd_validation(false);
+  cc.on_idle_restart(sim::seconds(60), sim::milliseconds(200));
+  EXPECT_EQ(cc.cwnd(), grown);
+}
+
+TEST(CongestionControlTest, MaxCwndCapRespected) {
+  auto cfg = config();
+  cfg.max_cwnd_bytes = 15'000;
+  RenoCongestionControl cc(cfg);
+  for (int i = 0; i < 1000; ++i) cc.on_ack(1000);
+  EXPECT_LE(cc.cwnd(), 15'000u);
+}
+
+}  // namespace
+}  // namespace emptcp::tcp

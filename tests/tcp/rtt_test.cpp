@@ -1,0 +1,75 @@
+#include "tcp/rtt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::tcp {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+TEST(RttEstimatorTest, InitialRtoIsConfigured) {
+  RttEstimator rtt;
+  EXPECT_EQ(rtt.rto(), seconds(1));
+  EXPECT_FALSE(rtt.has_sample());
+}
+
+TEST(RttEstimatorTest, FirstSampleInitialisesSrttAndRttvar) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  EXPECT_EQ(rtt.srtt(), milliseconds(100));
+  EXPECT_EQ(rtt.rttvar(), milliseconds(50));
+  // RTO = srtt + 4*rttvar = 300 ms.
+  EXPECT_EQ(rtt.rto(), milliseconds(300));
+}
+
+TEST(RttEstimatorTest, SmoothingFollowsRfc6298) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  rtt.add_sample(milliseconds(200));
+  // srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_EQ(rtt.srtt(), milliseconds(112) + sim::microseconds(500));
+  // rttvar = 3/4*50 + 1/4*|100-200| = 62.5 ms
+  EXPECT_EQ(rtt.rttvar(), milliseconds(62) + sim::microseconds(500));
+}
+
+TEST(RttEstimatorTest, StableSamplesShrinkRttvar) {
+  RttEstimator rtt;
+  for (int i = 0; i < 50; ++i) rtt.add_sample(milliseconds(80));
+  EXPECT_EQ(rtt.srtt(), milliseconds(80));
+  EXPECT_LT(rtt.rttvar(), milliseconds(2));
+}
+
+TEST(RttEstimatorTest, MinRtoEnforced) {
+  RttEstimator rtt;
+  for (int i = 0; i < 50; ++i) rtt.add_sample(milliseconds(5));
+  EXPECT_GE(rtt.rto(), milliseconds(200));
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndClampsAtMax) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  const sim::Duration before = rtt.rto();
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), 2 * before);
+  for (int i = 0; i < 20; ++i) rtt.backoff();
+  EXPECT_EQ(rtt.rto(), seconds(60));
+}
+
+TEST(RttEstimatorTest, NegativeSamplesIgnored) {
+  RttEstimator rtt;
+  rtt.add_sample(-5);
+  EXPECT_FALSE(rtt.has_sample());
+}
+
+TEST(RttEstimatorTest, ForceSrttOverridesWithoutTouchingRto) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  const sim::Duration rto = rtt.rto();
+  rtt.force_srtt(0);  // eMPTCP resumed-subflow trick
+  EXPECT_EQ(rtt.srtt(), 0);
+  EXPECT_EQ(rtt.rto(), rto);
+}
+
+}  // namespace
+}  // namespace emptcp::tcp

@@ -1,0 +1,302 @@
+#include "tcp/tcp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/testnet.hpp"
+
+namespace emptcp::tcp {
+namespace {
+
+using test::TestNet;
+
+/// Client/server socket pair over the test network's WiFi path.
+struct SocketPair {
+  explicit SocketPair(TestNet& net, TcpSocket::Config cfg = {})
+      : net_(net), client(net.sim, net.client, cfg) {
+    listener = std::make_unique<TcpListener>(
+        net.server, test::kPort, [this, &net, cfg](const net::Packet& syn) {
+          server = TcpSocket::accept(net.sim, net.server, cfg, syn);
+          if (on_accept) on_accept(*server);
+        });
+  }
+
+  void connect() {
+    client.connect(test::kWifiAddr, 5000, test::kServerAddr, test::kPort);
+  }
+
+  TestNet& net_;
+  TcpSocket client;
+  std::unique_ptr<TcpSocket> server;
+  std::unique_ptr<TcpListener> listener;
+  std::function<void(TcpSocket&)> on_accept;
+};
+
+TEST(TcpSocketTest, ThreeWayHandshakeEstablishesBothEnds) {
+  TestNet net;
+  SocketPair pair(net);
+  bool client_up = false;
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { client_up = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(1));
+
+  EXPECT_TRUE(client_up);
+  EXPECT_EQ(pair.client.state(), TcpState::kEstablished);
+  ASSERT_NE(pair.server, nullptr);
+  EXPECT_EQ(pair.server->state(), TcpState::kEstablished);
+}
+
+TEST(TcpSocketTest, HandshakeRttMeasured) {
+  TestNet net;
+  SocketPair pair(net);
+  pair.connect();
+  net.sim.run_until(sim::seconds(1));
+  // Path RTT is ~20 ms propagation plus transmission time.
+  EXPECT_GT(pair.client.handshake_rtt(), sim::milliseconds(19));
+  EXPECT_LT(pair.client.handshake_rtt(), sim::milliseconds(30));
+  EXPECT_GT(pair.server->handshake_rtt(), sim::milliseconds(19));
+}
+
+TEST(TcpSocketTest, TransfersCountedBytes) {
+  TestNet net;
+  SocketPair pair(net);
+  std::uint64_t received = 0;
+  bool eof = false;
+  pair.on_accept = [](TcpSocket& srv) {
+    srv.send_app_data(100'000);
+    srv.shutdown_write();
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_data = [&](std::uint64_t n) { received += n; };
+  cb.on_eof = [&] { eof = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(10));
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 100'000u);
+  EXPECT_EQ(pair.client.app_bytes_received(), 100'000u);
+  EXPECT_EQ(pair.server->app_bytes_acked(), 100'000u);
+}
+
+TEST(TcpSocketTest, CleanCloseReachesDoneOnBothEnds) {
+  TestNet net;
+  SocketPair pair(net);
+  bool client_closed = false;
+  pair.on_accept = [](TcpSocket& srv) {
+    srv.send_app_data(10'000);
+    srv.shutdown_write();
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_eof = [&] { pair.client.shutdown_write(); };
+  cb.on_closed = [&] { client_closed = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(10));
+
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(pair.client.state(), TcpState::kDone);
+  EXPECT_EQ(pair.server->state(), TcpState::kDone);
+  EXPECT_FALSE(pair.client.failed());
+}
+
+TEST(TcpSocketTest, SurvivesRandomLoss) {
+  TestNet net;
+  net.wifi_down->set_loss_prob(0.03);
+  net.wifi_up->set_loss_prob(0.01);
+  SocketPair pair(net);
+  std::uint64_t received = 0;
+  bool eof = false;
+  pair.on_accept = [](TcpSocket& srv) {
+    srv.send_app_data(2'000'000);
+    srv.shutdown_write();
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_data = [&](std::uint64_t n) { received += n; };
+  cb.on_eof = [&] { eof = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(120));
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, 2'000'000u);
+  EXPECT_GT(pair.server->retransmitted_segments(), 0u);
+}
+
+TEST(TcpSocketTest, ThroughputApproachesLinkRate) {
+  TestNet net(1, /*wifi=*/8.0, /*cell=*/8.0);
+  SocketPair pair(net);
+  const std::uint64_t size = 8'000'000;  // 8 MB
+  bool eof = false;
+  sim::Time done_at = 0;
+  pair.on_accept = [size](TcpSocket& srv) {
+    srv.send_app_data(size);
+    srv.shutdown_write();
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_eof = [&] {
+    eof = true;
+    done_at = net.sim.now();
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(120));
+
+  ASSERT_TRUE(eof);
+  const double mbps = static_cast<double>(size) * 8.0 / 1e6 /
+                      sim::to_seconds(done_at);
+  EXPECT_GT(mbps, 4.5);  // >55 % of the 8 Mbps bottleneck
+}
+
+TEST(TcpSocketTest, SynLossRetriesAndConnects) {
+  TestNet net;
+  net.wifi_up->set_loss_prob(1.0);  // drop the first SYN
+  SocketPair pair(net);
+  bool connected = false;
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { connected = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::milliseconds(500));
+  net.wifi_up->set_loss_prob(0.0);  // heal before the retry
+  net.sim.run_until(sim::seconds(5));
+  EXPECT_TRUE(connected);
+}
+
+TEST(TcpSocketTest, ConnectFailsAfterMaxSynRetries) {
+  TestNet net;
+  net.wifi_up->set_loss_prob(1.0);
+  TcpSocket::Config cfg;
+  cfg.max_syn_retries = 2;
+  SocketPair pair(net, cfg);
+  bool closed = false;
+  TcpSocket::Callbacks cb;
+  cb.on_closed = [&] { closed = true; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(60));
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(pair.client.failed());
+}
+
+TEST(TcpSocketTest, DeadPathFailsAfterDataRtoLimit) {
+  TestNet net;
+  TcpSocket::Config cfg;
+  cfg.max_data_rtos = 3;
+  SocketPair pair(net, cfg);
+  bool server_failed = false;
+  pair.on_accept = [&](TcpSocket& srv) {
+    srv.send_app_data(1'000'000);
+    TcpSocket::Callbacks scb;
+    scb.on_closed = [&] { server_failed = true; };
+    srv.set_callbacks(std::move(scb));
+  };
+  pair.connect();
+  net.sim.run_until(sim::milliseconds(500));
+  // Kill the path mid-transfer.
+  net.wifi_down->set_loss_prob(1.0);
+  net.wifi_up->set_loss_prob(1.0);
+  net.sim.run_until(sim::seconds(120));
+  EXPECT_TRUE(server_failed);
+  EXPECT_TRUE(pair.server->failed());
+}
+
+TEST(TcpSocketTest, BidirectionalTransfer) {
+  TestNet net;
+  SocketPair pair(net);
+  std::uint64_t server_got = 0;
+  pair.on_accept = [&](TcpSocket& srv) {
+    TcpSocket::Callbacks scb;
+    scb.on_data = [&](std::uint64_t n) { server_got += n; };
+    srv.set_callbacks(std::move(scb));
+    srv.send_app_data(50'000);
+  };
+  std::uint64_t client_got = 0;
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { pair.client.send_app_data(30'000); };
+  cb.on_data = [&](std::uint64_t n) { client_got += n; };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(10));
+  EXPECT_EQ(server_got, 30'000u);
+  EXPECT_EQ(client_got, 50'000u);
+}
+
+TEST(TcpSocketTest, MpPrioTravelsOnPureAck) {
+  TestNet net;
+  SocketPair pair(net);
+  bool saw_prio = false;
+  pair.on_accept = [&](TcpSocket& srv) {
+    TcpSocket::Callbacks scb;
+    scb.on_packet = [&](const net::Packet& p) {
+      if (p.mp_prio && p.mp_prio->backup) saw_prio = true;
+    };
+    srv.set_callbacks(std::move(scb));
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_connected = [&] { pair.client.send_mp_prio(true); };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(2));
+  EXPECT_TRUE(saw_prio);
+}
+
+TEST(TcpSocketTest, DataAckCarriedOnAcks) {
+  TestNet net;
+  SocketPair pair(net);
+  std::uint64_t seen_data_ack = 0;
+  pair.on_accept = [&](TcpSocket& srv) {
+    srv.send_app_data(10'000);
+    TcpSocket::Callbacks scb;
+    scb.on_packet = [&](const net::Packet& p) {
+      if (p.data_ack) seen_data_ack = std::max(seen_data_ack, *p.data_ack);
+    };
+    srv.set_callbacks(std::move(scb));
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_data = [&](std::uint64_t) {
+    pair.client.set_data_ack(777);  // meta-socket would set this
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(seen_data_ack, 777u);
+}
+
+TEST(TcpSocketTest, SegmentSourceDrivesPayloadWithDss) {
+  TestNet net;
+  SocketPair pair(net);
+  std::uint64_t delivered_data_level = 0;
+  pair.on_accept = [&](TcpSocket& srv) {
+    // Hand out 10 chunks of 1000 bytes with DSS mappings.
+    auto remaining = std::make_shared<std::uint64_t>(10'000);
+    auto next_seq = std::make_shared<std::uint64_t>(1);
+    srv.set_segment_source(
+        [remaining, next_seq](std::uint32_t max_len)
+            -> std::optional<TcpSocket::Chunk> {
+          if (*remaining == 0) return std::nullopt;
+          TcpSocket::Chunk c;
+          c.len = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>({*remaining, max_len, 1000}));
+          c.dss = net::DssMapping{*next_seq, 0, c.len};
+          *next_seq += c.len;
+          *remaining -= c.len;
+          return c;
+        });
+    srv.notify_data_available();
+  };
+  TcpSocket::Callbacks cb;
+  cb.on_packet = [&](const net::Packet& p) {
+    if (p.dss) delivered_data_level += p.dss->length;
+  };
+  pair.client.set_callbacks(std::move(cb));
+  pair.connect();
+  net.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(delivered_data_level, 10'000u);
+}
+
+}  // namespace
+}  // namespace emptcp::tcp
