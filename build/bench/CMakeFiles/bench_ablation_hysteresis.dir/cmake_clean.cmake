@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hysteresis.dir/bench_ablation_hysteresis.cpp.o"
+  "CMakeFiles/bench_ablation_hysteresis.dir/bench_ablation_hysteresis.cpp.o.d"
+  "bench_ablation_hysteresis"
+  "bench_ablation_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kappa_tau.dir/bench_ablation_kappa_tau.cpp.o"
+  "CMakeFiles/bench_ablation_kappa_tau.dir/bench_ablation_kappa_tau.cpp.o.d"
+  "bench_ablation_kappa_tau"
+  "bench_ablation_kappa_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kappa_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resume_tweaks.dir/bench_ablation_resume_tweaks.cpp.o"
+  "CMakeFiles/bench_ablation_resume_tweaks.dir/bench_ablation_resume_tweaks.cpp.o.d"
+  "bench_ablation_resume_tweaks"
+  "bench_ablation_resume_tweaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resume_tweaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_devices.dir/bench_ext_devices.cpp.o"
+  "CMakeFiles/bench_ext_devices.dir/bench_ext_devices.cpp.o.d"
+  "bench_ext_devices"
+  "bench_ext_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

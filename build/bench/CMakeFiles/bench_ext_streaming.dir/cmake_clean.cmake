@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_streaming.dir/bench_ext_streaming.cpp.o"
+  "CMakeFiles/bench_ext_streaming.dir/bench_ext_streaming.cpp.o.d"
+  "bench_ext_streaming"
+  "bench_ext_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

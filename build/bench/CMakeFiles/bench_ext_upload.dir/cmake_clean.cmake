@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_upload.dir/bench_ext_upload.cpp.o"
+  "CMakeFiles/bench_ext_upload.dir/bench_ext_upload.cpp.o.d"
+  "bench_ext_upload"
+  "bench_ext_upload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_upload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_operating_region.dir/bench_fig04_operating_region.cpp.o"
+  "CMakeFiles/bench_fig04_operating_region.dir/bench_fig04_operating_region.cpp.o.d"
+  "bench_fig04_operating_region"
+  "bench_fig04_operating_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_operating_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

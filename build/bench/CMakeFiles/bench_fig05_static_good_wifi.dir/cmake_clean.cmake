@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_static_good_wifi.dir/bench_fig05_static_good_wifi.cpp.o"
+  "CMakeFiles/bench_fig05_static_good_wifi.dir/bench_fig05_static_good_wifi.cpp.o.d"
+  "bench_fig05_static_good_wifi"
+  "bench_fig05_static_good_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_static_good_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

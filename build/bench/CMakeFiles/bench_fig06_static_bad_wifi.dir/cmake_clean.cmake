@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_static_bad_wifi.dir/bench_fig06_static_bad_wifi.cpp.o"
+  "CMakeFiles/bench_fig06_static_bad_wifi.dir/bench_fig06_static_bad_wifi.cpp.o.d"
+  "bench_fig06_static_bad_wifi"
+  "bench_fig06_static_bad_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_static_bad_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

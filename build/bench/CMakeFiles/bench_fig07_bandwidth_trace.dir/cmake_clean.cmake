@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_bandwidth_trace.dir/bench_fig07_bandwidth_trace.cpp.o"
+  "CMakeFiles/bench_fig07_bandwidth_trace.dir/bench_fig07_bandwidth_trace.cpp.o.d"
+  "bench_fig07_bandwidth_trace"
+  "bench_fig07_bandwidth_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_bandwidth_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_bandwidth_changes.dir/bench_fig08_bandwidth_changes.cpp.o"
+  "CMakeFiles/bench_fig08_bandwidth_changes.dir/bench_fig08_bandwidth_changes.cpp.o.d"
+  "bench_fig08_bandwidth_changes"
+  "bench_fig08_bandwidth_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_bandwidth_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

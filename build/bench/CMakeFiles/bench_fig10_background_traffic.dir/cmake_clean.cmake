@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_background_traffic.dir/bench_fig10_background_traffic.cpp.o"
+  "CMakeFiles/bench_fig10_background_traffic.dir/bench_fig10_background_traffic.cpp.o.d"
+  "bench_fig10_background_traffic"
+  "bench_fig10_background_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_background_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

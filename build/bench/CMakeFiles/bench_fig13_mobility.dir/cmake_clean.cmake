@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mobility.dir/bench_fig13_mobility.cpp.o"
+  "CMakeFiles/bench_fig13_mobility.dir/bench_fig13_mobility.cpp.o.d"
+  "bench_fig13_mobility"
+  "bench_fig13_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

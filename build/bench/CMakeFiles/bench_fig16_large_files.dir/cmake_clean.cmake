@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_large_files.dir/bench_fig16_large_files.cpp.o"
+  "CMakeFiles/bench_fig16_large_files.dir/bench_fig16_large_files.cpp.o.d"
+  "bench_fig16_large_files"
+  "bench_fig16_large_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_large_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

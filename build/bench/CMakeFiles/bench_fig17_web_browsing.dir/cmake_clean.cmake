@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_web_browsing.dir/bench_fig17_web_browsing.cpp.o"
+  "CMakeFiles/bench_fig17_web_browsing.dir/bench_fig17_web_browsing.cpp.o.d"
+  "bench_fig17_web_browsing"
+  "bench_fig17_web_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_web_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec46_baselines.dir/bench_sec46_baselines.cpp.o"
+  "CMakeFiles/bench_sec46_baselines.dir/bench_sec46_baselines.cpp.o.d"
+  "bench_sec46_baselines"
+  "bench_sec46_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec46_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

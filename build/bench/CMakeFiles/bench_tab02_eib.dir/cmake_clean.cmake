@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_eib.dir/bench_tab02_eib.cpp.o"
+  "CMakeFiles/bench_tab02_eib.dir/bench_tab02_eib.cpp.o.d"
+  "bench_tab02_eib"
+  "bench_tab02_eib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_eib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

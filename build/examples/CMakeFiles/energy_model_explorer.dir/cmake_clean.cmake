@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_model_explorer.dir/energy_model_explorer.cpp.o"
+  "CMakeFiles/energy_model_explorer.dir/energy_model_explorer.cpp.o.d"
+  "energy_model_explorer"
+  "energy_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_walk.dir/mobility_walk.cpp.o"
+  "CMakeFiles/mobility_walk.dir/mobility_walk.cpp.o.d"
+  "mobility_walk"
+  "mobility_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

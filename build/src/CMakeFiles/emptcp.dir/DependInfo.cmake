@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/bulk_download.cpp" "src/CMakeFiles/emptcp.dir/app/bulk_download.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/app/bulk_download.cpp.o.d"
+  "/root/repo/src/app/onoff_udp.cpp" "src/CMakeFiles/emptcp.dir/app/onoff_udp.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/app/onoff_udp.cpp.o.d"
+  "/root/repo/src/app/scenario.cpp" "src/CMakeFiles/emptcp.dir/app/scenario.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/app/scenario.cpp.o.d"
+  "/root/repo/src/app/streaming.cpp" "src/CMakeFiles/emptcp.dir/app/streaming.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/app/streaming.cpp.o.d"
+  "/root/repo/src/app/web_browser.cpp" "src/CMakeFiles/emptcp.dir/app/web_browser.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/app/web_browser.cpp.o.d"
+  "/root/repo/src/baselines/mdp_scheduler.cpp" "src/CMakeFiles/emptcp.dir/baselines/mdp_scheduler.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/baselines/mdp_scheduler.cpp.o.d"
+  "/root/repo/src/baselines/wifi_first.cpp" "src/CMakeFiles/emptcp.dir/baselines/wifi_first.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/baselines/wifi_first.cpp.o.d"
+  "/root/repo/src/core/bandwidth_predictor.cpp" "src/CMakeFiles/emptcp.dir/core/bandwidth_predictor.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/bandwidth_predictor.cpp.o.d"
+  "/root/repo/src/core/delayed_subflow.cpp" "src/CMakeFiles/emptcp.dir/core/delayed_subflow.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/delayed_subflow.cpp.o.d"
+  "/root/repo/src/core/emptcp_connection.cpp" "src/CMakeFiles/emptcp.dir/core/emptcp_connection.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/emptcp_connection.cpp.o.d"
+  "/root/repo/src/core/energy_info_base.cpp" "src/CMakeFiles/emptcp.dir/core/energy_info_base.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/energy_info_base.cpp.o.d"
+  "/root/repo/src/core/holt_winters.cpp" "src/CMakeFiles/emptcp.dir/core/holt_winters.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/holt_winters.cpp.o.d"
+  "/root/repo/src/core/path_usage_controller.cpp" "src/CMakeFiles/emptcp.dir/core/path_usage_controller.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/core/path_usage_controller.cpp.o.d"
+  "/root/repo/src/energy/device_profile.cpp" "src/CMakeFiles/emptcp.dir/energy/device_profile.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/energy/device_profile.cpp.o.d"
+  "/root/repo/src/energy/energy_tracker.cpp" "src/CMakeFiles/emptcp.dir/energy/energy_tracker.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/energy/energy_tracker.cpp.o.d"
+  "/root/repo/src/energy/model_calc.cpp" "src/CMakeFiles/emptcp.dir/energy/model_calc.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/energy/model_calc.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/CMakeFiles/emptcp.dir/energy/power_model.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/radio.cpp" "src/CMakeFiles/emptcp.dir/energy/radio.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/energy/radio.cpp.o.d"
+  "/root/repo/src/mptcp/coupled_cc.cpp" "src/CMakeFiles/emptcp.dir/mptcp/coupled_cc.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/mptcp/coupled_cc.cpp.o.d"
+  "/root/repo/src/mptcp/meta_socket.cpp" "src/CMakeFiles/emptcp.dir/mptcp/meta_socket.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/mptcp/meta_socket.cpp.o.d"
+  "/root/repo/src/mptcp/scheduler.cpp" "src/CMakeFiles/emptcp.dir/mptcp/scheduler.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/mptcp/scheduler.cpp.o.d"
+  "/root/repo/src/mptcp/subflow.cpp" "src/CMakeFiles/emptcp.dir/mptcp/subflow.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/mptcp/subflow.cpp.o.d"
+  "/root/repo/src/net/channel/mobility.cpp" "src/CMakeFiles/emptcp.dir/net/channel/mobility.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/channel/mobility.cpp.o.d"
+  "/root/repo/src/net/channel/onoff_bandwidth.cpp" "src/CMakeFiles/emptcp.dir/net/channel/onoff_bandwidth.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/channel/onoff_bandwidth.cpp.o.d"
+  "/root/repo/src/net/channel/wifi_channel.cpp" "src/CMakeFiles/emptcp.dir/net/channel/wifi_channel.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/channel/wifi_channel.cpp.o.d"
+  "/root/repo/src/net/interface.cpp" "src/CMakeFiles/emptcp.dir/net/interface.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/interface.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/emptcp.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/emptcp.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/emptcp.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/net/packet.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/CMakeFiles/emptcp.dir/sim/event.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/sim/event.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/emptcp.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/emptcp.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/emptcp.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/emptcp.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/sim/timer.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "src/CMakeFiles/emptcp.dir/stats/csv.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/emptcp.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/emptcp.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/emptcp.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/tcp/buffers.cpp" "src/CMakeFiles/emptcp.dir/tcp/buffers.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/tcp/buffers.cpp.o.d"
+  "/root/repo/src/tcp/cc.cpp" "src/CMakeFiles/emptcp.dir/tcp/cc.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/tcp/cc.cpp.o.d"
+  "/root/repo/src/tcp/rtt.cpp" "src/CMakeFiles/emptcp.dir/tcp/rtt.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/tcp/rtt.cpp.o.d"
+  "/root/repo/src/tcp/tcp_socket.cpp" "src/CMakeFiles/emptcp.dir/tcp/tcp_socket.cpp.o" "gcc" "src/CMakeFiles/emptcp.dir/tcp/tcp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

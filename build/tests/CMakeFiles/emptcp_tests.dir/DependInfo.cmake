@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/bulk_download_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/bulk_download_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/bulk_download_test.cpp.o.d"
+  "/root/repo/tests/app/onoff_udp_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/onoff_udp_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/onoff_udp_test.cpp.o.d"
+  "/root/repo/tests/app/scenario_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/scenario_test.cpp.o.d"
+  "/root/repo/tests/app/streaming_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/streaming_test.cpp.o.d"
+  "/root/repo/tests/app/upload_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/upload_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/upload_test.cpp.o.d"
+  "/root/repo/tests/app/web_browser_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/app/web_browser_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/app/web_browser_test.cpp.o.d"
+  "/root/repo/tests/baselines/mdp_scheduler_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/baselines/mdp_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/baselines/mdp_scheduler_test.cpp.o.d"
+  "/root/repo/tests/baselines/wifi_first_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/baselines/wifi_first_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/baselines/wifi_first_test.cpp.o.d"
+  "/root/repo/tests/core/bandwidth_predictor_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/bandwidth_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/bandwidth_predictor_test.cpp.o.d"
+  "/root/repo/tests/core/delayed_subflow_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/delayed_subflow_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/delayed_subflow_test.cpp.o.d"
+  "/root/repo/tests/core/emptcp_connection_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/emptcp_connection_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/emptcp_connection_test.cpp.o.d"
+  "/root/repo/tests/core/energy_info_base_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/energy_info_base_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/energy_info_base_test.cpp.o.d"
+  "/root/repo/tests/core/holt_winters_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/holt_winters_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/holt_winters_test.cpp.o.d"
+  "/root/repo/tests/core/path_usage_controller_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/core/path_usage_controller_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/core/path_usage_controller_test.cpp.o.d"
+  "/root/repo/tests/energy/model_calc_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/energy/model_calc_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/energy/model_calc_test.cpp.o.d"
+  "/root/repo/tests/energy/power_model_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/energy/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/energy/power_model_test.cpp.o.d"
+  "/root/repo/tests/energy/radio_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/energy/radio_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/energy/radio_test.cpp.o.d"
+  "/root/repo/tests/energy/tracker_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/energy/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/energy/tracker_test.cpp.o.d"
+  "/root/repo/tests/integration/download_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/integration/download_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/integration/download_test.cpp.o.d"
+  "/root/repo/tests/integration/emptcp_behaviour_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/integration/emptcp_behaviour_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/integration/emptcp_behaviour_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweeps_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/integration/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/integration/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/integration/workload_matrix_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/integration/workload_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/integration/workload_matrix_test.cpp.o.d"
+  "/root/repo/tests/mptcp/coupled_cc_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/mptcp/coupled_cc_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/mptcp/coupled_cc_test.cpp.o.d"
+  "/root/repo/tests/mptcp/meta_socket_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/mptcp/meta_socket_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/mptcp/meta_socket_test.cpp.o.d"
+  "/root/repo/tests/mptcp/scheduler_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/mptcp/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/mptcp/scheduler_test.cpp.o.d"
+  "/root/repo/tests/net/channel_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/net/channel_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/net/channel_test.cpp.o.d"
+  "/root/repo/tests/net/link_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/net/link_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/net/link_test.cpp.o.d"
+  "/root/repo/tests/net/node_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/net/node_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/net/node_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/sim/event_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/sim/event_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/sim/event_test.cpp.o.d"
+  "/root/repo/tests/sim/logging_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/sim/logging_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/sim/logging_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/timer_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/sim/timer_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/sim/timer_test.cpp.o.d"
+  "/root/repo/tests/stats/csv_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/stats/csv_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/stats/csv_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/table_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/stats/table_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/stats/table_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/stats/timeseries_test.cpp.o.d"
+  "/root/repo/tests/tcp/buffers_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/tcp/buffers_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/tcp/buffers_test.cpp.o.d"
+  "/root/repo/tests/tcp/cc_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/tcp/cc_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/tcp/cc_test.cpp.o.d"
+  "/root/repo/tests/tcp/rtt_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/tcp/rtt_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/tcp/rtt_test.cpp.o.d"
+  "/root/repo/tests/tcp/tcp_recovery_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/tcp/tcp_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/tcp/tcp_recovery_test.cpp.o.d"
+  "/root/repo/tests/tcp/tcp_socket_test.cpp" "tests/CMakeFiles/emptcp_tests.dir/tcp/tcp_socket_test.cpp.o" "gcc" "tests/CMakeFiles/emptcp_tests.dir/tcp/tcp_socket_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/emptcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
