@@ -1,6 +1,7 @@
 // Paper Fig. 8: energy and download time under random WiFi bandwidth
 // changes, mean +- SEM over ten 256 MB runs (§4.3).
 #include "bench_util.hpp"
+#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -16,19 +17,25 @@ int main() {
   cfg.onoff.low_mbps = 0.8;
   cfg.onoff.mean_high_s = 40.0;
   cfg.onoff.mean_low_s = 40.0;
-  app::Scenario s(cfg);
 
   struct Result {
     std::vector<double> energy, time;
   };
-  const app::Protocol protocols[] = {app::Protocol::kMptcp,
-                                     app::Protocol::kEmptcp,
-                                     app::Protocol::kTcpWifi};
+  const std::vector<app::Protocol> protocols = {app::Protocol::kMptcp,
+                                                app::Protocol::kEmptcp,
+                                                app::Protocol::kTcpWifi};
+  // Each (protocol, seed) replication is an independent simulation; fan
+  // them out across cores. The [protocol][seed] matrix keeps aggregation
+  // identical to the sequential loop.
+  const auto matrix = runtime::run_replications(
+      protocols, runtime::seed_range(40, 10),
+      [&cfg](const app::Protocol& p, std::uint64_t seed) {
+        app::Scenario s(cfg);
+        return s.run_download(p, 256 * kMB, seed);
+      });
   Result results[3];
-  for (int run = 0; run < 10; ++run) {
-    for (int i = 0; i < 3; ++i) {
-      const app::RunMetrics m =
-          s.run_download(protocols[i], 256 * kMB, 40 + run);
+  for (int i = 0; i < 3; ++i) {
+    for (const app::RunMetrics& m : matrix[i]) {
       results[i].energy.push_back(m.energy_j);
       results[i].time.push_back(m.download_time_s);
     }

@@ -2,6 +2,7 @@
 // traffic, as a percentage of standard MPTCP, for
 // (λoff, n) in {(0.025, 2), (0.025, 3), (0.05, 3)}; 256 MB, 5 runs (§4.4).
 #include "bench_util.hpp"
+#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -17,24 +18,40 @@ int main() {
   };
   const Setting settings[] = {{0.025, 2}, {0.025, 3}, {0.05, 3}};
 
-  stats::Table table({"(λoff, n)", "protocol", "energy vs MPTCP",
-                      "time vs MPTCP"});
+  const app::Protocol protocols[] = {app::Protocol::kMptcp,
+                                     app::Protocol::kEmptcp,
+                                     app::Protocol::kTcpWifi};
+
+  // Flatten (setting, protocol) into one config list so every replication
+  // across all three settings runs concurrently; the matrix comes back in
+  // submission order, so aggregation matches the sequential nesting.
+  struct RunConfig {
+    app::ScenarioConfig cfg;
+    app::Protocol protocol;
+  };
+  std::vector<RunConfig> runs;
   for (const Setting& set : settings) {
     app::ScenarioConfig cfg = lab_config(15.0, 9.0);
     cfg.interferers = set.n;
     cfg.lambda_on = 0.05;
     cfg.lambda_off = set.lambda_off;
-    app::Scenario s(cfg);
+    for (const app::Protocol p : protocols) runs.push_back({cfg, p});
+  }
+  const auto matrix = runtime::run_replications(
+      runs, runtime::seed_range(60, 5),
+      [](const RunConfig& rc, std::uint64_t seed) {
+        app::Scenario s(rc.cfg);
+        return s.run_download(rc.protocol, 256 * kMB, seed);
+      });
 
-    const app::Protocol protocols[] = {app::Protocol::kMptcp,
-                                       app::Protocol::kEmptcp,
-                                       app::Protocol::kTcpWifi};
+  stats::Table table({"(λoff, n)", "protocol", "energy vs MPTCP",
+                      "time vs MPTCP"});
+  for (std::size_t si = 0; si < std::size(settings); ++si) {
+    const Setting& set = settings[si];
     double e[3] = {0, 0, 0};
     double t[3] = {0, 0, 0};
-    for (int run = 0; run < 5; ++run) {
-      for (int i = 0; i < 3; ++i) {
-        const app::RunMetrics m =
-            s.run_download(protocols[i], 256 * kMB, 60 + run);
+    for (int i = 0; i < 3; ++i) {
+      for (const app::RunMetrics& m : matrix[si * 3 + i]) {
         e[i] += m.energy_j;
         t[i] += m.download_time_s;
       }

@@ -1,6 +1,7 @@
 // Paper Fig. 13: mobile scenario comparison — energy per byte and total
 // download amount over the 250 s walk, mean ± SEM over five runs (§4.5).
 #include "bench_util.hpp"
+#include "runtime/replication.hpp"
 #include "sim/random.hpp"
 
 int main() {
@@ -10,22 +11,28 @@ int main() {
   header("Figure 13",
          "Mobile scenario: energy/byte and download amount (250 s, 5 runs)");
 
-  const app::Protocol protocols[] = {app::Protocol::kMptcp,
-                                     app::Protocol::kEmptcp,
-                                     app::Protocol::kTcpWifi};
+  const std::vector<app::Protocol> protocols = {app::Protocol::kMptcp,
+                                                app::Protocol::kEmptcp,
+                                                app::Protocol::kTcpWifi};
+  const auto matrix = runtime::run_replications(
+      protocols, runtime::seed_range(80, 5),
+      [](const app::Protocol& p, std::uint64_t seed) {
+        // Per-run environmental jitter: the paper repeats the same walk on
+        // different days, with varying radio conditions. The jitter RNG is
+        // seeded from the run index, so every protocol sees the same
+        // conditions for a given run — exactly as the sequential loop did.
+        const std::uint64_t run = seed - 80;
+        sim::Rng jitter(800 + run);
+        app::ScenarioConfig cfg = lab_config(18.0 * jitter.uniform(0.9, 1.1),
+                                             9.0 * jitter.uniform(0.9, 1.1));
+        cfg.mobility = true;
+        app::Scenario s(cfg);
+        return s.run_timed(p, sim::seconds(250), seed);
+      });
   std::vector<double> jpm[3];
   std::vector<double> mb[3];
-  for (int run = 0; run < 5; ++run) {
-    // Per-run environmental jitter: the paper repeats the same walk on
-    // different days, with varying radio conditions.
-    sim::Rng jitter(800 + static_cast<std::uint64_t>(run));
-    app::ScenarioConfig cfg = lab_config(18.0 * jitter.uniform(0.9, 1.1),
-                                         9.0 * jitter.uniform(0.9, 1.1));
-    cfg.mobility = true;
-    app::Scenario s(cfg);
-    for (int i = 0; i < 3; ++i) {
-      const app::RunMetrics m =
-          s.run_timed(protocols[i], sim::seconds(250), 80 + run);
+  for (int i = 0; i < 3; ++i) {
+    for (const app::RunMetrics& m : matrix[i]) {
       jpm[i].push_back(m.energy_per_mb());
       mb[i].push_back(static_cast<double>(m.bytes_received) / 1e6);
     }

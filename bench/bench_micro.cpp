@@ -1,19 +1,67 @@
-// Micro-benchmarks (google-benchmark): the hot paths of the simulator and
-// the eMPTCP components. These guard the performance envelope that keeps
-// the 256 MB figure reproductions fast.
+// Micro-benchmarks and machine-readable perf harness.
+//
+// Two parts share this binary:
+//  1. A google-benchmark suite guarding the hot paths of the simulator and
+//     the eMPTCP components (run first, honours --benchmark_* flags).
+//  2. A direct harness that measures the core envelope — scheduler
+//     events/sec (steady state), packet-path packets/sec, heap
+//     allocations/event and an end-to-end wall-clock figure — and writes
+//     them to BENCH_core.json (path overridable via EMPTCP_BENCH_JSON) so
+//     CI and later PRs can diff performance without parsing logs.
+//
+// The binary replaces global operator new/delete with counting versions;
+// all figures below are deltas around the measured region, so the
+// allocations/event figure is exact for this process.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "app/scenario.hpp"
 #include "core/energy_info_base.hpp"
 #include "core/holt_winters.hpp"
 #include "energy/device_profile.hpp"
+#include "net/link.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/buffers.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replace the global allocator for this binary only.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace emptcp;
+using Clock = std::chrono::steady_clock;
 
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite
+// ---------------------------------------------------------------------------
+
+// Cold shape: a fresh scheduler per iteration, so slab/heap growth is part
+// of the measurement. Kept for continuity with earlier baselines.
 void BM_SchedulerScheduleAndRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Scheduler sched;
@@ -25,6 +73,46 @@ void BM_SchedulerScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerScheduleAndRun);
+
+// Steady state: one scheduler reused across iterations, the shape of a real
+// run (a figure reproduction executes millions of events in one scheduler).
+// Slab and heap capacity are warm, so this is the pure schedule+fire cost.
+void BM_SchedulerSteadyState(benchmark::State& state) {
+  sim::Scheduler sched;
+  for (auto _ : state) {
+    const sim::Time base = sched.now();
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(base + i, [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSteadyState);
+
+// Packet forwarding through a two-hop link chain (access -> WAN), the
+// per-packet path every simulated byte crosses.
+void BM_LinkChainForward(benchmark::State& state) {
+  sim::Simulation sim;
+  net::Link::Config fast;
+  fast.rate_mbps = 100000.0;
+  fast.prop_delay = sim::microseconds(10);
+  fast.queue_limit_bytes = 64 * 1024 * 1024;
+  net::Link acc(sim, fast);
+  net::Link wan(sim, fast);
+  acc.chain_to(wan);
+  std::uint64_t received = 0;
+  wan.set_receiver([&received](const net::Packet&) { ++received; });
+  net::Packet pkt;
+  pkt.payload = 1448;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) acc.send(pkt);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_LinkChainForward);
 
 void BM_HoltWintersAddForecast(benchmark::State& state) {
   core::HoltWinters hw;
@@ -96,4 +184,159 @@ void BM_EndToEndDownload1MB(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndDownload1MB)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Direct harness -> BENCH_core.json
+// ---------------------------------------------------------------------------
+
+struct CoreResult {
+  // Scheduler, steady state.
+  std::uint64_t sched_events = 0;
+  double sched_seconds = 0.0;
+  double sched_allocs_per_event = 0.0;
+  // Packet path (two-hop link chain).
+  std::uint64_t pkt_packets = 0;
+  double pkt_seconds = 0.0;
+  double pkt_allocs_per_packet = 0.0;
+  // End-to-end download.
+  std::uint64_t e2e_bytes = 0;
+  double e2e_wall_sec = 0.0;
+};
+
+void measure_scheduler(CoreResult& out) {
+  sim::Scheduler sched;
+  constexpr int kBatch = 10'000;
+  constexpr int kWarmupRounds = 10;
+  constexpr int kRounds = 500;
+  auto run_round = [&sched] {
+    const sim::Time base = sched.now();
+    for (int i = 0; i < kBatch; ++i) {
+      sched.schedule_at(base + i, [] {});
+    }
+    sched.run();
+  };
+  for (int r = 0; r < kWarmupRounds; ++r) run_round();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (int r = 0; r < kRounds; ++r) run_round();
+  out.sched_seconds = seconds_since(start);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.sched_events = static_cast<std::uint64_t>(kRounds) * kBatch;
+  out.sched_allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(out.sched_events);
+}
+
+void measure_packet_path(CoreResult& out) {
+  sim::Simulation sim;
+  net::Link::Config fast;
+  fast.rate_mbps = 100000.0;
+  fast.prop_delay = sim::microseconds(10);
+  fast.queue_limit_bytes = 64 * 1024 * 1024;
+  net::Link acc(sim, fast);
+  net::Link wan(sim, fast);
+  acc.chain_to(wan);
+  std::uint64_t received = 0;
+  wan.set_receiver([&received](const net::Packet&) { ++received; });
+  net::Packet pkt;
+  pkt.payload = 1448;
+  constexpr int kBatch = 1'000;
+  constexpr int kWarmupRounds = 10;
+  constexpr int kRounds = 500;
+  auto run_round = [&] {
+    for (int i = 0; i < kBatch; ++i) acc.send(pkt);
+    sim.run();
+  };
+  for (int r = 0; r < kWarmupRounds; ++r) run_round();
+  const std::uint64_t recv_before = received;
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (int r = 0; r < kRounds; ++r) run_round();
+  out.pkt_seconds = seconds_since(start);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.pkt_packets = received - recv_before;
+  out.pkt_allocs_per_packet =
+      static_cast<double>(allocs) / static_cast<double>(out.pkt_packets);
+}
+
+void measure_end_to_end(CoreResult& out) {
+  app::ScenarioConfig cfg;
+  cfg.record_series = false;
+  app::Scenario s(cfg);
+  constexpr std::uint64_t kBytes = 16ull * 1024 * 1024;
+  const auto start = Clock::now();
+  const app::RunMetrics m = s.run_download(app::Protocol::kMptcp, kBytes, 1);
+  out.e2e_wall_sec = seconds_since(start);
+  out.e2e_bytes = kBytes;
+  benchmark::DoNotOptimize(m.energy_j);
+}
+
+void write_json(const CoreResult& r) {
+  const char* path = std::getenv("EMPTCP_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_core.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"emptcp-bench-core-v1\",\n");
+  std::fprintf(f, "  \"scheduler\": {\n");
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.sched_events));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.sched_seconds);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+               static_cast<double>(r.sched_events) / r.sched_seconds);
+  std::fprintf(f, "    \"allocs_per_event\": %.6f\n",
+               r.sched_allocs_per_event);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"packet_path\": {\n");
+  std::fprintf(f, "    \"packets\": %llu,\n",
+               static_cast<unsigned long long>(r.pkt_packets));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.pkt_seconds);
+  std::fprintf(f, "    \"packets_per_sec\": %.0f,\n",
+               static_cast<double>(r.pkt_packets) / r.pkt_seconds);
+  std::fprintf(f, "    \"allocs_per_packet\": %.6f\n",
+               r.pkt_allocs_per_packet);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"end_to_end\": {\n");
+  std::fprintf(f, "    \"bytes\": %llu,\n",
+               static_cast<unsigned long long>(r.e2e_bytes));
+  std::fprintf(f, "    \"wall_clock_sec\": %.6f,\n", r.e2e_wall_sec);
+  std::fprintf(f, "    \"mbytes_per_sec\": %.2f\n",
+               static_cast<double>(r.e2e_bytes) / (1024.0 * 1024.0) /
+                   r.e2e_wall_sec);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("bench_micro: wrote %s\n", path);
+}
+
+void run_core_harness() {
+  CoreResult r;
+  measure_scheduler(r);
+  measure_packet_path(r);
+  measure_end_to_end(r);
+  std::printf(
+      "core: scheduler %.2fM events/s (%.4f allocs/event), "
+      "packet path %.2fM packets/s (%.4f allocs/packet), "
+      "16MB download in %.3fs wall\n",
+      static_cast<double>(r.sched_events) / r.sched_seconds / 1e6,
+      r.sched_allocs_per_event,
+      static_cast<double>(r.pkt_packets) / r.pkt_seconds / 1e6,
+      r.pkt_allocs_per_packet, r.e2e_wall_sec);
+  write_json(r);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_core_harness();
+  return 0;
+}

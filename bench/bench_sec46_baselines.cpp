@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 #include "baselines/mdp_scheduler.hpp"
 #include "energy/device_profile.hpp"
+#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -51,15 +52,21 @@ int main() {
     std::printf("mobility scenario (250 s walk), all protocols:\n");
     app::ScenarioConfig cfg = lab_config(18.0, 9.0);
     cfg.mobility = true;
-    app::Scenario s(cfg);
+    const std::vector<app::Protocol> protocols = {
+        app::Protocol::kMptcp, app::Protocol::kEmptcp,
+        app::Protocol::kTcpWifi, app::Protocol::kWifiFirst,
+        app::Protocol::kMdp};
+    const auto matrix = runtime::run_replications(
+        protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
+          app::Scenario s(cfg);
+          return s.run_timed(p, sim::seconds(250), seed);
+        });
     stats::Table table({"protocol", "energy (J)", "downloaded (MB)",
                         "J/MB", "LTE activations"});
-    for (app::Protocol p :
-         {app::Protocol::kMptcp, app::Protocol::kEmptcp,
-          app::Protocol::kTcpWifi, app::Protocol::kWifiFirst,
-          app::Protocol::kMdp}) {
-      const app::RunMetrics m = s.run_timed(p, sim::seconds(250), 46);
-      table.add_row({app::to_string(p), stats::Table::num(m.energy_j, 0),
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const app::RunMetrics& m = matrix[i][0];
+      table.add_row({app::to_string(protocols[i]),
+                     stats::Table::num(m.energy_j, 0),
                      stats::Table::num(
                          static_cast<double>(m.bytes_received) / 1e6, 0),
                      stats::Table::num(m.energy_per_mb(), 2),
@@ -69,12 +76,20 @@ int main() {
   }
   {
     std::printf("degraded-but-associated WiFi (0.5 Mbps), 16 MB download:\n");
-    app::Scenario s(lab_config(0.5, 9.0));
+    const app::ScenarioConfig cfg = lab_config(0.5, 9.0);
+    const std::vector<app::Protocol> protocols = {app::Protocol::kEmptcp,
+                                                  app::Protocol::kWifiFirst,
+                                                  app::Protocol::kTcpWifi};
+    const auto matrix = runtime::run_replications(
+        protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
+          app::Scenario s(cfg);
+          return s.run_download(p, 16 * kMB, seed);
+        });
     stats::Table table({"protocol", "energy (J)", "time (s)", "LTE bytes"});
-    for (app::Protocol p : {app::Protocol::kEmptcp, app::Protocol::kWifiFirst,
-                            app::Protocol::kTcpWifi}) {
-      const app::RunMetrics m = s.run_download(p, 16 * kMB, 46);
-      table.add_row({app::to_string(p), stats::Table::num(m.energy_j, 0),
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      const app::RunMetrics& m = matrix[i][0];
+      table.add_row({app::to_string(protocols[i]),
+                     stats::Table::num(m.energy_j, 0),
                      stats::Table::num(m.download_time_s, 0),
                      m.cellular_used ? "yes" : "~0"});
     }

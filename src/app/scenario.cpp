@@ -109,26 +109,23 @@ struct World {
     cell_acc_down = mk(cfg.cell.down_mbps, kCellAccessDelay, cfg.cell.loss,
                        cfg.cell.queue_bytes, "cell-acc-down");
 
-    // Wire the chains.
+    // Wire the chains. Intermediate hops forward the pooled buffer with
+    // chain_to (no per-hop copy); only the endpoints deliver by reference.
     wifi_if->set_default_route(*wifi_acc_up);
-    wifi_acc_up->set_receiver(
-        [this](const net::Packet& p) { wifi_wan_up->send(p); });
+    wifi_acc_up->chain_to(*wifi_wan_up);
     wifi_wan_up->set_receiver(
         [this](const net::Packet& p) { srv_if->deliver(p); });
     cell_if->set_default_route(*cell_acc_up);
-    cell_acc_up->set_receiver(
-        [this](const net::Packet& p) { cell_wan_up->send(p); });
+    cell_acc_up->chain_to(*cell_wan_up);
     cell_wan_up->set_receiver(
         [this](const net::Packet& p) { srv_if->deliver(p); });
 
     srv_if->add_route(kWifiAddr, *wifi_wan_down);
     srv_if->add_route(kCellAddr, *cell_wan_down);
-    wifi_wan_down->set_receiver(
-        [this](const net::Packet& p) { wifi_acc_down->send(p); });
+    wifi_wan_down->chain_to(*wifi_acc_down);
     wifi_acc_down->set_receiver(
         [this](const net::Packet& p) { wifi_if->deliver(p); });
-    cell_wan_down->set_receiver(
-        [this](const net::Packet& p) { cell_acc_down->send(p); });
+    cell_wan_down->chain_to(*cell_acc_down);
     cell_acc_down->set_receiver(
         [this](const net::Packet& p) { cell_if->deliver(p); });
 

@@ -1,6 +1,7 @@
 #include "mptcp/meta_socket.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "sim/logging.hpp"
 
@@ -16,7 +17,9 @@ const char* to_string(Mode m) {
 }
 
 std::uint64_t MptcpConnection::next_token() {
-  static std::uint64_t counter = 0;
+  // Atomic so concurrent replications (runtime::run_replications) mint
+  // distinct tokens; behaviour depends only on uniqueness, not the value.
+  static std::atomic<std::uint64_t> counter{0};
   return ++counter;
 }
 

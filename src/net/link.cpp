@@ -5,7 +5,8 @@
 
 namespace emptcp::net {
 
-Link::Link(sim::Simulation& sim, Config cfg) : sim_(sim), cfg_(std::move(cfg)) {
+Link::Link(sim::Simulation& sim, Config cfg)
+    : sim_(sim), cfg_(std::move(cfg)), pool_(sim.context<PacketPool>()) {
   if (cfg_.rate_mbps <= 0.0) {
     throw std::invalid_argument("Link rate must be positive: " + cfg_.name);
   }
@@ -17,10 +18,22 @@ void Link::send(const Packet& pkt) {
     ++dropped_queue_;
     return;
   }
-  Packet copy = pkt;
-  copy.enqueued_at = sim_.now();
-  queued_bytes_ += copy.wire_bytes();
-  queue_.push_back(std::move(copy));
+  PooledPacket slot = pool_.clone(pkt);
+  slot->enqueued_at = sim_.now();
+  queued_bytes_ += slot->wire_bytes();
+  queue_.push_back(std::move(slot));
+  if (!transmitting_) start_transmission();
+}
+
+void Link::send(PooledPacket&& pkt) {
+  if (queued_bytes_ + pkt->wire_bytes() > cfg_.queue_limit_bytes &&
+      !queue_.empty()) {
+    ++dropped_queue_;
+    return;  // pkt's slot returns to the pool
+  }
+  pkt->enqueued_at = sim_.now();
+  queued_bytes_ += pkt->wire_bytes();
+  queue_.push_back(std::move(pkt));
   if (!transmitting_) start_transmission();
 }
 
@@ -30,7 +43,7 @@ void Link::set_rate(double mbps) {
 
 void Link::start_transmission() {
   transmitting_ = true;
-  const Packet& head = queue_.front();
+  const Packet& head = *queue_.front();
   const double bits = static_cast<double>(head.wire_bytes()) * 8.0;
   const sim::Duration tx_time =
       sim::from_seconds(bits / (cfg_.rate_mbps * 1e6));
@@ -38,9 +51,9 @@ void Link::start_transmission() {
 }
 
 void Link::finish_transmission() {
-  Packet pkt = std::move(queue_.front());
+  PooledPacket pkt = std::move(queue_.front());
   queue_.pop_front();
-  queued_bytes_ -= pkt.wire_bytes();
+  queued_bytes_ -= pkt->wire_bytes();
   transmitting_ = false;
 
   const sim::Duration extra = pending_delay_;
@@ -50,13 +63,21 @@ void Link::finish_transmission() {
     ++dropped_loss_;
   } else {
     ++delivered_;
-    delivered_bytes_ += pkt.wire_bytes();
-    sim_.in(cfg_.prop_delay + extra, [this, pkt = std::move(pkt)] {
-      if (receiver_) receiver_(pkt);
+    delivered_bytes_ += pkt->wire_bytes();
+    sim_.in(cfg_.prop_delay + extra, [this, p = std::move(pkt)]() mutable {
+      deliver(std::move(p));
     });
   }
 
   if (!queue_.empty()) start_transmission();
+}
+
+void Link::deliver(PooledPacket&& pkt) {
+  if (next_ != nullptr) {
+    next_->send(std::move(pkt));
+  } else if (receiver_) {
+    receiver_(*pkt);
+  }
 }
 
 }  // namespace emptcp::net

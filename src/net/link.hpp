@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/simulation.hpp"
 
 namespace emptcp::net {
@@ -37,8 +38,19 @@ class Link {
   /// Sets the function invoked when a packet arrives at the far end.
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
-  /// Hands a packet to the link. Drops it if the queue is full.
+  /// Forwards arrivals straight into `next`'s queue instead of a receiver,
+  /// moving the pooled buffer (no copy). This is how multi-hop paths
+  /// (access link -> WAN segment) are wired.
+  void chain_to(Link& next) { next_ = &next; }
+
+  /// Hands a packet to the link. Drops it if the queue is full. The packet
+  /// is copied into a pool slot here — the only copy on its way down the
+  /// chain.
   void send(const Packet& pkt);
+
+  /// Moves an already-pooled packet into the queue (used by chained
+  /// upstream links; applies the same drop-tail policy).
+  void send(PooledPacket&& pkt);
 
   /// Changes the transmission rate. Takes effect from the next packet
   /// serviced; the packet currently in the transmitter finishes at its old
@@ -68,11 +80,14 @@ class Link {
  private:
   void start_transmission();
   void finish_transmission();
+  void deliver(PooledPacket&& pkt);
 
   sim::Simulation& sim_;
   Config cfg_;
+  PacketPool& pool_;
   Receiver receiver_;
-  std::deque<Packet> queue_;
+  Link* next_ = nullptr;
+  std::deque<PooledPacket> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
   sim::Duration pending_delay_ = 0;

@@ -8,11 +8,12 @@
 // travel in-band exactly as in the kernel implementation.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "net/address.hpp"
 #include "sim/time.hpp"
@@ -31,6 +32,48 @@ struct DssMapping {
 /// on (RFC 6824 §3.3.8). eMPTCP uses it to suspend/resume the LTE subflow.
 struct MpPrio {
   bool backup = false;
+};
+
+/// Fixed-capacity list of SACK blocks carried inline in the packet, so a
+/// Packet never owns heap memory and per-hop handling stays allocation-
+/// free. The capacity *is* the protocol bound: pushes beyond capacity are
+/// dropped, enforcing kMaxSackBlocks structurally at the generation point.
+class SackList {
+ public:
+  using Block = std::pair<std::uint64_t, std::uint64_t>;
+  static constexpr std::size_t kCapacity = 64;
+
+  SackList() = default;
+  SackList(const SackList& other) { assign(other); }
+  SackList& operator=(const SackList& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
+  void emplace_back(std::uint64_t start, std::uint64_t end) {
+    if (count_ < kCapacity) blocks_[count_++] = Block{start, end};
+  }
+  void push_back(const Block& b) { emplace_back(b.first, b.second); }
+  void clear() { count_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == kCapacity; }
+  [[nodiscard]] const Block& operator[](std::size_t i) const {
+    return blocks_[i];
+  }
+  [[nodiscard]] const Block* begin() const { return blocks_.data(); }
+  [[nodiscard]] const Block* end() const { return blocks_.data() + count_; }
+
+ private:
+  void assign(const SackList& other) {
+    count_ = other.count_;
+    // Only the live prefix is meaningful; don't copy the whole array.
+    for (std::size_t i = 0; i < count_; ++i) blocks_[i] = other.blocks_[i];
+  }
+
+  std::size_t count_ = 0;
+  std::array<Block, kCapacity> blocks_;  // tail intentionally uninitialised
 };
 
 struct Packet {
@@ -53,8 +96,8 @@ struct Packet {
   /// (RFC 2018). A real header carries 3-4 blocks but a receiver cycles
   /// through its whole scoreboard across successive ACKs; carrying the
   /// scoreboard directly models that steady state without the bookkeeping.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
-  static constexpr std::size_t kMaxSackBlocks = 64;
+  SackList sack;
+  static constexpr std::size_t kMaxSackBlocks = SackList::kCapacity;
 
   /// Application payload bytes carried by this segment.
   std::uint32_t payload = 0;

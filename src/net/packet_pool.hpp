@@ -1,0 +1,100 @@
+// Per-simulation packet buffer pool.
+//
+// Links move packets through the pipeline as pooled handles instead of
+// by-value copies: a packet is copied into a pool slot once, at the hop
+// where it enters a link chain, and from then on only the 16-byte handle
+// moves — through the drop-tail queue, the propagation-delay event and any
+// chained downstream links. Slots return to the freelist when the handle
+// dies (delivery, loss, queue drop), so steady-state forwarding performs
+// no heap allocation. The pool lives in the owning Simulation's context
+// registry (sim.context<PacketPool>()), keeping concurrent simulations
+// fully isolated.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace emptcp::net {
+
+class PacketPool;
+
+/// Move-only owning handle to a pooled Packet; releases the slot back to
+/// the pool on destruction.
+class PooledPacket {
+ public:
+  PooledPacket() = default;
+  PooledPacket(PacketPool* pool, Packet* pkt) : pool_(pool), pkt_(pkt) {}
+
+  PooledPacket(PooledPacket&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        pkt_(std::exchange(other.pkt_, nullptr)) {}
+  PooledPacket& operator=(PooledPacket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = std::exchange(other.pool_, nullptr);
+      pkt_ = std::exchange(other.pkt_, nullptr);
+    }
+    return *this;
+  }
+
+  PooledPacket(const PooledPacket&) = delete;
+  PooledPacket& operator=(const PooledPacket&) = delete;
+
+  ~PooledPacket() { reset(); }
+
+  [[nodiscard]] Packet& operator*() const { return *pkt_; }
+  [[nodiscard]] Packet* operator->() const { return pkt_; }
+  explicit operator bool() const { return pkt_ != nullptr; }
+
+  inline void reset();
+
+ private:
+  PacketPool* pool_ = nullptr;
+  Packet* pkt_ = nullptr;
+};
+
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Takes a slot (reusing a free one if possible) holding a copy of `src`.
+  PooledPacket clone(const Packet& src) {
+    Packet* p = take();
+    *p = src;
+    return PooledPacket{this, p};
+  }
+
+  void release(Packet* p) { free_.push_back(p); }
+
+  /// Total slots ever allocated / currently idle, for tests & diagnostics.
+  [[nodiscard]] std::size_t allocated() const { return storage_.size(); }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  Packet* take() {
+    if (!free_.empty()) {
+      Packet* p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    storage_.push_back(std::make_unique<Packet>());
+    return storage_.back().get();
+  }
+
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
+};
+
+inline void PooledPacket::reset() {
+  if (pkt_ != nullptr) pool_->release(pkt_);
+  pool_ = nullptr;
+  pkt_ = nullptr;
+}
+
+}  // namespace emptcp::net

@@ -1,0 +1,56 @@
+// Fixed-size worker pool for replication-level parallelism.
+//
+// The simulator itself is strictly single-threaded; what parallelises is
+// the *experiment* layer: every paper figure aggregates 5-10 independent
+// (scenario, seed) replications, and each replication owns its whole
+// Simulation (clock, RNG, logger), so runs share no mutable state. The
+// pool is deliberately minimal — a locked queue feeding N workers — since
+// tasks are seconds-long simulations, not microsecond work items.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emptcp::runtime {
+
+/// Worker count used when none is requested: EMPTCP_JOBS if set (0 or
+/// unset means "all cores"), capped to hardware_concurrency, at least 1.
+std::size_t default_worker_count();
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (0 = default_worker_count()).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks may not submit further tasks during shutdown.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace emptcp::runtime

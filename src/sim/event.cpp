@@ -12,7 +12,28 @@ std::string format_time(Time t) {
 }
 
 bool EventId::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sched_ != nullptr && sched_->is_pending(slot_, gen_);
+}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t idx = free_head_;
+    Slot& s = slot(idx);
+    free_head_ = s.next_free;
+    s.next_free = kNoFreeSlot;
+    return idx;
+  }
+  if (slab_size_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return static_cast<std::uint32_t>(slab_size_++);
+}
+
+void Scheduler::release_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.action = nullptr;
+  s.next_free = free_head_;
+  free_head_ = idx;
 }
 
 EventId Scheduler::schedule_at(Time t, Action action) {
@@ -20,30 +41,44 @@ EventId Scheduler::schedule_at(Time t, Action action) {
     throw std::logic_error("Scheduler::schedule_at: time " + format_time(t) +
                            " is in the past (now=" + format_time(now_) + ")");
   }
-  auto state = std::make_shared<EventId::State>();
-  queue_.push(Entry{t, next_seq_++, std::move(action), state});
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slot(idx);
+  s.action = std::move(action);
+  queue_.push(Entry{t, next_seq_++, idx, s.gen});
   ++live_count_;
-  return EventId{std::move(state)};
+  return EventId{this, idx, s.gen};
 }
 
 void Scheduler::cancel(EventId& id) {
-  if (id.state_ && !id.state_->fired) id.state_->cancelled = true;
-  id.state_.reset();
+  if (id.sched_ != nullptr && id.sched_->is_pending(id.slot_, id.gen_)) {
+    // Invalidate the slot but leave it allocated: the queue entry still
+    // references it and frees it when popped.
+    Slot& s = id.sched_->slot(id.slot_);
+    ++s.gen;
+    s.action = nullptr;
+  }
+  id.sched_ = nullptr;
 }
 
 std::size_t Scheduler::run_until(Time stop_at) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
+    const Entry top = queue_.top();
     if (top.t > stop_at) break;
-    Entry entry{top.t, top.seq, std::move(const_cast<Entry&>(top).action),
-                std::move(const_cast<Entry&>(top).state)};
     queue_.pop();
     --live_count_;
-    if (entry.state->cancelled) continue;
-    entry.state->fired = true;
-    now_ = entry.t;
-    entry.action();
+    Slot& s = slot(top.slot);
+    if (s.gen != top.gen) {  // cancelled while queued
+      release_slot(top.slot);
+      continue;
+    }
+    ++s.gen;  // marks the event fired; outstanding handles go stale
+    now_ = top.t;
+    // Invoke in place: chunked slots never move, and the slot is not
+    // released until after the call, so the action cannot be overwritten
+    // even if it schedules (and a new event acquires) other slots.
+    s.action();
+    release_slot(top.slot);
     if (++executed >= event_limit_) {
       throw std::runtime_error("Scheduler: event limit exceeded at t=" +
                                format_time(now_));

@@ -1,23 +1,34 @@
 // Event scheduler: the heart of the discrete-event simulator.
 //
-// The scheduler owns a priority queue of (time, sequence, action) entries.
+// The scheduler owns a priority queue of (time, sequence, slot) entries.
 // Ties on time are broken by insertion sequence so execution order is fully
-// deterministic. Events can be cancelled; cancellation is O(1) (the entry is
-// marked dead and skipped when popped).
+// deterministic. Events can be cancelled; cancellation is O(1) (the slot's
+// generation is bumped and the queue entry is skipped when popped).
+//
+// Hot-path layout: event actions live in a freelist-backed slab of slots,
+// each holding a small-buffer-optimised callable, and queue entries are
+// 24-byte PODs — so scheduling, firing and heap sifting allocate nothing
+// in steady state (only slab/queue growth, which is amortised and then
+// reused for the rest of the run). An EventId is an (index, generation)
+// handle into the slab: stale handles (fired or cancelled events, reused
+// slots) are detected by generation mismatch, keeping cancel-after-fire
+// safe without per-event shared_ptr control blocks.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_function.hpp"
 #include "sim/time.hpp"
 
 namespace emptcp::sim {
 
+class Scheduler;
+
 /// Handle to a scheduled event, usable to cancel it. Default-constructed
-/// handles refer to no event and are safe to cancel (no-op).
+/// handles refer to no event and are safe to cancel (no-op). A handle must
+/// not outlive the Scheduler that issued it.
 class EventId {
  public:
   EventId() = default;
@@ -28,17 +39,17 @@ class EventId {
 
  private:
   friend class Scheduler;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventId(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventId(Scheduler* sched, std::uint32_t slot, std::uint32_t gen)
+      : sched_(sched), slot_(slot), gen_(gen) {}
+
+  Scheduler* sched_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFunction;
 
   /// Current simulated time. Monotonically non-decreasing.
   [[nodiscard]] Time now() const { return now_; }
@@ -52,7 +63,8 @@ class Scheduler {
     return schedule_at(now_ + dt, std::move(action));
   }
 
-  /// Cancels an event if it is still pending. Safe on empty/fired handles.
+  /// Cancels an event if it is still pending. Safe on empty/fired/stale
+  /// handles.
   static void cancel(EventId& id);
 
   /// Runs events until the queue is empty or `stop_at` is reached. Events
@@ -70,21 +82,100 @@ class Scheduler {
   /// Hard cap on executed events per run_until call, as a runaway guard.
   void set_event_limit(std::size_t limit) { event_limit_ = limit; }
 
+  /// Slab capacity (allocated slots), for diagnostics and slab-reuse tests.
+  [[nodiscard]] std::size_t slab_size() const { return slab_size_; }
+
  private:
+  friend class EventId;
+
+  /// Slot in the event slab. `gen` increments every time the slot's event
+  /// leaves the pending state (fire or cancel), invalidating outstanding
+  /// handles; `next_free` threads the freelist.
+  struct Slot {
+    Action action;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoFreeSlot;
+  };
   struct Entry {
     Time t = 0;
     std::uint64_t seq = 0;
-    Action action;
-    std::shared_ptr<EventId::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Min-heap of 24-byte POD entries, 4-ary: half the levels of a binary
+  /// heap and children on adjacent cache lines, which is where the pop-
+  /// heavy event loop spends its time. Order is strict (t, seq) — seq is
+  /// unique — so execution order is identical for any heap arity.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const { return v_.empty(); }
+    [[nodiscard]] const Entry& top() const { return v_.front(); }
+
+    void push(const Entry& e) {
+      std::size_t i = v_.size();
+      v_.push_back(e);
+      while (i != 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!before(e, v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+      }
+      v_[i] = e;
+    }
+
+    void pop() {
+      const Entry last = v_.back();
+      v_.pop_back();
+      if (v_.empty()) return;
+      std::size_t i = 0;
+      const std::size_t n = v_.size();
+      for (;;) {
+        const std::size_t first_child = i * 4 + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t end =
+            first_child + 4 < n ? first_child + 4 : n;
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+          if (before(v_[c], v_[best])) best = c;
+        }
+        if (!before(v_[best], last)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = last;
+    }
+
+   private:
+    static bool before(const Entry& a, const Entry& b) {
+      return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+    }
+    std::vector<Entry> v_;
+  };
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+  // Slots live in fixed-size chunks so growth never moves a Slot: actions
+  // can be invoked in place and Slot references stay valid while an action
+  // runs (even if it schedules more events).
+  static constexpr std::size_t kChunkShift = 8;
+  static constexpr std::size_t kChunkSize = 1u << kChunkShift;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  [[nodiscard]] bool is_pending(std::uint32_t idx, std::uint32_t gen) const {
+    return idx < slab_size_ && slot(idx).gen == gen;
+  }
+
+  EventHeap queue_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t slab_size_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;

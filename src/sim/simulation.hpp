@@ -7,6 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
 
 #include "sim/event.hpp"
 #include "sim/logging.hpp"
@@ -38,7 +41,32 @@ class Simulation {
   std::size_t run_until(Time t) { return sched_.run_until(t); }
   std::size_t run() { return sched_.run(); }
 
+  /// Per-simulation singleton of an arbitrary default-constructible type,
+  /// created on first use. Lets higher layers (e.g. the net packet pool)
+  /// share run-scoped resources without the sim layer depending on them,
+  /// and keeps those resources isolated between concurrently-running
+  /// simulations.
+  template <typename T>
+  T& context() {
+    auto it = contexts_.find(std::type_index(typeid(T)));
+    if (it == contexts_.end()) {
+      it = contexts_
+               .emplace(std::type_index(typeid(T)),
+                        ContextPtr(new T(), [](void* p) {
+                          delete static_cast<T*>(p);
+                        }))
+               .first;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
  private:
+  using ContextPtr = std::unique_ptr<void, void (*)(void*)>;
+
+  // Declared first so contexts (e.g. the packet pool) are destroyed *after*
+  // the scheduler: pending events may hold pooled resources whose
+  // destructors return them to their pool.
+  std::unordered_map<std::type_index, ContextPtr> contexts_;
   Scheduler sched_;
   Rng rng_;
   Logger logger_;

@@ -1,0 +1,116 @@
+// Small-buffer-optimised move-only callable for the event hot path.
+//
+// Every scheduled event stores one of these. std::function heap-allocates
+// for captures beyond two pointers on most ABIs; almost all simulator
+// actions capture at most `this` plus a pooled handle or a couple of
+// scalars, so a 48-byte inline buffer makes the common case allocation-
+// free. Larger captures transparently fall back to the heap, preserving
+// std::function's generality.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace emptcp::sim {
+
+class SmallFunction {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  void operator()() { ops_->invoke(obj_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  // One static table per callable type; `relocate` move-constructs into a
+  // new inline buffer (null for heap-stored callables, which just move the
+  // pointer).
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      static constexpr Ops ops = {
+          [](void* o) { (*static_cast<D*>(o))(); },
+          [](void* dst, void* src) noexcept {
+            ::new (dst) D(std::move(*static_cast<D*>(src)));
+            static_cast<D*>(src)->~D();
+          },
+          [](void* o) noexcept { static_cast<D*>(o)->~D(); }};
+      obj_ = ::new (buf_) D(std::forward<F>(f));
+      ops_ = &ops;
+    } else {
+      static constexpr Ops ops = {
+          [](void* o) { (*static_cast<D*>(o))(); },
+          nullptr,
+          [](void* o) noexcept { delete static_cast<D*>(o); }};
+      obj_ = new D(std::forward<F>(f));
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(buf_, other.obj_);
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;
+    }
+    other.ops_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) ops_->destroy(obj_);
+    ops_ = nullptr;
+    obj_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* obj_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace emptcp::sim

@@ -477,9 +477,11 @@ void TcpSocket::send_pure_ack() {
 }
 
 void TcpSocket::fill_sack(net::Packet& pkt) const {
+  // SackList's fixed capacity *is* the kMaxSackBlocks bound; stop as soon
+  // as it is reached rather than silently dropping later blocks.
   for (const auto& [start, end] : rcv_.intervals()) {
+    if (pkt.sack.full()) break;
     pkt.sack.emplace_back(start, end);
-    if (pkt.sack.size() >= net::Packet::kMaxSackBlocks) break;
   }
 }
 

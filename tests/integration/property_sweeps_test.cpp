@@ -16,6 +16,7 @@
 #include "app/scenario.hpp"
 #include "energy/device_profile.hpp"
 #include "energy/model_calc.hpp"
+#include "runtime/replication.hpp"
 
 namespace emptcp {
 namespace {
@@ -113,14 +114,21 @@ TEST_P(EmptcpSafetySweep, EnergyPremiumBoundedByActivationCosts) {
   cfg.wifi.down_mbps = p.wifi_mbps;
   cfg.cell.down_mbps = p.cell_mbps;
   cfg.record_series = false;
-  app::Scenario s(cfg);
   constexpr std::uint64_t kBytes = 8 * 1024 * 1024;
-  const app::RunMetrics mptcp = s.run_download(app::Protocol::kMptcp,
-                                               kBytes, 5);
-  const app::RunMetrics tcp = s.run_download(app::Protocol::kTcpWifi,
-                                             kBytes, 5);
-  const app::RunMetrics emptcp = s.run_download(app::Protocol::kEmptcp,
-                                                kBytes, 5);
+  // The three protocol runs are independent replications — run them
+  // through the parallel runner (also exercising it under the test
+  // suite); the matrix preserves protocol order.
+  const auto matrix = runtime::run_replications(
+      std::vector<app::Protocol>{app::Protocol::kMptcp,
+                                 app::Protocol::kTcpWifi,
+                                 app::Protocol::kEmptcp},
+      {5}, [&cfg](const app::Protocol& proto, std::uint64_t seed) {
+        app::Scenario s(cfg);
+        return s.run_download(proto, kBytes, seed);
+      });
+  const app::RunMetrics& mptcp = matrix[0][0];
+  const app::RunMetrics& tcp = matrix[1][0];
+  const app::RunMetrics& emptcp = matrix[2][0];
   ASSERT_TRUE(emptcp.completed);
   EXPECT_EQ(emptcp.bytes_received, kBytes);
   const double floor = std::min(mptcp.energy_j, tcp.energy_j);

@@ -1,0 +1,120 @@
+// The parallel replication runner's contract: results come back in a
+// [config][seed] matrix identical to running the same loop sequentially,
+// regardless of worker count or completion order; exceptions propagate.
+#include "runtime/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "app/scenario.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace emptcp::runtime {
+namespace {
+
+TEST(SeedRangeTest, BuildsConsecutiveSeeds) {
+  const std::vector<std::uint64_t> seeds = seed_range(40, 4);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{40, 41, 42, 43}));
+  EXPECT_TRUE(seed_range(7, 0).empty());
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after wait_idle.
+  pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ReplicationTest, MatrixIsInSubmissionOrder) {
+  // Later cells sleep less, so completion order is roughly reversed; the
+  // result matrix must still be [config][seed].
+  const std::vector<int> configs = {100, 200, 300};
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  const auto matrix = run_replications(
+      configs, seeds,
+      [](const int& c, std::uint64_t s) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((400 - c) + (5 - s) * 10));
+        return c + static_cast<int>(s);
+      },
+      4);
+  ASSERT_EQ(matrix.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_EQ(matrix[i].size(), seeds.size());
+    for (std::size_t j = 0; j < seeds.size(); ++j) {
+      EXPECT_EQ(matrix[i][j],
+                configs[i] + static_cast<int>(seeds[j]));
+    }
+  }
+}
+
+TEST(ReplicationTest, SingleConfigOverloadReturnsFlatRow) {
+  const std::vector<int> row =
+      run_replications(7, seed_range(0, 5),
+                       [](const int& c, std::uint64_t s) {
+                         return c * static_cast<int>(s);
+                       });
+  EXPECT_EQ(row, (std::vector<int>{0, 7, 14, 21, 28}));
+}
+
+TEST(ReplicationTest, ExceptionsPropagateAfterAllRunsFinish) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      run_replications(
+          std::vector<int>{1, 2}, seed_range(0, 3),
+          [&completed](const int& c, std::uint64_t s) {
+            if (c == 2 && s == 1) throw std::runtime_error("boom");
+            completed.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+          },
+          2),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 5);  // the other five runs still ran
+}
+
+TEST(ReplicationTest, ParallelSimulationsMatchSequentialBitExactly) {
+  // The real guarantee the figure benches rely on: fanning replications
+  // out across workers yields the exact per-(config, seed) metrics the
+  // sequential loop produces — simulations share no mutable state.
+  app::ScenarioConfig cfg;
+  cfg.record_series = false;
+  const std::vector<app::Protocol> protocols = {app::Protocol::kTcpWifi,
+                                                app::Protocol::kMptcp};
+  const std::vector<std::uint64_t> seeds = {3, 4};
+  constexpr std::uint64_t kBytes = 512 * 1024;
+  auto one_run = [&cfg](const app::Protocol& p, std::uint64_t seed) {
+    app::Scenario s(cfg);
+    return s.run_download(p, kBytes, seed);
+  };
+
+  const auto parallel = run_replications(protocols, seeds, one_run, 4);
+
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    for (std::size_t j = 0; j < seeds.size(); ++j) {
+      const app::RunMetrics sequential = one_run(protocols[i], seeds[j]);
+      const app::RunMetrics& par = parallel[i][j];
+      EXPECT_TRUE(par.completed);
+      EXPECT_EQ(par.bytes_received, sequential.bytes_received);
+      // Bit-exact, not approximate: same seed, same simulation.
+      EXPECT_EQ(par.download_time_s, sequential.download_time_s);
+      EXPECT_EQ(par.energy_j, sequential.energy_j);
+      EXPECT_EQ(par.wifi_j, sequential.wifi_j);
+      EXPECT_EQ(par.cell_j, sequential.cell_j);
+      EXPECT_EQ(par.controller_switches, sequential.controller_switches);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emptcp::runtime

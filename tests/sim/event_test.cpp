@@ -115,6 +115,96 @@ TEST(SchedulerTest, EventLimitGuardsRunawayLoops) {
   EXPECT_THROW(s.run(), std::runtime_error);
 }
 
+// --- Slab scheduler regression tests ---------------------------------------
+
+TEST(SchedulerTest, DeterministicOrderWithInterleavedCancels) {
+  // The same schedule/cancel sequence must produce the same execution
+  // order on every run — ties by insertion sequence, cancelled events
+  // skipped without perturbing their neighbours' order.
+  auto run_once = [] {
+    Scheduler s;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 50; ++i) {
+      // Many ties: times cycle through 5 values.
+      ids.push_back(s.schedule_at(milliseconds(i % 5),
+                                  [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 50; i += 3) Scheduler::cancel(ids[i]);
+    s.run();
+    return order;
+  };
+  const std::vector<int> first = run_once();
+  EXPECT_EQ(first.size(), 33u);  // 17 of 50 cancelled
+  // Within each time bucket, insertion order; buckets in time order.
+  for (std::size_t k = 1; k < first.size(); ++k) {
+    if (first[k - 1] % 5 == first[k] % 5) {
+      EXPECT_LT(first[k - 1], first[k]);
+    }
+  }
+  EXPECT_EQ(run_once(), first);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsNoOp) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.schedule_at(milliseconds(1), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(id.pending());
+  Scheduler::cancel(id);  // stale: the event already fired
+  s.schedule_at(milliseconds(2), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, StaleHandleCannotCancelSlotReuser) {
+  // After an event fires, its slab slot is reused by the next scheduled
+  // event. A stale handle to the fired event must not cancel (or report
+  // pending for) the unrelated event now occupying the slot.
+  Scheduler s;
+  EventId stale = s.schedule_at(milliseconds(1), [] {});
+  s.run();
+  int fired = 0;
+  EventId fresh = s.schedule_at(milliseconds(2), [&] { ++fired; });
+  EXPECT_FALSE(stale.pending());
+  Scheduler::cancel(stale);  // must not touch the reused slot
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, SlabSlotsAreReusedUnderChurn) {
+  // Steady-state schedule/fire churn must recycle slots through the
+  // freelist instead of growing the slab without bound.
+  Scheduler s;
+  constexpr int kBatch = 100;
+  for (int round = 0; round < 50; ++round) {
+    const Time base = s.now();
+    for (int i = 0; i < kBatch; ++i) {
+      s.schedule_at(base + i + 1, [] {});
+    }
+    s.run();
+  }
+  // At most one batch is ever live at once; the slab may round up to its
+  // chunk granularity but must not keep growing across rounds.
+  EXPECT_LE(s.slab_size(), 256u);
+}
+
+TEST(SchedulerTest, CancelledSlotsAreRecycled) {
+  Scheduler s;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<EventId> ids;
+    const Time base = s.now();
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(s.schedule_at(base + i + 1, [] {}));
+    }
+    for (EventId& id : ids) Scheduler::cancel(id);
+    s.run();  // pops the cancelled entries, releasing their slots
+  }
+  EXPECT_LE(s.slab_size(), 256u);
+}
+
 TEST(TimeTest, ConversionsRoundTrip) {
   EXPECT_EQ(seconds(2), milliseconds(2000));
   EXPECT_EQ(milliseconds(1), microseconds(1000));
