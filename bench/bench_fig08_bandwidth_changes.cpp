@@ -17,6 +17,7 @@ int main() {
   cfg.onoff.low_mbps = 0.8;
   cfg.onoff.mean_high_s = 40.0;
   cfg.onoff.mean_low_s = 40.0;
+  cfg.trace = trace_requested();
 
   struct Result {
     std::vector<double> energy, time;
@@ -31,7 +32,11 @@ int main() {
       protocols, runtime::seed_range(40, 10),
       [&cfg](const app::Protocol& p, std::uint64_t seed) {
         app::Scenario s(cfg);
-        return s.run_download(p, 256 * kMB, seed);
+        app::RunMetrics m = s.run_download(p, 256 * kMB, seed);
+        maybe_dump_trace("fig08-" + std::string(app::to_string(p)) + "-" +
+                             std::to_string(seed),
+                         m);
+        return m;
       });
   Result results[3];
   for (int i = 0; i < 3; ++i) {

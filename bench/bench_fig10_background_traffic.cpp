@@ -35,13 +35,19 @@ int main() {
     cfg.interferers = set.n;
     cfg.lambda_on = 0.05;
     cfg.lambda_off = set.lambda_off;
+    cfg.trace = trace_requested();
     for (const app::Protocol p : protocols) runs.push_back({cfg, p});
   }
   const auto matrix = runtime::run_replications(
       runs, runtime::seed_range(60, 5),
       [](const RunConfig& rc, std::uint64_t seed) {
         app::Scenario s(rc.cfg);
-        return s.run_download(rc.protocol, 256 * kMB, seed);
+        app::RunMetrics m = s.run_download(rc.protocol, 256 * kMB, seed);
+        maybe_dump_trace("fig10-n" + std::to_string(rc.cfg.interferers) +
+                             "-" + std::string(app::to_string(rc.protocol)) +
+                             "-" + std::to_string(seed),
+                         m);
+        return m;
       });
 
   stats::Table table({"(λoff, n)", "protocol", "energy vs MPTCP",

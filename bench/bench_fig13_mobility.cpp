@@ -26,8 +26,13 @@ int main() {
         app::ScenarioConfig cfg = lab_config(18.0 * jitter.uniform(0.9, 1.1),
                                              9.0 * jitter.uniform(0.9, 1.1));
         cfg.mobility = true;
+        cfg.trace = trace_requested();
         app::Scenario s(cfg);
-        return s.run_timed(p, sim::seconds(250), seed);
+        app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
+        maybe_dump_trace("fig13-" + std::string(app::to_string(p)) + "-" +
+                             std::to_string(seed),
+                         m);
+        return m;
       });
   std::vector<double> jpm[3];
   std::vector<double> mb[3];

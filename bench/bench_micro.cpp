@@ -27,6 +27,7 @@
 #include "net/link.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/buffers.hpp"
+#include "trace/trace.hpp"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: replace the global allocator for this binary only.
@@ -169,6 +170,19 @@ void BM_EibLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_EibLookup);
 
+// The disabled trace gate, as every instrumentation site pays it: a load
+// of the sink's cached bool plus a branch. Must stay allocation-free.
+void BM_TraceGateDisabled(benchmark::State& state) {
+  sim::Simulation sim;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, i / 2));
+    benchmark::DoNotOptimize(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGateDisabled);
+
 void BM_EndToEndDownload1MB(benchmark::State& state) {
   app::ScenarioConfig cfg;
   cfg.record_series = false;
@@ -200,6 +214,10 @@ struct CoreResult {
   // End-to-end download.
   std::uint64_t e2e_bytes = 0;
   double e2e_wall_sec = 0.0;
+  // Tracing-disabled gate cost at an instrumentation site.
+  std::uint64_t trace_gate_ops = 0;
+  double trace_gate_seconds = 0.0;
+  double trace_gate_allocs_per_op = 0.0;
 };
 
 void measure_scheduler(CoreResult& out) {
@@ -273,6 +291,30 @@ void measure_end_to_end(CoreResult& out) {
   benchmark::DoNotOptimize(m.energy_j);
 }
 
+void measure_trace_gate(CoreResult& out) {
+  sim::Simulation sim;  // sink default-disabled: the production state
+  constexpr std::uint64_t kOps = 50'000'000;
+  std::uint64_t x = 0;
+  // Warm up (and fault in) before counting.
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, x));
+    benchmark::DoNotOptimize(x += i);
+  }
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, x));
+    benchmark::DoNotOptimize(x += i);
+  }
+  out.trace_gate_seconds = seconds_since(start);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.trace_gate_ops = kOps;
+  out.trace_gate_allocs_per_op =
+      static_cast<double>(allocs) / static_cast<double>(kOps);
+}
+
 void write_json(const CoreResult& r) {
   const char* path = std::getenv("EMPTCP_BENCH_JSON");
   if (path == nullptr) path = "BENCH_core.json";
@@ -308,6 +350,16 @@ void write_json(const CoreResult& r) {
   std::fprintf(f, "    \"mbytes_per_sec\": %.2f\n",
                static_cast<double>(r.e2e_bytes) / (1024.0 * 1024.0) /
                    r.e2e_wall_sec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"trace_disabled\": {\n");
+  std::fprintf(f, "    \"ops\": %llu,\n",
+               static_cast<unsigned long long>(r.trace_gate_ops));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.trace_gate_seconds);
+  std::fprintf(f, "    \"ns_per_op\": %.4f,\n",
+               r.trace_gate_seconds * 1e9 /
+                   static_cast<double>(r.trace_gate_ops));
+  std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
+               r.trace_gate_allocs_per_op);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -319,14 +371,18 @@ void run_core_harness() {
   measure_scheduler(r);
   measure_packet_path(r);
   measure_end_to_end(r);
+  measure_trace_gate(r);
   std::printf(
       "core: scheduler %.2fM events/s (%.4f allocs/event), "
       "packet path %.2fM packets/s (%.4f allocs/packet), "
-      "16MB download in %.3fs wall\n",
+      "16MB download in %.3fs wall, "
+      "disabled trace gate %.2f ns/op (%.6f allocs/op)\n",
       static_cast<double>(r.sched_events) / r.sched_seconds / 1e6,
       r.sched_allocs_per_event,
       static_cast<double>(r.pkt_packets) / r.pkt_seconds / 1e6,
-      r.pkt_allocs_per_packet, r.e2e_wall_sec);
+      r.pkt_allocs_per_packet, r.e2e_wall_sec,
+      r.trace_gate_seconds * 1e9 / static_cast<double>(r.trace_gate_ops),
+      r.trace_gate_allocs_per_op);
   write_json(r);
 }
 

@@ -52,6 +52,7 @@ int main() {
     std::printf("mobility scenario (250 s walk), all protocols:\n");
     app::ScenarioConfig cfg = lab_config(18.0, 9.0);
     cfg.mobility = true;
+    cfg.trace = trace_requested();
     const std::vector<app::Protocol> protocols = {
         app::Protocol::kMptcp, app::Protocol::kEmptcp,
         app::Protocol::kTcpWifi, app::Protocol::kWifiFirst,
@@ -59,7 +60,12 @@ int main() {
     const auto matrix = runtime::run_replications(
         protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
           app::Scenario s(cfg);
-          return s.run_timed(p, sim::seconds(250), seed);
+          app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
+          maybe_dump_trace("sec46-mobility-" +
+                               std::string(app::to_string(p)) + "-" +
+                               std::to_string(seed),
+                           m);
+          return m;
         });
     stats::Table table({"protocol", "energy (J)", "downloaded (MB)",
                         "J/MB", "LTE activations"});
@@ -76,14 +82,20 @@ int main() {
   }
   {
     std::printf("degraded-but-associated WiFi (0.5 Mbps), 16 MB download:\n");
-    const app::ScenarioConfig cfg = lab_config(0.5, 9.0);
+    app::ScenarioConfig cfg = lab_config(0.5, 9.0);
+    cfg.trace = trace_requested();
     const std::vector<app::Protocol> protocols = {app::Protocol::kEmptcp,
                                                   app::Protocol::kWifiFirst,
                                                   app::Protocol::kTcpWifi};
     const auto matrix = runtime::run_replications(
         protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
           app::Scenario s(cfg);
-          return s.run_download(p, 16 * kMB, seed);
+          app::RunMetrics m = s.run_download(p, 16 * kMB, seed);
+          maybe_dump_trace("sec46-degraded-" +
+                               std::string(app::to_string(p)) + "-" +
+                               std::to_string(seed),
+                           m);
+          return m;
         });
     stats::Table table({"protocol", "energy (J)", "time (s)", "LTE bytes"});
     for (std::size_t i = 0; i < protocols.size(); ++i) {

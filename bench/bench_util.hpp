@@ -17,6 +17,7 @@
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
 #include "stats/timeseries.hpp"
+#include "stats/trace_export.hpp"
 
 namespace emptcp::bench {
 
@@ -48,6 +49,30 @@ inline void maybe_dump_csv(
   }
   const std::string path = std::string(dir) + "/" + file + ".csv";
   if (stats::write_file(path, stats::series_table_to_csv(cols))) {
+    std::printf("(wrote %s)\n", path.c_str());
+  }
+}
+
+/// True when EMPTCP_TRACE_DIR is set: benches should run with
+/// ScenarioConfig::trace enabled and dump each run via maybe_dump_trace.
+inline bool trace_requested() {
+  return std::getenv("EMPTCP_TRACE_DIR") != nullptr;
+}
+
+/// When EMPTCP_TRACE_DIR is set, writes one run's structured trace there
+/// as JSONL (deterministic, diffable with trace::diff_trace_text).
+inline void maybe_dump_trace(const std::string& name,
+                             const app::RunMetrics& m) {
+  const char* dir = std::getenv("EMPTCP_TRACE_DIR");
+  if (dir == nullptr) return;
+  std::string file = name;
+  for (char& c : file) {
+    if (c == '/' || c == ' ') c = '-';
+  }
+  const std::string path = std::string(dir) + "/" + file + ".jsonl";
+  if (stats::write_file(path,
+                        stats::trace_to_jsonl(m.trace_events,
+                                              m.trace_metrics))) {
     std::printf("(wrote %s)\n", path.c_str());
   }
 }

@@ -68,6 +68,9 @@ struct World {
         tracker(sim, energy::EnergyTracker::Config{
                          sim::milliseconds(100), cfg.device.platform_mw,
                          cfg.record_series, 1}) {
+    // Enable tracing before any instrumented object exists so construction
+    // -time events (handshakes scheduled at t=0) are captured too.
+    if (cfg.trace) sim.trace().enable();
     wifi_if = &client.add_interface(
         {net::InterfaceType::kWifi, kWifiAddr, "client-wifi"});
     // The cellular interface is typed kLte regardless of cell_tech: the
@@ -451,6 +454,10 @@ RunMetrics collect(World& w, const ClientConnHandle& client,
     m.energy_series = to_series(w.tracker.energy_series());
     m.wifi_rate_series = to_series(w.tracker.rate_series(w.wifi_if->type()));
     m.cell_rate_series = to_series(w.tracker.rate_series(w.cell_if->type()));
+  }
+  if (w.scfg.trace) {
+    m.trace_events = w.sim.trace().events();
+    m.trace_metrics = w.sim.trace().metrics().snapshot();
   }
   return m;
 }

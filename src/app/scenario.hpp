@@ -26,6 +26,7 @@
 #include "net/channel/mobility.hpp"
 #include "net/channel/onoff_bandwidth.hpp"
 #include "stats/timeseries.hpp"
+#include "trace/sink.hpp"
 
 namespace emptcp::app {
 
@@ -74,6 +75,9 @@ struct ScenarioConfig {
   sim::Duration max_sim_time = sim::seconds(4 * 3600);
   sim::Duration max_drain = sim::seconds(20);
   bool record_series = true;
+  /// Enable the structured trace sink for the run; the recorded events and
+  /// metric snapshot come back in RunMetrics::trace_events/trace_metrics.
+  bool trace = false;
 };
 
 struct RunMetrics {
@@ -100,6 +104,11 @@ struct RunMetrics {
   stats::Series energy_series;     ///< cumulative joules vs seconds
   stats::Series wifi_rate_series;  ///< Mbps vs seconds
   stats::Series cell_rate_series;
+
+  // Populated when ScenarioConfig::trace is set (serialize with
+  // stats::trace_to_jsonl / trace_to_csv).
+  std::vector<trace::Event> trace_events;
+  std::vector<trace::MetricSnapshot> trace_metrics;
 
   [[nodiscard]] double energy_per_mb() const {
     return bytes_received > 0

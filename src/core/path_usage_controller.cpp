@@ -4,6 +4,7 @@
 
 #include "net/interface.hpp"
 #include "sim/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace emptcp::core {
 
@@ -58,6 +59,8 @@ void PathUsageController::evaluate() {
     const PathUsage prev = current_;
     current_ = next;
     ++switches_;
+    EMPTCP_TRACE(sim_, mode_change(sim_.now(), to_string(prev),
+                                   to_string(next), wifi, cell));
     EMPTCP_LOG(sim_, sim::LogLevel::kInfo,
                "path usage " << to_string(prev) << " -> " << to_string(next)
                              << " (wifi=" << wifi << " cell=" << cell

@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace emptcp::energy {
 
 EnergyTracker::EnergyTracker(sim::Simulation& sim, Config cfg)
-    : sim_(sim), cfg_(cfg) {}
+    : sim_(sim),
+      cfg_(cfg),
+      ctr_clamped_(
+          &sim.trace().metrics().counter("energy.clamped_byte_windows")) {}
 
 void EnergyTracker::track(net::NetworkInterface& iface, RadioModel& radio) {
   iface.set_radio_hook(&radio);
@@ -20,6 +25,10 @@ void EnergyTracker::start() {
   started_at_ = sim_.now();
   for (Entry& e : entries_) {
     e.last_bytes = e.iface->tx_bytes() + e.iface->rx_bytes();
+    // mean_rx_mbps must average over the *tracked* window, so remember the
+    // rx count already on the interface when tracking began.
+    e.start_rx_bytes = e.iface->rx_bytes();
+    e.last_state = e.radio->state_at(sim_.now());
   }
   sim_.in(cfg_.sample, [this] { tick(); });
 }
@@ -32,13 +41,35 @@ void EnergyTracker::tick() {
   int transferring = 0;
   for (Entry& e : entries_) {
     const std::uint64_t bytes = e.iface->tx_bytes() + e.iface->rx_bytes();
-    const std::uint64_t delta = bytes - e.last_bytes;
+    // A reset/reattached interface can report fewer bytes than last window;
+    // the unsigned difference would wrap to ~2^64 and integrate an absurd
+    // power sample. Treat a backwards counter as an idle window.
+    std::uint64_t delta = 0;
+    if (bytes >= e.last_bytes) {
+      delta = bytes - e.last_bytes;
+    } else {
+      ctr_clamped_->add();
+      EMPTCP_TRACE(sim_, warning(now, "energy.byte_counter_backwards",
+                                 static_cast<std::int64_t>(e.last_bytes),
+                                 static_cast<std::int64_t>(bytes)));
+    }
     e.last_bytes = bytes;
     const double mbps = static_cast<double>(delta) * 8.0 / 1e6 / window_s;
     const bool moved = delta > 0;
     if (moved) ++transferring;
     const double power_mw = e.radio->power_mw_at(now, mbps, moved);
     e.energy_mj += power_mw * window_s;
+    const auto iface_code = static_cast<std::uint32_t>(e.iface->type());
+    EMPTCP_TRACE(sim_, energy_sample(now, iface_code,
+                                     net::to_string(e.iface->type()), mbps,
+                                     power_mw));
+    const RadioState rstate = e.radio->state_at(now);
+    if (rstate != e.last_state) {
+      EMPTCP_TRACE(sim_, radio_state(now, iface_code,
+                                     net::to_string(e.iface->type()),
+                                     to_string(rstate)));
+      e.last_state = rstate;
+    }
     if (cfg_.record_series && sample_index_ % cfg_.series_stride == 0) {
       e.rates.push_back(RatePoint{sim::to_seconds(now), mbps});
     }
@@ -92,7 +123,10 @@ double EnergyTracker::mean_rx_mbps(net::InterfaceType t) const {
   if (e == nullptr) return 0.0;
   const double elapsed = sim::to_seconds(sim_.now() - started_at_);
   if (elapsed <= 0.0) return 0.0;
-  return static_cast<double>(e->iface->rx_bytes()) * 8.0 / 1e6 / elapsed;
+  // Only bytes received since start() count: the interface's lifetime
+  // counter may include traffic from before tracking began.
+  const std::uint64_t rx = e->iface->rx_bytes() - e->start_rx_bytes;
+  return static_cast<double>(rx) * 8.0 / 1e6 / elapsed;
 }
 
 }  // namespace emptcp::energy

@@ -78,7 +78,9 @@ class EnergyTracker {
   struct Entry {
     net::NetworkInterface* iface = nullptr;
     RadioModel* radio = nullptr;
-    std::uint64_t last_bytes = 0;   ///< tx+rx at the previous sample
+    std::uint64_t last_bytes = 0;     ///< tx+rx at the previous sample
+    std::uint64_t start_rx_bytes = 0; ///< rx at start(); mean_rx baseline
+    RadioState last_state = RadioState::kIdle;  ///< for transition traces
     double energy_mj = 0.0;
     std::vector<RatePoint> rates;
   };
@@ -88,6 +90,7 @@ class EnergyTracker {
 
   sim::Simulation& sim_;
   Config cfg_;
+  trace::Counter* ctr_clamped_ = nullptr;  ///< backwards byte-counter windows
   std::vector<Entry> entries_;
   bool running_ = false;
   double platform_mj_ = 0.0;

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "sim/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace emptcp::mptcp {
 
@@ -28,7 +29,9 @@ MptcpConnection::MptcpConnection(sim::Simulation& sim, net::Node& node,
     : sim_(sim),
       node_(node),
       cfg_(std::move(cfg)),
-      scheduler_(std::make_unique<MinRttScheduler>()) {}
+      scheduler_(std::make_unique<MinRttScheduler>()),
+      ctr_reinjected_(
+          &sim.trace().metrics().counter("mptcp.reinjected_chunks")) {}
 
 MptcpConnection::~MptcpConnection() = default;
 
@@ -175,6 +178,8 @@ void MptcpConnection::request_priority(Subflow& sf, bool backup) {
   if (sf.backup() == backup) return;
   sf.set_backup(backup);
   sf.socket().send_mp_prio(backup);
+  EMPTCP_TRACE(sim_, mp_prio(sim_.now(), static_cast<std::uint32_t>(sf.id()),
+                             net::to_string(sf.iface()), backup, "local"));
   EMPTCP_LOG(sim_, sim::LogLevel::kInfo,
              node_.name() << " MP_PRIO " << sf.describe() << " -> "
                           << (backup ? "backup" : "normal"));
@@ -218,6 +223,10 @@ std::optional<tcp::TcpSocket::Chunk> MptcpConnection::pull_chunk(
   }
 
   sf.outstanding().push_back(chunk);
+  EMPTCP_TRACE(sim_, sched_pick(sim_.now(),
+                                static_cast<std::uint32_t>(sf.id()),
+                                net::to_string(sf.iface()), chunk.data_seq,
+                                chunk.len));
   tcp::TcpSocket::Chunk out;
   out.len = chunk.len;
   out.dss = net::DssMapping{chunk.data_seq, 0, chunk.len};
@@ -255,6 +264,9 @@ void MptcpConnection::on_subflow_packet(Subflow& sf, const net::Packet& pkt) {
     const bool backup = pkt.mp_prio->backup;
     const bool was_backup = sf.backup();
     sf.set_backup(backup);
+    EMPTCP_TRACE(sim_,
+                 mp_prio(sim_.now(), static_cast<std::uint32_t>(sf.id()),
+                         net::to_string(sf.iface()), backup, "peer"));
     if (was_backup && !backup && cfg_.resume_tweaks) {
       // Paper §3.6: a resumed subflow must ramp up quickly — disable the
       // RFC 2861 cwnd reset and zero the measured RTT so the scheduler
@@ -295,7 +307,10 @@ void MptcpConnection::on_subflow_closed(Subflow& sf) {
     sf.mark_failed();
     // Reinject connection-level data stranded on the dead subflow.
     for (const DataChunk& c : sf.outstanding()) {
-      if (c.data_seq + c.len > data_snd_una_) reinject_.push_back(c);
+      if (c.data_seq + c.len > data_snd_una_) {
+        reinject_.push_back(c);
+        ctr_reinjected_->add();
+      }
     }
     sf.outstanding().clear();
     EMPTCP_LOG(sim_, sim::LogLevel::kInfo,

@@ -163,6 +163,7 @@ class MptcpConnection {
   Callbacks cb_;
   std::unique_ptr<SubflowScheduler> scheduler_;
   LiaState lia_;
+  trace::Counter* ctr_reinjected_ = nullptr;  ///< reinjected data chunks
   std::vector<std::unique_ptr<Subflow>> subflows_;
   std::vector<tcp::CongestionControl*> subflow_cc_;  ///< parallel to subflows_
   std::uint64_t token_ = 0;

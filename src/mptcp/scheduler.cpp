@@ -33,9 +33,26 @@ std::vector<Subflow*> RoundRobinScheduler::preference_order(
     if (eligible(*sf, all)) out.push_back(sf);
   }
   if (!out.empty()) {
-    const std::size_t shift = next_++ % out.size();
+    // Resume after the subflow served last round. If it left the eligible
+    // set, the successor is the next-higher id (wrapping), so its
+    // departure costs nobody a turn.
+    std::size_t shift = 0;
+    if (has_last_) {
+      const auto by_id = [](const Subflow* a, const Subflow* b) {
+        return a->id() < b->id();
+      };
+      std::sort(out.begin(), out.end(), by_id);
+      const auto next = std::upper_bound(
+          out.begin(), out.end(), last_served_,
+          [](std::size_t id, const Subflow* sf) { return id < sf->id(); });
+      shift = next == out.end()
+                  ? 0
+                  : static_cast<std::size_t>(next - out.begin());
+    }
     std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(shift),
                 out.end());
+    last_served_ = out.front()->id();
+    has_last_ = true;
   }
   return out;
 }

@@ -39,13 +39,20 @@ class MinRttScheduler final : public SubflowScheduler {
 
 /// Round-robin over eligible subflows; kept as a comparison point and for
 /// tests that need deterministic striping.
+///
+/// Fairness is anchored to subflow *identity*, not a call counter: the
+/// scheduler remembers the id it last put first and starts the next round
+/// after it. A counter modulo the current eligible-set size drifts when
+/// subflows churn (the set size changes between calls), starving or
+/// double-serving subflows.
 class RoundRobinScheduler final : public SubflowScheduler {
  public:
   [[nodiscard]] std::vector<Subflow*> preference_order(
       const std::vector<Subflow*>& all) const override;
 
  private:
-  mutable std::size_t next_ = 0;
+  mutable std::size_t last_served_ = 0;  ///< id most recently put first
+  mutable bool has_last_ = false;
 };
 
 }  // namespace emptcp::mptcp

@@ -1,5 +1,7 @@
 #include "net/channel/onoff_bandwidth.hpp"
 
+#include "trace/trace.hpp"
+
 namespace emptcp::net {
 
 OnOffBandwidth::OnOffBandwidth(sim::Simulation& sim, Link& link, Config cfg)
@@ -14,6 +16,8 @@ void OnOffBandwidth::apply_state() {
   const double rate = high_ ? cfg_.high_mbps : cfg_.low_mbps;
   for (Link* l : links_) l->set_rate(rate);
   log_.push_back(Transition{sim_.now(), rate});
+  EMPTCP_TRACE(sim_, channel_rate(sim_.now(), "onoff", rate,
+                                  high_ ? 1.0 : 0.0));
 }
 
 void OnOffBandwidth::schedule_flip() {

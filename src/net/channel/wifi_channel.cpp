@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace emptcp::net {
 
@@ -34,6 +35,13 @@ void WifiChannel::apply() {
   for (Link* l : links_) {
     l->set_rate(share);
     l->set_loss_prob(loss);
+  }
+  // Mobility re-applies the channel every tick; trace only real changes so
+  // an enabled trace stays proportional to channel activity.
+  if (share != last_traced_share_ || loss != last_traced_loss_) {
+    last_traced_share_ = share;
+    last_traced_loss_ = loss;
+    EMPTCP_TRACE(sim_, channel_rate(sim_.now(), "wifi-share", share, loss));
   }
 }
 

@@ -67,6 +67,8 @@ class WifiChannel {
   Config cfg_;
   std::vector<Link*> links_;
   std::vector<bool> active_;
+  double last_traced_share_ = -1.0;
+  double last_traced_loss_ = -1.0;
 };
 
 }  // namespace emptcp::net

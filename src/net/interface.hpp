@@ -76,6 +76,15 @@ class NetworkInterface {
   [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
   [[nodiscard]] std::uint64_t dropped_down() const { return dropped_down_; }
 
+  /// Zeroes the byte counters, as a driver reset/reattach would. Consumers
+  /// that difference the counters (EnergyTracker) must tolerate the
+  /// resulting backwards step.
+  void reset_counters() {
+    tx_bytes_ = 0;
+    rx_bytes_ = 0;
+    dropped_down_ = 0;
+  }
+
  private:
   sim::Simulation& sim_;
   Node& node_;

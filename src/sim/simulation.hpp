@@ -14,6 +14,7 @@
 #include "sim/event.hpp"
 #include "sim/logging.hpp"
 #include "sim/random.hpp"
+#include "trace/sink.hpp"
 
 namespace emptcp::sim {
 
@@ -29,6 +30,12 @@ class Simulation {
   Scheduler& scheduler() { return sched_; }
   Rng& rng() { return rng_; }
   Logger& logger() { return logger_; }
+
+  /// Structured tracing / metrics for this run. A direct member (not a
+  /// context<>() entry) because instrumentation sites query its enabled
+  /// flag on hot paths — the map lookup would dominate the gate.
+  trace::TraceSink& trace() { return trace_; }
+  [[nodiscard]] const trace::TraceSink& trace() const { return trace_; }
 
   EventId at(Time t, Scheduler::Action a) {
     return sched_.schedule_at(t, std::move(a));
@@ -70,6 +77,7 @@ class Simulation {
   Scheduler sched_;
   Rng rng_;
   Logger logger_;
+  trace::TraceSink trace_;
 };
 
 }  // namespace emptcp::sim

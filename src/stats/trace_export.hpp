@@ -1,0 +1,32 @@
+// Trace exporters: serialize a TraceSink's event log (and optionally its
+// metric snapshot) as JSONL or CSV text.
+//
+// The serialization is deterministic: events appear in record order, field
+// order is fixed per kind, and doubles are printed with shortest-roundtrip
+// precision via a locale-independent formatter. Two runs of the same
+// (scenario, seed) therefore produce byte-identical text — the property
+// the golden-trace tests pin down with trace::diff_trace_text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/sink.hpp"
+
+namespace emptcp::stats {
+
+/// One JSON object per line. Every line carries "t_ns" and "kind"; the
+/// remaining fields are kind-specific schema names (e.g. cwnd lines carry
+/// "flow", "cwnd", "ssthresh"). Metric snapshots, when given, follow the
+/// events as {"metric": name, "value": v} lines in registration order.
+std::string trace_to_jsonl(
+    const std::vector<trace::Event>& events,
+    const std::vector<trace::MetricSnapshot>& metrics = {});
+
+/// Flat CSV with the raw record layout: one row per event, fixed columns
+/// t_ns,kind,id,label,label2,i0,i1,d0,d1. Useful for spreadsheet triage;
+/// the JSONL form is the one with per-kind field names.
+std::string trace_to_csv(const std::vector<trace::Event>& events);
+
+}  // namespace emptcp::stats

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace emptcp::tcp {
 
@@ -26,7 +27,27 @@ TcpSocket::TcpSocket(sim::Simulation& sim, net::Node& node, Config cfg)
       cfg_(cfg),
       cc_(std::make_unique<RenoCongestionControl>(cfg.cc)),
       rtt_(cfg.rtt),
-      rto_timer_(sim.scheduler(), [this] { on_rto(); }) {}
+      rto_timer_(sim.scheduler(), [this] { on_rto(); }),
+      ctr_retransmits_(&sim.trace().metrics().counter("tcp.retransmits")),
+      ctr_rtos_(&sim.trace().metrics().counter("tcp.rtos")),
+      ctr_fast_recoveries_(
+          &sim.trace().metrics().counter("tcp.fast_recoveries")) {}
+
+void TcpSocket::transition(TcpState next) {
+  EMPTCP_TRACE(sim_, tcp_state(sim_.now(), key_.local_port,
+                               to_string(state_), to_string(next)));
+  state_ = next;
+}
+
+void TcpSocket::trace_cwnd() {
+  EMPTCP_TRACE(sim_, cwnd(sim_.now(), key_.local_port, cc_->cwnd(),
+                          cc_->ssthresh()));
+}
+
+void TcpSocket::trace_srtt() {
+  EMPTCP_TRACE(sim_,
+               srtt(sim_.now(), key_.local_port, rtt_.srtt(), rtt_.rto()));
+}
 
 TcpSocket::~TcpSocket() {
   if (flow_registered_) node_.unregister_flow(key_);
@@ -51,7 +72,7 @@ void TcpSocket::connect(net::Addr local, net::Port local_port,
   mp_capable_ = mp_capable;
   mp_join_ = mp_join;
   register_flow();
-  state_ = TcpState::kSynSent;
+  transition(TcpState::kSynSent);
   syn_sent_at_ = sim_.now();
 
   net::Packet syn;
@@ -76,7 +97,7 @@ std::unique_ptr<TcpSocket> TcpSocket::accept(sim::Simulation& sim,
   auto sock = std::make_unique<TcpSocket>(sim, node, cfg);
   sock->key_ = syn.flow_at_receiver();
   sock->register_flow();
-  sock->state_ = TcpState::kSynReceived;
+  sock->transition(TcpState::kSynReceived);
   sock->syn_sent_at_ = sim.now();
 
   net::Packet synack;
@@ -146,6 +167,7 @@ void TcpSocket::on_receive(const net::Packet& pkt) {
       if (pkt.is_ack && pkt.ack >= 1) {
         handshake_rtt_ = sim_.now() - syn_sent_at_;
         rtt_.add_sample(handshake_rtt_);
+        trace_srtt();
         enter_established();
         // Fall through to normal processing of any piggybacked content.
         break;
@@ -182,6 +204,7 @@ void TcpSocket::handle_syn(const net::Packet&) {
 void TcpSocket::handle_synack(const net::Packet&) {
   handshake_rtt_ = sim_.now() - syn_sent_at_;
   rtt_.add_sample(handshake_rtt_);
+  trace_srtt();
   send_pure_ack();
   enter_established();
 }
@@ -189,7 +212,7 @@ void TcpSocket::handle_synack(const net::Packet&) {
 void TcpSocket::enter_established() {
   snd_una_ = 1;
   snd_nxt_ = 1;
-  state_ = TcpState::kEstablished;
+  transition(TcpState::kEstablished);
   rto_timer_.cancel();
   last_send_ = sim_.now();
   EMPTCP_LOG(sim_, sim::LogLevel::kDebug,
@@ -249,6 +272,8 @@ void TcpSocket::enter_recovery() {
   ++recovery_epoch_;
   recover_point_ = snd_nxt_;
   cc_->on_loss_event();
+  ctr_fast_recoveries_->add();
+  trace_cwnd();
   EMPTCP_LOG(sim_, sim::LogLevel::kTrace,
              node_.name() << " fast retransmit at una=" << snd_una_
                           << " cwnd=" << cc_->cwnd());
@@ -303,10 +328,16 @@ void TcpSocket::process_ack(const net::Packet& pkt) {
       if (seg.fin) fin_acked_ = true;
       retx_.pop_front();
     }
-    if (sample_from) rtt_.add_sample(sim_.now() - *sample_from);
+    if (sample_from) {
+      rtt_.add_sample(sim_.now() - *sample_from);
+      trace_srtt();
+    }
 
     if (in_recovery_ && ack >= recover_point_) in_recovery_ = false;
-    if (!in_recovery_) cc_->on_ack(acked);
+    if (!in_recovery_) {
+      cc_->on_ack(acked);
+      trace_cwnd();
+    }
     retransmit_holes();  // fill any remaining marked holes first
 
     if (app_acked > 0) {
@@ -363,7 +394,7 @@ void TcpSocket::process_payload(const net::Packet& pkt) {
 
   if (fin_rcv_seq_ && !fin_consumed_ && rcv_.cumulative() == *fin_rcv_seq_) {
     fin_consumed_ = true;
-    if (state_ == TcpState::kEstablished) state_ = TcpState::kCloseWait;
+    if (state_ == TcpState::kEstablished) transition(TcpState::kCloseWait);
     if (!eof_delivered_) {
       eof_delivered_ = true;
       if (cb_.on_eof) cb_.on_eof();
@@ -433,8 +464,8 @@ void TcpSocket::maybe_send_fin() {
   retx_.push_back(seg);
   send_segment(retx_.back(), /*retransmission=*/false);
 
-  state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck
-                                            : TcpState::kFinWait;
+  transition(state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                            : TcpState::kFinWait);
 }
 
 void TcpSocket::send_segment(TxSegment& seg, bool retransmission) {
@@ -456,6 +487,7 @@ void TcpSocket::send_segment(TxSegment& seg, bool retransmission) {
   if (retransmission) {
     seg.retransmitted = true;
     ++retransmit_count_;
+    ctr_retransmits_->add();
   }
   last_send_ = sim_.now();
   node_.send(pkt);
@@ -544,6 +576,8 @@ void TcpSocket::on_rto() {
                           << " rto=" << sim::to_milliseconds(rtt_.rto())
                           << "ms");
   cc_->on_timeout();
+  ctr_rtos_->add();
+  trace_cwnd();
   rtt_.backoff();
   in_recovery_ = false;
   dupacks_ = 0;
@@ -565,7 +599,7 @@ void TcpSocket::arm_rto() { rto_timer_.arm_in(rtt_.rto()); }
 void TcpSocket::finish(bool failed, bool send_rst) {
   if (state_ == TcpState::kDone) return;
   const bool was_synced = state_ != TcpState::kClosed;
-  state_ = TcpState::kDone;
+  transition(TcpState::kDone);
   failed_ = failed;
   if (failed && send_rst && was_synced) {
     // Tear the peer down too (the kernel resets a connection it gives up

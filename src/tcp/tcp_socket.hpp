@@ -216,6 +216,12 @@ class TcpSocket {
     }
   };
 
+  /// State-machine transitions funnel through here so every one is traced.
+  void transition(TcpState next);
+  /// Trace helpers for the two high-churn observables.
+  void trace_cwnd();
+  void trace_srtt();
+
   void on_receive(const net::Packet& pkt);
   void handle_syn(const net::Packet& pkt);
   void handle_synack(const net::Packet& pkt);
@@ -256,6 +262,12 @@ class TcpSocket {
   std::unique_ptr<CongestionControl> cc_;
   RttEstimator rtt_;
   sim::Timer rto_timer_;
+
+  // Cached metric handles (registered once in the constructor; increments
+  // are a pointer-chase + add, cheap enough for the loss paths they sit on).
+  trace::Counter* ctr_retransmits_ = nullptr;
+  trace::Counter* ctr_rtos_ = nullptr;
+  trace::Counter* ctr_fast_recoveries_ = nullptr;
 
   // Send side. Sequence 0 is the SYN; application data starts at 1.
   std::uint64_t snd_una_ = 0;

@@ -1,0 +1,49 @@
+#include "trace/sink.hpp"
+
+namespace emptcp::trace {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kTcpState: return "tcp_state";
+    case Kind::kCwnd: return "cwnd";
+    case Kind::kSrtt: return "srtt";
+    case Kind::kSchedPick: return "sched_pick";
+    case Kind::kMpPrio: return "mp_prio";
+    case Kind::kModeChange: return "mode_change";
+    case Kind::kRadioState: return "radio_state";
+    case Kind::kEnergySample: return "energy_sample";
+    case Kind::kChannelRate: return "channel_rate";
+    case Kind::kWarning: return "warning";
+  }
+  return "?";
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  for (Counter& c : counters_) {
+    if (c.name_ == name) return c;
+  }
+  counters_.push_back(Counter(std::string(name)));
+  return counters_.back();
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  for (Gauge& g : gauges_) {
+    if (g.name_ == name) return g;
+  }
+  gauges_.push_back(Gauge(std::string(name)));
+  return gauges_.back();
+}
+
+std::vector<MetricSnapshot> Metrics::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const Counter& c : counters_) {
+    out.push_back({c.name(), static_cast<double>(c.value())});
+  }
+  for (const Gauge& g : gauges_) {
+    out.push_back({g.name(), g.value()});
+  }
+  return out;
+}
+
+}  // namespace emptcp::trace

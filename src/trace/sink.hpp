@@ -1,0 +1,160 @@
+// TraceSink: per-Simulation structured tracing and metrics.
+//
+// Design goals, in order:
+//   1. Near-zero cost when disabled. Every instrumentation site compiles to
+//      a load of one cached bool plus a branch (see trace/trace.hpp); no
+//      stream, no string, no allocation. bench_micro measures this path and
+//      records allocs/op in BENCH_core.json so regressions are visible.
+//   2. Determinism. The sink belongs to one Simulation and is filled from
+//      the single-threaded event core, so the recorded sequence is a pure
+//      function of (scenario, seed). Serialized traces are byte-identical
+//      across sequential and parallel replication runs — which is what lets
+//      golden-trace diffs double as a regression harness.
+//   3. Typed records. Each instrumented decision point calls a dedicated
+//      record method; exporters in stats/ give the fields schema names.
+//
+// The metrics registry rides along: named monotonic counters and
+// last-value gauges. Registration (find-or-create) allocates and belongs
+// in constructors; handles are stable pointers, so hot-path increments are
+// a single add through a cached pointer, enabled or not.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace emptcp::trace {
+
+class Metrics;
+
+/// Monotonic counter. Obtain via Metrics::counter(); pointer-stable.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Metrics;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge. Obtain via Metrics::gauge(); pointer-stable.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Metrics;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  double value_ = 0.0;
+};
+
+/// One exported metric value (counters widen to double losslessly for the
+/// magnitudes this simulator produces).
+struct MetricSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+class Metrics {
+ public:
+  /// Find-or-create by name. Allocates on first use of a name — call from
+  /// constructors, cache the returned pointer for the hot path.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Registration-order snapshot (counters first, then gauges), the order
+  /// exporters serialize — deterministic because registration order is.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  [[nodiscard]] const std::deque<Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::deque<Gauge>& gauges() const { return gauges_; }
+
+ private:
+  // deque: handles must stay valid as the registry grows.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+};
+
+class TraceSink {
+ public:
+  /// The one hot-path query; instrumentation macros branch on it.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void enable(bool on = true) { enabled_ = on; }
+
+  // Typed record methods. Call only when enabled() — the EMPTCP_TRACE
+  // macro enforces the gate so disabled runs never reach these.
+  void tcp_state(sim::Time t, std::uint32_t flow, const char* from,
+                 const char* to) {
+    push({t, Kind::kTcpState, flow, from, to, 0, 0, 0.0, 0.0});
+  }
+  void cwnd(sim::Time t, std::uint32_t flow, std::uint64_t cwnd_bytes,
+            std::uint64_t ssthresh_bytes) {
+    push({t, Kind::kCwnd, flow, nullptr, nullptr,
+          static_cast<std::int64_t>(cwnd_bytes),
+          static_cast<std::int64_t>(ssthresh_bytes), 0.0, 0.0});
+  }
+  void srtt(sim::Time t, std::uint32_t flow, sim::Duration srtt_ns,
+            sim::Duration rto_ns) {
+    push({t, Kind::kSrtt, flow, nullptr, nullptr, srtt_ns, rto_ns, 0.0, 0.0});
+  }
+  void sched_pick(sim::Time t, std::uint32_t subflow, const char* iface,
+                  std::uint64_t data_seq, std::uint32_t len) {
+    push({t, Kind::kSchedPick, subflow, iface, nullptr,
+          static_cast<std::int64_t>(data_seq), len, 0.0, 0.0});
+  }
+  void mp_prio(sim::Time t, std::uint32_t subflow, const char* iface,
+               bool backup, const char* origin) {
+    push({t, Kind::kMpPrio, subflow, iface, origin, backup ? 1 : 0, 0, 0.0,
+          0.0});
+  }
+  void mode_change(sim::Time t, const char* from, const char* to,
+                   double wifi_mbps, double cell_mbps) {
+    push({t, Kind::kModeChange, 0, from, to, 0, 0, wifi_mbps, cell_mbps});
+  }
+  void radio_state(sim::Time t, std::uint32_t iface_code, const char* iface,
+                   const char* state) {
+    push({t, Kind::kRadioState, iface_code, iface, state, 0, 0, 0.0, 0.0});
+  }
+  void energy_sample(sim::Time t, std::uint32_t iface_code, const char* iface,
+                     double mbps, double power_mw) {
+    push({t, Kind::kEnergySample, iface_code, iface, nullptr, 0, 0, mbps,
+          power_mw});
+  }
+  void channel_rate(sim::Time t, const char* what, double mbps,
+                    double extra = 0.0) {
+    push({t, Kind::kChannelRate, 0, what, nullptr, 0, 0, mbps, extra});
+  }
+  void warning(sim::Time t, const char* what, std::int64_t v0 = 0,
+               std::int64_t v1 = 0) {
+    push({t, Kind::kWarning, 0, what, nullptr, v0, v1, 0.0, 0.0});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+  void push(const Event& e) { events_.push_back(e); }
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  Metrics metrics_;
+};
+
+}  // namespace emptcp::trace

@@ -1,0 +1,34 @@
+// EMPTCP_TRACE: the instrumentation gate.
+//
+// Usage at a decision point (simref is anything with a .trace() accessor
+// returning trace::TraceSink&, i.e. the owning Simulation):
+//
+//   EMPTCP_TRACE(sim, cwnd(sim.now(), id, cwnd_, ssthresh_));
+//
+// Compile-time gate: building with -DEMPTCP_TRACE_COMPILED=0 removes every
+// site entirely (the CMake option EMPTCP_TRACE controls this, default ON).
+// Runtime gate: when compiled in, each site is a load of the sink's cached
+// bool and a predictable branch — no allocation, no virtual call. The
+// arguments are not evaluated unless the sink is enabled, so sites may pass
+// expressions that would be wasteful to compute on the disabled path.
+#pragma once
+
+#include "trace/sink.hpp"
+
+#ifndef EMPTCP_TRACE_COMPILED
+#define EMPTCP_TRACE_COMPILED 1
+#endif
+
+#if EMPTCP_TRACE_COMPILED
+#define EMPTCP_TRACE(simref, call)                            \
+  do {                                                        \
+    ::emptcp::trace::TraceSink& emptcp_ts_ = (simref).trace(); \
+    if (emptcp_ts_.enabled()) {                               \
+      emptcp_ts_.call;                                        \
+    }                                                         \
+  } while (0)
+#else
+#define EMPTCP_TRACE(simref, call) \
+  do {                             \
+  } while (0)
+#endif

@@ -1,0 +1,56 @@
+#include "trace/trace_diff.hpp"
+
+namespace emptcp::trace {
+namespace {
+
+/// Pull the next line out of `text` starting at `pos`. Returns false when
+/// exhausted. Handles a missing trailing newline.
+bool next_line(std::string_view text, std::size_t& pos,
+               std::string_view& line) {
+  if (pos >= text.size()) return false;
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string_view::npos) {
+    line = text.substr(pos);
+    pos = text.size();
+  } else {
+    line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TraceDiff::describe() const {
+  if (identical) return "traces identical";
+  std::string out = "traces diverge at line " + std::to_string(line);
+  out += "\n  a: ";
+  out += a_line;
+  out += "\n  b: ";
+  out += b_line;
+  return out;
+}
+
+TraceDiff diff_trace_text(std::string_view a, std::string_view b) {
+  TraceDiff d;
+  std::size_t pa = 0;
+  std::size_t pb = 0;
+  std::size_t lineno = 0;
+  for (;;) {
+    std::string_view la;
+    std::string_view lb;
+    const bool ha = next_line(a, pa, la);
+    const bool hb = next_line(b, pb, lb);
+    if (!ha && !hb) return d;
+    ++lineno;
+    if (!ha || !hb || la != lb) {
+      d.identical = false;
+      d.line = lineno;
+      d.a_line = ha ? std::string(la) : "<missing>";
+      d.b_line = hb ? std::string(lb) : "<missing>";
+      return d;
+    }
+  }
+}
+
+}  // namespace emptcp::trace

@@ -1,0 +1,28 @@
+// Line-oriented diff for serialized traces.
+//
+// Traces are deterministic, so two runs of the same (scenario, seed) must
+// serialize byte-identically; when they don't, the first divergent line is
+// the debugging entry point. Used by the golden-trace tier-1 tests and
+// available to humans via the exporters' JSONL output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace emptcp::trace {
+
+struct TraceDiff {
+  bool identical = true;
+  std::size_t line = 0;  ///< 1-based first divergent line (0 if identical)
+  std::string a_line;    ///< line from trace A ("<missing>" if absent)
+  std::string b_line;    ///< line from trace B ("<missing>" if absent)
+
+  /// Human-readable one-paragraph description for test failure messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Compare two serialized traces (JSONL or CSV text) line by line.
+TraceDiff diff_trace_text(std::string_view a, std::string_view b);
+
+}  // namespace emptcp::trace

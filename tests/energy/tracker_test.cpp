@@ -4,6 +4,7 @@
 
 #include "energy/device_profile.hpp"
 #include "support/testnet.hpp"
+#include "trace/trace.hpp"
 
 namespace emptcp::energy {
 namespace {
@@ -136,6 +137,64 @@ TEST(EnergyTrackerTest, UntrackedInterfaceQueriesAreSafe) {
   EXPECT_DOUBLE_EQ(w.tracker.iface_j(net::InterfaceType::kThreeG), 0.0);
   EXPECT_THROW(w.tracker.rate_series(net::InterfaceType::kThreeG),
                std::invalid_argument);
+}
+
+// Regression: mean_rx_mbps used to divide the interface's *lifetime* rx
+// counter by the time since start(), so traffic that predated tracking
+// inflated the mean. Only bytes received inside the tracked window count.
+TEST(EnergyTrackerTest, MeanRxMbpsCountsOnlyBytesSinceStart) {
+  TrackerWorld w;
+  // 1 MB lands on the interface before tracking begins.
+  net::Packet pre;
+  pre.src = test::kServerAddr;
+  pre.dst = test::kWifiAddr;
+  pre.payload = 1'000'000;
+  w.net.wifi_if->deliver(pre);
+  w.net.sim.run_until(sim::seconds(1));
+
+  w.tracker.start();
+  w.net.sim.run_until(sim::seconds(11));
+  // Nothing arrived while tracked: the mean is exactly zero (the broken
+  // version reported ~0.8 Mbps from the pre-start megabyte).
+  EXPECT_DOUBLE_EQ(w.tracker.mean_rx_mbps(net::InterfaceType::kWifi), 0.0);
+
+  // 8 Mbps for 5 s, then idle to t=16 s: 5e6 bytes over 15 tracked
+  // seconds. The pre-start megabyte would add ~0.53 Mbps on top.
+  w.blast_wifi(8.0, 5.0);
+  w.net.sim.run_until(sim::seconds(16));
+  EXPECT_NEAR(w.tracker.mean_rx_mbps(net::InterfaceType::kWifi),
+              8.0 * 5.0 / 15.0, 0.2);
+}
+
+// Regression: a byte counter that moves backwards (interface reset or
+// reattach) used to wrap the unsigned window delta to ~2^64 and integrate
+// an absurd power sample. The window is clamped to idle and surfaced via
+// the metrics registry / trace warning instead.
+TEST(EnergyTrackerTest, BackwardsByteCounterClampedNotWrapped) {
+  TrackerWorld w;
+  w.net.sim.trace().enable();
+  w.tracker.start();
+  w.blast_wifi(8.0, 2.0);
+  w.net.sim.run_until(sim::seconds(2));
+  w.net.sim.at(sim::seconds(2) + sim::milliseconds(50),
+               [&] { w.net.wifi_if->reset_counters(); });
+  w.net.sim.run_until(sim::seconds(4));
+
+  // ~2 s of active WiFi plus idle: single-digit joules. The wrapped delta
+  // produced ~1e12 J.
+  EXPECT_LT(w.tracker.iface_j(net::InterfaceType::kWifi), 20.0);
+  EXPECT_GE(w.net.sim.trace()
+                .metrics()
+                .counter("energy.clamped_byte_windows")
+                .value(),
+            1u);
+#if EMPTCP_TRACE_COMPILED
+  bool warned = false;
+  for (const trace::Event& e : w.net.sim.trace().events()) {
+    if (e.kind == trace::Kind::kWarning) warned = true;
+  }
+  EXPECT_TRUE(warned);
+#endif
 }
 
 TEST(EnergyTrackerTest, StopFreezesTotals) {

@@ -35,6 +35,36 @@ TEST(LiaTest, EqualSubflowsAlphaHalf) {
   EXPECT_NEAR(state.alpha(), 0.5, 1e-9);
 }
 
+TEST(LiaTest, AsymmetricRttTwoSubflowsMatchHandComputedAlpha) {
+  // RFC 6356: alpha = total * max(c_i/rtt_i^2) / (sum c_i/rtt_i)^2.
+  // Both cwnds start at 10 segments * 1000 B = 10000 B; rtts 50/100 ms
+  // (units cancel):
+  //   max term = 10000/50^2 = 4
+  //   sum      = 10000/50 + 10000/100 = 300
+  //   alpha    = 20000 * 4 / 300^2 = 8/9.
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(50); }});
+  state.add_member({&b, [] { return sim::milliseconds(100); }});
+  EXPECT_NEAR(state.alpha(), 8.0 / 9.0, 1e-9);
+}
+
+TEST(LiaTest, AsymmetricRttThreeSubflowsMatchHandComputedAlpha) {
+  // Equal 10000 B cwnds, rtts 25/50/100 ms:
+  //   max term = 10000/25^2 = 16
+  //   sum      = 400 + 200 + 100 = 700
+  //   alpha    = 30000 * 16 / 700^2 = 48/49.
+  LiaState state;
+  LiaCoupledCc a(config(), state);
+  LiaCoupledCc b(config(), state);
+  LiaCoupledCc c(config(), state);
+  state.add_member({&a, [] { return sim::milliseconds(25); }});
+  state.add_member({&b, [] { return sim::milliseconds(50); }});
+  state.add_member({&c, [] { return sim::milliseconds(100); }});
+  EXPECT_NEAR(state.alpha(), 48.0 / 49.0, 1e-9);
+}
+
 TEST(LiaTest, CoupledIncreaseSlowerThanReno) {
   LiaState state;
   LiaCoupledCc a(config(), state);

@@ -56,6 +56,68 @@ TEST(RttEstimatorTest, BackoffDoublesAndClampsAtMax) {
   EXPECT_EQ(rtt.rto(), seconds(60));
 }
 
+TEST(RttEstimatorTest, RttvarUpdatesBeforeSrttPerRfc6298) {
+  // RFC 6298 §2.3 orders the updates: RTTVAR from the *old* SRTT, then
+  // SRTT. Samples 100 ms then 120 ms give err = |100-120| = 20 ms, so
+  //   rttvar = 3/4*50 + 1/4*20   = 42.5 ms
+  //   srtt   = 7/8*100 + 1/8*120 = 102.5 ms
+  // Updating SRTT first would feed err = |102.5-120| = 17.5 ms and land on
+  // rttvar = 41.875 ms instead.
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  rtt.add_sample(milliseconds(120));
+  EXPECT_EQ(rtt.rttvar(), milliseconds(42) + sim::microseconds(500));
+  EXPECT_EQ(rtt.srtt(), milliseconds(102) + sim::microseconds(500));
+  // RTO = srtt + 4*rttvar = 102.5 + 170 = 272.5 ms.
+  EXPECT_EQ(rtt.rto(), milliseconds(272) + sim::microseconds(500));
+}
+
+TEST(RttEstimatorTest, SampleAfterBackoffRecomputesRtoFromEstimates) {
+  // Karn: the backed-off RTO holds only until the next valid sample, which
+  // recomputes RTO from srtt/rttvar rather than the doubled value.
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  EXPECT_EQ(rtt.rto(), milliseconds(300));
+  rtt.backoff();
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), milliseconds(1200));
+  rtt.add_sample(milliseconds(100));
+  // err = 0: rttvar decays to 37.5 ms; rto = 100 + 150 = 250 ms.
+  EXPECT_EQ(rtt.rto(), milliseconds(250));
+}
+
+TEST(RttEstimatorTest, BackoffInteractsWithBothClamps) {
+  RttEstimator::Config cfg;
+  cfg.initial_rto = sim::seconds(1);
+  cfg.min_rto = milliseconds(200);
+  cfg.max_rto = milliseconds(500);
+  RttEstimator rtt(cfg);
+
+  // A tiny RTT pins the RTO at the floor...
+  rtt.add_sample(milliseconds(5));
+  EXPECT_EQ(rtt.rto(), milliseconds(200));
+  // ...backoff doubles from the *clamped* value...
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), milliseconds(400));
+  // ...and saturates at the ceiling instead of doubling past it.
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), milliseconds(500));
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), milliseconds(500));
+  // A fresh sample returns the RTO to the estimator-driven floor.
+  rtt.add_sample(milliseconds(5));
+  EXPECT_EQ(rtt.rto(), milliseconds(200));
+}
+
+TEST(RttEstimatorTest, BackoffBeforeAnySampleDoublesInitialRto) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), seconds(2));
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), seconds(4));
+}
+
 TEST(RttEstimatorTest, NegativeSamplesIgnored) {
   RttEstimator rtt;
   rtt.add_sample(-5);
