@@ -33,9 +33,7 @@ int main() {
       [&cfg](const app::Protocol& p, std::uint64_t seed) {
         app::Scenario s(cfg);
         app::RunMetrics m = s.run_download(p, 256 * kMB, seed);
-        maybe_dump_trace("fig08-" + std::string(app::to_string(p)) + "-" +
-                             std::to_string(seed),
-                         m);
+        maybe_dump_run("fig08", cfg, p, seed, "download-256MB", m);
         return m;
       });
   Result results[3];

@@ -43,10 +43,8 @@ int main() {
       [](const RunConfig& rc, std::uint64_t seed) {
         app::Scenario s(rc.cfg);
         app::RunMetrics m = s.run_download(rc.protocol, 256 * kMB, seed);
-        maybe_dump_trace("fig10-n" + std::to_string(rc.cfg.interferers) +
-                             "-" + std::string(app::to_string(rc.protocol)) +
-                             "-" + std::to_string(seed),
-                         m);
+        maybe_dump_run("fig10-n" + std::to_string(rc.cfg.interferers),
+                       rc.cfg, rc.protocol, seed, "download-256MB", m);
         return m;
       });
 

@@ -29,9 +29,7 @@ int main() {
         cfg.trace = trace_requested();
         app::Scenario s(cfg);
         app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
-        maybe_dump_trace("fig13-" + std::string(app::to_string(p)) + "-" +
-                             std::to_string(seed),
-                         m);
+        maybe_dump_run("fig13", cfg, p, seed, "timed-250s", m);
         return m;
       });
   std::vector<double> jpm[3];

@@ -52,8 +52,8 @@ int main() {
                      whisker_cell(b.time[i], 2)});
     }
     std::printf("%s\n", table.render().c_str());
-    const double saving = 1.0 - stats::quantile(b.energy[1], 0.5) /
-                                    stats::quantile(b.energy[0], 0.5);
+    const double saving = 1.0 - stats::SortedSample(b.energy[1]).quantile(0.5) /
+                                    stats::SortedSample(b.energy[0]).quantile(0.5);
     std::printf("median eMPTCP energy saving vs MPTCP: %.0f%%\n\n",
                 100.0 * saving);
   }

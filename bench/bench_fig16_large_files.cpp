@@ -48,10 +48,10 @@ int main() {
     std::printf("%s\n", table.render().c_str());
     std::printf("median eMPTCP energy vs MPTCP: %.0f%%, time vs MPTCP: "
                 "%.0f%%\n\n",
-                100.0 * stats::quantile(b.energy[1], 0.5) /
-                    stats::quantile(b.energy[0], 0.5),
-                100.0 * stats::quantile(b.time[1], 0.5) /
-                    stats::quantile(b.time[0], 0.5));
+                100.0 * stats::SortedSample(b.energy[1]).quantile(0.5) /
+                    stats::SortedSample(b.energy[0]).quantile(0.5),
+                100.0 * stats::SortedSample(b.time[1]).quantile(0.5) /
+                    stats::SortedSample(b.time[0]).quantile(0.5));
   }
   note("paper shapes — BadWiFi&BadLTE: eMPTCP most efficient, TCP/WiFi "
        "~6x slower; BadWiFi&GoodLTE: eMPTCP ~ MPTCP with slightly larger "

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "analysis/profile.hpp"
 #include "app/scenario.hpp"
 #include "core/energy_info_base.hpp"
 #include "core/holt_winters.hpp"
@@ -56,6 +57,12 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// EMPTCP_BENCH_QUICK shrinks the direct harness ~10x: deterministic
+/// per-op figures (allocs, counts) are unaffected, rate figures get
+/// noisier but stay well inside the diff gate's factor-5 tolerance. Used
+/// by the tier-1 diff-gate test so it runs in seconds.
+bool bench_quick() { return std::getenv("EMPTCP_BENCH_QUICK") != nullptr; }
 
 // ---------------------------------------------------------------------------
 // google-benchmark suite
@@ -170,10 +177,11 @@ void BM_EibLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_EibLookup);
 
-// The disabled trace gate, as every instrumentation site pays it: a load
-// of the sink's cached bool plus a branch. Must stay allocation-free.
+// The fully-disabled trace gate, as every instrumentation site pays it: a
+// load of the sink's cached bool plus a branch. Must stay allocation-free.
 void BM_TraceGateDisabled(benchmark::State& state) {
   sim::Simulation sim;
+  sim.trace().flight_enable(false);
   std::uint64_t i = 0;
   for (auto _ : state) {
     EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, i / 2));
@@ -182,6 +190,19 @@ void BM_TraceGateDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceGateDisabled);
+
+// The default production state: retention off, flight-recorder ring on.
+// Each site pays the gate plus a POD copy into the preallocated ring.
+void BM_TraceGateFlightOn(benchmark::State& state) {
+  sim::Simulation sim;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, i / 2));
+    benchmark::DoNotOptimize(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGateFlightOn);
 
 void BM_EndToEndDownload1MB(benchmark::State& state) {
   app::ScenarioConfig cfg;
@@ -211,20 +232,29 @@ struct CoreResult {
   std::uint64_t pkt_packets = 0;
   double pkt_seconds = 0.0;
   double pkt_allocs_per_packet = 0.0;
-  // End-to-end download.
+  // End-to-end download, with the simulator's self-profile of the run.
   std::uint64_t e2e_bytes = 0;
   double e2e_wall_sec = 0.0;
-  // Tracing-disabled gate cost at an instrumentation site.
+  app::SimProfile e2e_profile;
+  // Fully-disabled gate cost at an instrumentation site (retention off,
+  // flight recorder off): a cached-bool load and branch.
   std::uint64_t trace_gate_ops = 0;
   double trace_gate_seconds = 0.0;
   double trace_gate_allocs_per_op = 0.0;
+  // Default production state: retention off, flight-recorder ring on.
+  std::uint64_t flight_gate_ops = 0;
+  double flight_gate_seconds = 0.0;
+  double flight_gate_allocs_per_op = 0.0;
+  // Wall-time per harness section (self-profiling of the bench itself).
+  analysis::Profiler harness;
 };
 
 void measure_scheduler(CoreResult& out) {
+  const auto timer = out.harness.time("scheduler");
   sim::Scheduler sched;
   constexpr int kBatch = 10'000;
   constexpr int kWarmupRounds = 10;
-  constexpr int kRounds = 500;
+  const int kRounds = bench_quick() ? 50 : 500;
   auto run_round = [&sched] {
     const sim::Time base = sched.now();
     for (int i = 0; i < kBatch; ++i) {
@@ -240,12 +270,14 @@ void measure_scheduler(CoreResult& out) {
   out.sched_seconds = seconds_since(start);
   const std::uint64_t allocs =
       g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
-  out.sched_events = static_cast<std::uint64_t>(kRounds) * kBatch;
+  out.sched_events =
+      static_cast<std::uint64_t>(kRounds) * static_cast<std::uint64_t>(kBatch);
   out.sched_allocs_per_event =
       static_cast<double>(allocs) / static_cast<double>(out.sched_events);
 }
 
 void measure_packet_path(CoreResult& out) {
+  const auto timer = out.harness.time("packet_path");
   sim::Simulation sim;
   net::Link::Config fast;
   fast.rate_mbps = 100000.0;
@@ -260,7 +292,7 @@ void measure_packet_path(CoreResult& out) {
   pkt.payload = 1448;
   constexpr int kBatch = 1'000;
   constexpr int kWarmupRounds = 10;
-  constexpr int kRounds = 500;
+  const int kRounds = bench_quick() ? 50 : 500;
   auto run_round = [&] {
     for (int i = 0; i < kBatch; ++i) acc.send(pkt);
     sim.run();
@@ -280,20 +312,27 @@ void measure_packet_path(CoreResult& out) {
 }
 
 void measure_end_to_end(CoreResult& out) {
+  const auto timer = out.harness.time("end_to_end");
   app::ScenarioConfig cfg;
   cfg.record_series = false;
   app::Scenario s(cfg);
-  constexpr std::uint64_t kBytes = 16ull * 1024 * 1024;
+  const std::uint64_t kBytes =
+      (bench_quick() ? 4ull : 16ull) * 1024 * 1024;
   const auto start = Clock::now();
   const app::RunMetrics m = s.run_download(app::Protocol::kMptcp, kBytes, 1);
   out.e2e_wall_sec = seconds_since(start);
   out.e2e_bytes = kBytes;
+  out.e2e_profile = m.profile;
   benchmark::DoNotOptimize(m.energy_j);
 }
 
-void measure_trace_gate(CoreResult& out) {
-  sim::Simulation sim;  // sink default-disabled: the production state
-  constexpr std::uint64_t kOps = 50'000'000;
+/// Measures one instrumentation-site gate configuration; `flight` selects
+/// the default production state (ring on) vs fully off.
+void measure_gate(bool flight, std::uint64_t& ops_out, double& seconds_out,
+                  double& allocs_out) {
+  sim::Simulation sim;  // retention is off by default
+  sim.trace().flight_enable(flight);
+  const std::uint64_t kOps = bench_quick() ? 5'000'000 : 50'000'000;
   std::uint64_t x = 0;
   // Warm up (and fault in) before counting.
   for (std::uint64_t i = 0; i < 1'000; ++i) {
@@ -307,12 +346,19 @@ void measure_trace_gate(CoreResult& out) {
     EMPTCP_TRACE(sim, cwnd(sim.now(), 1, i, x));
     benchmark::DoNotOptimize(x += i);
   }
-  out.trace_gate_seconds = seconds_since(start);
+  seconds_out = seconds_since(start);
   const std::uint64_t allocs =
       g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
-  out.trace_gate_ops = kOps;
-  out.trace_gate_allocs_per_op =
-      static_cast<double>(allocs) / static_cast<double>(kOps);
+  ops_out = kOps;
+  allocs_out = static_cast<double>(allocs) / static_cast<double>(kOps);
+}
+
+void measure_trace_gates(CoreResult& out) {
+  const auto timer = out.harness.time("trace_gates");
+  measure_gate(false, out.trace_gate_ops, out.trace_gate_seconds,
+               out.trace_gate_allocs_per_op);
+  measure_gate(true, out.flight_gate_ops, out.flight_gate_seconds,
+               out.flight_gate_allocs_per_op);
 }
 
 void write_json(const CoreResult& r) {
@@ -360,6 +406,31 @@ void write_json(const CoreResult& r) {
                    static_cast<double>(r.trace_gate_ops));
   std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
                r.trace_gate_allocs_per_op);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"trace_flight_on\": {\n");
+  std::fprintf(f, "    \"ops\": %llu,\n",
+               static_cast<unsigned long long>(r.flight_gate_ops));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.flight_gate_seconds);
+  std::fprintf(f, "    \"ns_per_op\": %.4f,\n",
+               r.flight_gate_seconds * 1e9 /
+                   static_cast<double>(r.flight_gate_ops));
+  std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
+               r.flight_gate_allocs_per_op);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"self_profile\": {\n");
+  std::fprintf(f, "    \"e2e_events_executed\": %llu,\n",
+               static_cast<unsigned long long>(
+                   r.e2e_profile.events_executed));
+  std::fprintf(f, "    \"e2e_events_per_sec\": %.0f,\n",
+               static_cast<double>(r.e2e_profile.events_executed) /
+                   r.e2e_wall_sec);
+  std::fprintf(f, "    \"e2e_sched_slab_slots\": %llu,\n",
+               static_cast<unsigned long long>(
+                   r.e2e_profile.sched_slab_slots));
+  std::fprintf(f, "    \"e2e_packet_pool_slots\": %llu,\n",
+               static_cast<unsigned long long>(
+                   r.e2e_profile.packet_pool_slots));
+  std::fprintf(f, "    \"harness\": %s\n", r.harness.to_json(4).c_str());
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -371,18 +442,27 @@ void run_core_harness() {
   measure_scheduler(r);
   measure_packet_path(r);
   measure_end_to_end(r);
-  measure_trace_gate(r);
+  measure_trace_gates(r);
   std::printf(
       "core: scheduler %.2fM events/s (%.4f allocs/event), "
       "packet path %.2fM packets/s (%.4f allocs/packet), "
-      "16MB download in %.3fs wall, "
-      "disabled trace gate %.2f ns/op (%.6f allocs/op)\n",
+      "%lluMB download in %.3fs wall (%.2fM sim events/s, slab %llu, "
+      "pool %llu), "
+      "trace gate off %.2f ns/op / flight-on %.2f ns/op "
+      "(%.6f / %.6f allocs/op)\n",
       static_cast<double>(r.sched_events) / r.sched_seconds / 1e6,
       r.sched_allocs_per_event,
       static_cast<double>(r.pkt_packets) / r.pkt_seconds / 1e6,
-      r.pkt_allocs_per_packet, r.e2e_wall_sec,
+      r.pkt_allocs_per_packet,
+      static_cast<unsigned long long>(r.e2e_bytes / (1024 * 1024)),
+      r.e2e_wall_sec,
+      static_cast<double>(r.e2e_profile.events_executed) / r.e2e_wall_sec /
+          1e6,
+      static_cast<unsigned long long>(r.e2e_profile.sched_slab_slots),
+      static_cast<unsigned long long>(r.e2e_profile.packet_pool_slots),
       r.trace_gate_seconds * 1e9 / static_cast<double>(r.trace_gate_ops),
-      r.trace_gate_allocs_per_op);
+      r.flight_gate_seconds * 1e9 / static_cast<double>(r.flight_gate_ops),
+      r.trace_gate_allocs_per_op, r.flight_gate_allocs_per_op);
   write_json(r);
 }
 

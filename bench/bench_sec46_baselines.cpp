@@ -61,10 +61,7 @@ int main() {
         protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
           app::Scenario s(cfg);
           app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
-          maybe_dump_trace("sec46-mobility-" +
-                               std::string(app::to_string(p)) + "-" +
-                               std::to_string(seed),
-                           m);
+          maybe_dump_run("sec46-mobility", cfg, p, seed, "timed-250s", m);
           return m;
         });
     stats::Table table({"protocol", "energy (J)", "downloaded (MB)",
@@ -91,10 +88,7 @@ int main() {
         protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
           app::Scenario s(cfg);
           app::RunMetrics m = s.run_download(p, 16 * kMB, seed);
-          maybe_dump_trace("sec46-degraded-" +
-                               std::string(app::to_string(p)) + "-" +
-                               std::to_string(seed),
-                           m);
+          maybe_dump_run("sec46-degraded", cfg, p, seed, "download-16MB", m);
           return m;
         });
     stats::Table table({"protocol", "energy (J)", "time (s)", "LTE bytes"});

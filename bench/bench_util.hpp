@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/manifest.hpp"
 #include "app/scenario.hpp"
 #include "stats/csv.hpp"
 #include "stats/summary.hpp"
@@ -74,6 +75,46 @@ inline void maybe_dump_trace(const std::string& name,
                         stats::trace_to_jsonl(m.trace_events,
                                               m.trace_metrics))) {
     std::printf("(wrote %s)\n", path.c_str());
+  }
+}
+
+/// When EMPTCP_TRACE_DIR is set, writes one run's trace as JSONL *plus* a
+/// run manifest next to it (`<name>.manifest.json`): grouping key,
+/// protocol, seed, workload, scenario + build parameters and an FNV-1a
+/// digest of the trace bytes. The pair is the self-describing artifact
+/// `emptcp-report` consumes.
+inline void maybe_dump_run(const std::string& group,
+                           const app::ScenarioConfig& cfg, app::Protocol p,
+                           std::uint64_t seed, const std::string& workload,
+                           const app::RunMetrics& m) {
+  const char* dir = std::getenv("EMPTCP_TRACE_DIR");
+  if (dir == nullptr) return;
+  std::string file = group + "-" + app::to_string(p) + "-s" +
+                     std::to_string(seed);
+  for (char& c : file) {
+    if (c == '/' || c == ' ') c = '-';
+  }
+  const std::string jsonl =
+      stats::trace_to_jsonl(m.trace_events, m.trace_metrics);
+  const std::string trace_path = std::string(dir) + "/" + file + ".jsonl";
+  if (!stats::write_file(trace_path, jsonl)) return;
+
+  analysis::RunManifest manifest;
+  manifest.group = group;
+  manifest.protocol = app::to_string(p);
+  manifest.seed = seed;
+  manifest.workload = workload;
+  manifest.trace_file = file + ".jsonl";
+  manifest.trace_events = m.trace_events.size();
+  manifest.trace_digest = analysis::fnv1a64_hex(jsonl);
+  manifest.params = analysis::describe_scenario(cfg);
+  for (auto& kv : analysis::describe_build()) {
+    manifest.params.push_back(std::move(kv));
+  }
+  const std::string manifest_path =
+      std::string(dir) + "/" + file + ".manifest.json";
+  if (stats::write_file(manifest_path, analysis::manifest_to_json(manifest))) {
+    std::printf("(wrote %s + manifest)\n", trace_path.c_str());
   }
 }
 

@@ -1,0 +1,104 @@
+#include "analysis/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emptcp::analysis {
+
+LogHistogram::LogHistogram(Config cfg) : cfg_(cfg) {
+  if (!(cfg_.min > 0.0) || !(cfg_.max > cfg_.min) || !(cfg_.growth > 1.0)) {
+    throw std::invalid_argument(
+        "LogHistogram: need 0 < min < max and growth > 1");
+  }
+  log_growth_ = std::log(cfg_.growth);
+  const double span = std::log(cfg_.max / cfg_.min) / log_growth_;
+  // +1 so the last regular bucket's upper edge reaches max; under/overflow
+  // are tracked as separate counters, not buckets.
+  counts_.assign(static_cast<std::size_t>(std::ceil(span)) + 1, 0);
+}
+
+std::size_t LogHistogram::bucket_index(double v) const {
+  const double idx = std::log(v / cfg_.min) / log_growth_;
+  return std::min(static_cast<std::size_t>(idx), counts_.size() - 1);
+}
+
+double LogHistogram::bucket_lower(std::size_t idx) const {
+  return cfg_.min * std::exp(log_growth_ * static_cast<double>(idx));
+}
+
+void LogHistogram::add(double v, std::uint64_t n) {
+  if (n == 0) return;
+  // Non-finite samples would poison sum/min/max and every quantile after
+  // them; a NaN in a trace is a producer bug, not a data point.
+  if (!std::isfinite(v)) return;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+  if (!(v >= cfg_.min)) {  // also catches NaN
+    underflow_ += n;
+    return;
+  }
+  if (v >= cfg_.max) {
+    overflow_ += n;
+    return;
+  }
+  counts_[bucket_index(v)] += n;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Rank of the target sample (1-based, midpoint-free: same convention as
+  // a step CDF). Walk the cumulative counts: underflow first, then the
+  // buckets, then overflow.
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  // Underflow region: every underflowed value is < cfg.min, and min_ is
+  // the smallest of them — the best available point estimate.
+  if (target <= cum) return min_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] != 0) {
+      // Geometric interpolation inside the bucket, clamped to the exact
+      // observed extremes so q near 0/1 cannot leave the sample range.
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      const double lo = bucket_lower(i);
+      const double v = lo * std::exp(log_growth_ * frac);
+      return std::clamp(v, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;  // target lands in overflow
+}
+
+std::vector<LogHistogram::CdfPoint> LogHistogram::cdf() const {
+  std::vector<CdfPoint> out;
+  if (count_ == 0) return out;
+  const double total = static_cast<double>(count_);
+  std::uint64_t cum = underflow_;
+  if (underflow_ != 0) {
+    out.push_back({cfg_.min, static_cast<double>(cum) / total});
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    out.push_back({bucket_lower(i + 1), static_cast<double>(cum) / total});
+  }
+  if (overflow_ != 0) {
+    cum += overflow_;
+    out.push_back({max_, static_cast<double>(cum) / total});
+  }
+  return out;
+}
+
+}  // namespace emptcp::analysis

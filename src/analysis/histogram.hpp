@@ -1,0 +1,83 @@
+// Log-bucketed fixed-memory histogram.
+//
+// The paper's evaluation is distributional — download-time and energy CDFs
+// (Figs. 8, 10, 13, 15-17) and quantile whiskers — but exact quantiles
+// need every sample retained. This histogram trades a bounded relative
+// error for O(buckets) memory independent of sample count: bucket edges
+// grow geometrically by `growth` per bucket, so any recorded value is off
+// by at most one bucket width, i.e. a relative error <= growth - 1
+// (default 2%). Counts are streamed in (`add`), quantiles and CDF points
+// are computed on demand; nothing per-sample is ever stored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emptcp::analysis {
+
+class LogHistogram {
+ public:
+  struct Config {
+    double min = 1e-9;     ///< lower edge of the first bucket
+    double max = 1e12;     ///< values at/above overflow into the last bucket
+    double growth = 1.02;  ///< per-bucket geometric growth (> 1)
+  };
+
+  LogHistogram() : LogHistogram(Config{}) {}
+  explicit LogHistogram(Config cfg);
+
+  /// Records `n` occurrences of value `v`. Values below `min` (including
+  /// zero and negatives) land in the underflow bucket, values >= `max` in
+  /// the overflow bucket; both still count toward quantiles, pinned to the
+  /// range edges. Non-finite values are dropped.
+  void add(double v, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// Exact extremes and sum (tracked outside the buckets, so min/max/mean
+  /// carry no bucketing error).
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Quantile estimate, q in [0,1]: locates the bucket holding the q-th
+  /// sample and interpolates geometrically inside it. Relative error is
+  /// bounded by the bucket growth factor. Returns 0 for an empty
+  /// histogram; q == 0 / q == 1 return the exact min/max.
+  [[nodiscard]] double quantile(double q) const;
+
+  struct CdfPoint {
+    double upper = 0.0;     ///< bucket upper edge
+    double fraction = 0.0;  ///< P(X <= upper)
+  };
+  /// CDF over the non-empty buckets, in ascending order — the export the
+  /// paper-style CDF figures plot. O(buckets) regardless of sample count.
+  [[nodiscard]] std::vector<CdfPoint> cdf() const;
+
+  /// Number of allocated buckets (fixed at construction). The histogram's
+  /// only growth-proportional storage — memory is O(bucket_count()).
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+  [[nodiscard]] double bucket_lower(std::size_t idx) const;
+
+  Config cfg_;
+  double log_growth_ = 0.0;  ///< precomputed std::log(cfg.growth)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace emptcp::analysis

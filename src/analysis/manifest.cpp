@@ -1,0 +1,170 @@
+#include "analysis/manifest.hpp"
+
+#include <cstdio>
+
+#include "app/scenario.hpp"
+#include "stats/csv.hpp"
+#include "trace/trace.hpp"
+
+namespace emptcp::analysis {
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string quoted(std::string_view s) {
+  std::string out;
+  append_json_string(out, s);
+  return out;
+}
+
+std::string num(double v) { return stats::fmt_double(v); }
+
+}  // namespace
+
+void Fnv1a64Stream::update(std::string_view chunk) {
+  std::uint64_t h = h_;
+  for (const char c : chunk) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  h_ = h;
+}
+
+std::string Fnv1a64Stream::hex() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "fnv1a64:%016llx",
+                static_cast<unsigned long long>(h_));
+  return buf;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  Fnv1a64Stream s;
+  s.update(text);
+  return s.value();
+}
+
+std::string fnv1a64_hex(std::string_view text) {
+  Fnv1a64Stream s;
+  s.update(text);
+  return s.hex();
+}
+
+std::vector<std::pair<std::string, std::string>> describe_scenario(
+    const app::ScenarioConfig& cfg) {
+  std::vector<std::pair<std::string, std::string>> p;
+  auto path = [&p](const char* name, const app::PathParams& pp) {
+    const std::string pre = std::string(name) + ".";
+    p.emplace_back(pre + "down_mbps", num(pp.down_mbps));
+    p.emplace_back(pre + "up_mbps", num(pp.up_mbps));
+    p.emplace_back(pre + "rtt_ms", num(sim::to_seconds(pp.rtt) * 1e3));
+    p.emplace_back(pre + "loss", num(pp.loss));
+    p.emplace_back(pre + "queue_bytes",
+                   num(static_cast<double>(pp.queue_bytes)));
+  };
+  path("wifi", cfg.wifi);
+  path("cell", cfg.cell);
+  p.emplace_back("cell_tech",
+                 cfg.cell_tech == energy::CellTech::kLte ? "\"LTE\""
+                                                         : "\"3G\"");
+  p.emplace_back("wifi_onoff", cfg.wifi_onoff ? "true" : "false");
+  if (cfg.wifi_onoff) {
+    p.emplace_back("onoff.high_mbps", num(cfg.onoff.high_mbps));
+    p.emplace_back("onoff.low_mbps", num(cfg.onoff.low_mbps));
+    p.emplace_back("onoff.mean_high_s", num(cfg.onoff.mean_high_s));
+    p.emplace_back("onoff.mean_low_s", num(cfg.onoff.mean_low_s));
+  }
+  p.emplace_back("interferers", num(cfg.interferers));
+  if (cfg.interferers > 0) {
+    p.emplace_back("lambda_on", num(cfg.lambda_on));
+    p.emplace_back("lambda_off", num(cfg.lambda_off));
+  }
+  p.emplace_back("mobility", cfg.mobility ? "true" : "false");
+  p.emplace_back("request_bytes",
+                 num(static_cast<double>(cfg.request_bytes)));
+  p.emplace_back("max_sim_time_s", num(sim::to_seconds(cfg.max_sim_time)));
+  p.emplace_back("max_drain_s", num(sim::to_seconds(cfg.max_drain)));
+  return p;
+}
+
+std::vector<std::pair<std::string, std::string>> describe_build() {
+  std::vector<std::pair<std::string, std::string>> p;
+  p.emplace_back("build.trace_compiled",
+                 EMPTCP_TRACE_COMPILED ? "true" : "false");
+#ifdef NDEBUG
+  p.emplace_back("build.ndebug", "true");
+#else
+  p.emplace_back("build.ndebug", "false");
+#endif
+#ifdef __VERSION__
+  p.emplace_back("build.compiler", quoted(__VERSION__));
+#endif
+  return p;
+}
+
+std::string manifest_to_json(const RunManifest& m) {
+  std::string out = "{\n";
+  out += "  \"schema\": " + quoted(kManifestSchema) + ",\n";
+  out += "  \"group\": " + quoted(m.group) + ",\n";
+  out += "  \"protocol\": " + quoted(m.protocol) + ",\n";
+  out += "  \"seed\": " + num(static_cast<double>(m.seed)) + ",\n";
+  out += "  \"workload\": " + quoted(m.workload) + ",\n";
+  out += "  \"trace_file\": " + quoted(m.trace_file) + ",\n";
+  out += "  \"trace_events\": " + num(static_cast<double>(m.trace_events)) +
+         ",\n";
+  out += "  \"trace_digest\": " + quoted(m.trace_digest) + ",\n";
+  out += "  \"params\": {";
+  bool first = true;
+  for (const auto& [k, v] : m.params) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quoted(k) + ": " + v;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool manifest_from_json(const FlatJson& doc, RunManifest& out) {
+  if (json_str(doc, "schema") != kManifestSchema) return false;
+  out.group = json_str(doc, "group");
+  out.protocol = json_str(doc, "protocol");
+  out.seed = static_cast<std::uint64_t>(json_num(doc, "seed", 0));
+  out.workload = json_str(doc, "workload");
+  out.trace_file = json_str(doc, "trace_file");
+  out.trace_events =
+      static_cast<std::uint64_t>(json_num(doc, "trace_events", 0));
+  out.trace_digest = json_str(doc, "trace_digest");
+  out.params.clear();
+  constexpr std::string_view kPrefix = "params.";
+  for (const auto& [k, v] : doc) {
+    if (k.rfind(kPrefix, 0) != 0) continue;
+    std::string rendered;
+    switch (v.type) {
+      case JsonScalar::Type::kNumber: rendered = num(v.num); break;
+      case JsonScalar::Type::kBool: rendered = v.boolean ? "true" : "false";
+        break;
+      case JsonScalar::Type::kString: rendered = quoted(v.str); break;
+      case JsonScalar::Type::kNull: rendered = "null"; break;
+    }
+    out.params.emplace_back(k.substr(kPrefix.size()), std::move(rendered));
+  }
+  return true;
+}
+
+}  // namespace emptcp::analysis

@@ -1,0 +1,25 @@
+#include "analysis/profile.hpp"
+
+#include "stats/csv.hpp"
+
+namespace emptcp::analysis {
+
+std::string Profiler::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string inner = pad + "  ";
+  std::string out = "{";
+  bool first = true;
+  for (const Component& c : components_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += inner + "\"" + c.name + "\": {";
+    out += "\"ops\": " + std::to_string(c.ops);
+    out += ", \"seconds\": " + stats::fmt_double(c.seconds);
+    out += ", \"ops_per_sec\": " + stats::fmt_double(c.ops_per_sec());
+    out += "}";
+  }
+  out += first ? "}" : "\n" + pad + "}";
+  return out;
+}
+
+}  // namespace emptcp::analysis

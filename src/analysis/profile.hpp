@@ -1,0 +1,85 @@
+// Simulator self-profiling: named op counters and accumulated wall-time
+// per component, rendered as a BENCH_core.json section.
+//
+// This is bench-harness instrumentation, not simulation state: it uses the
+// wall clock and therefore must never feed back into simulated behavior or
+// any deterministic artifact (traces, manifests, reports). The bench
+// binary aggregates per-component timings here and serializes them with
+// the other BENCH sections; the CI diff gate then ignores the timing
+// fields and gates only on the deterministic ones.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace emptcp::analysis {
+
+class Profiler {
+ public:
+  struct Component {
+    std::string name;
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+
+    [[nodiscard]] double ops_per_sec() const {
+      return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+    }
+  };
+
+  /// Find-or-create; references stay valid for the profiler's lifetime
+  /// (deque storage, same idiom as the metrics registry).
+  Component& component(std::string_view name) {
+    for (Component& c : components_) {
+      if (c.name == name) return c;
+    }
+    components_.emplace_back();
+    components_.back().name = std::string(name);
+    return components_.back();
+  }
+
+  /// RAII wall-time accumulator: adds elapsed seconds and `ops` to the
+  /// component on destruction.
+  class ScopedTimer {
+   public:
+    explicit ScopedTimer(Component& c, std::uint64_t ops = 1)
+        : c_(c), ops_(ops), start_(std::chrono::steady_clock::now()) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+      c_.seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+      c_.ops += ops_;
+    }
+
+    /// For loops where the op count is only known afterwards.
+    void set_ops(std::uint64_t ops) { ops_ = ops; }
+
+   private:
+    Component& c_;
+    std::uint64_t ops_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  [[nodiscard]] ScopedTimer time(std::string_view name,
+                                 std::uint64_t ops = 1) {
+    return ScopedTimer(component(name), ops);
+  }
+
+  [[nodiscard]] const std::deque<Component>& components() const {
+    return components_;
+  }
+
+  /// Renders a JSON object: {"<name>": {"ops": N, "seconds": S,
+  /// "ops_per_sec": R}, ...} indented by `indent` spaces, in registration
+  /// order.
+  [[nodiscard]] std::string to_json(int indent) const;
+
+ private:
+  std::deque<Component> components_;
+};
+
+}  // namespace emptcp::analysis

@@ -1,0 +1,414 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "analysis/histogram.hpp"
+#include "analysis/windowed.hpp"
+#include "stats/csv.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace emptcp::analysis {
+namespace {
+
+using stats::Table;
+
+std::string pct(double fraction) { return Table::num(fraction * 100.0, 1); }
+
+/// One (group, protocol) cell of the aggregate view.
+struct GroupStats {
+  std::string group;
+  std::string protocol;
+  std::vector<double> time_s;
+  std::vector<double> energy_j;
+  std::vector<double> uj_per_bit;
+  double bytes = 0.0;
+  double wifi_j = 0.0;
+  double cell_j = 0.0;
+};
+
+std::string quantile_row_value(const LogHistogram& h, double q) {
+  return h.count() == 0 ? "-" : Table::num(h.quantile(q), 3);
+}
+
+}  // namespace
+
+AnalyzedRun analyze_run(const LoadedRun& run) {
+  RollupBuilder b(run.manifest);
+  for (const FlatJson& e : run.trace.events) b.add_event(e);
+  for (const auto& [name, value] : run.trace.metrics) {
+    b.add_metric(name, value);
+  }
+  AnalyzedRun out;
+  out.rollup = b.finish();
+  out.power_windows = b.power().windows();
+  out.digest_ok = run.digest_ok;
+  out.source = run.source;
+  return out;
+}
+
+std::string render_report(const std::vector<LoadedRun>& runs) {
+  std::vector<AnalyzedRun> analyzed;
+  analyzed.reserve(runs.size());
+  for (const LoadedRun& r : runs) analyzed.push_back(analyze_run(r));
+  return render_report(std::move(analyzed));
+}
+
+std::string render_report(std::vector<AnalyzedRun> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const AnalyzedRun& a, const AnalyzedRun& b) {
+              return std::tie(a.rollup.group, a.rollup.protocol,
+                              a.rollup.seed) <
+                     std::tie(b.rollup.group, b.rollup.protocol,
+                              b.rollup.seed);
+            });
+
+  std::string out;
+  out += "emptcp-report (";
+  out += kManifestSchema;
+  out += ")\nruns: " + std::to_string(runs.size()) + "\n\n";
+
+  // -- per-run rollups ------------------------------------------------------
+  out += "== runs ==\n";
+  {
+    Table t({"group", "protocol", "seed", "ok", "time_s", "energy_J",
+             "uJ/bit", "wifi%", "retx", "susp", "res", "modes", "events"});
+    for (const AnalyzedRun& a : runs) {
+      const RunRollup& r = a.rollup;
+      t.add_row({r.group, r.protocol, std::to_string(r.seed),
+                 r.completed ? "y" : "n", Table::num(r.time_s, 3),
+                 Table::num(r.energy_j, 3),
+                 Table::num(r.energy_per_bit_uj(), 4),
+                 pct(r.iface_share("wifi")), std::to_string(r.retransmits),
+                 std::to_string(r.suspends), std::to_string(r.resumes),
+                 std::to_string(r.mode_changes), std::to_string(r.events)});
+    }
+    out += t.render();
+  }
+
+  // -- per-group aggregates -------------------------------------------------
+  std::vector<GroupStats> groups;
+  for (const AnalyzedRun& a : runs) {
+    const RunRollup& r = a.rollup;
+    GroupStats* g = nullptr;
+    for (GroupStats& cand : groups) {
+      if (cand.group == r.group && cand.protocol == r.protocol) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(GroupStats{});
+      g = &groups.back();
+      g->group = r.group;
+      g->protocol = r.protocol;
+    }
+    g->time_s.push_back(r.time_s);
+    g->energy_j.push_back(r.energy_j);
+    g->uj_per_bit.push_back(r.energy_per_bit_uj());
+    g->bytes += static_cast<double>(r.bytes);
+    g->wifi_j += r.wifi_j;
+    g->cell_j += r.cell_j;
+  }
+
+  out += "\n== aggregates (mean +/- SEM over seeds) ==\n";
+  {
+    Table t({"group", "protocol", "n", "time_s", "sem", "median", "energy_J",
+             "sem", "median"});
+    for (const GroupStats& g : groups) {
+      const stats::SortedSample time_sorted(g.time_s);
+      const stats::SortedSample energy_sorted(g.energy_j);
+      t.add_row({g.group, g.protocol, std::to_string(g.time_s.size()),
+                 Table::num(stats::mean(g.time_s), 3),
+                 Table::num(stats::sem(g.time_s), 3),
+                 Table::num(time_sorted.quantile(0.5), 3),
+                 Table::num(stats::mean(g.energy_j), 3),
+                 Table::num(stats::sem(g.energy_j), 3),
+                 Table::num(energy_sorted.quantile(0.5), 3)});
+    }
+    out += t.render();
+  }
+
+  // -- energy per bit (the paper's Table 2 shape) ---------------------------
+  out += "\n== energy per bit ==\n";
+  {
+    Table t({"group", "protocol", "MB", "energy_J", "uJ/bit", "wifi_J%",
+             "cell_J%"});
+    for (const GroupStats& g : groups) {
+      const double energy = g.wifi_j + g.cell_j;
+      const double bits = g.bytes * 8.0;
+      t.add_row({g.group, g.protocol, Table::num(g.bytes / 1e6, 2),
+                 Table::num(energy, 3),
+                 bits > 0.0 ? Table::num(energy * 1e6 / bits, 4) : "-",
+                 energy > 0.0 ? pct(g.wifi_j / energy) : "-",
+                 energy > 0.0 ? pct(g.cell_j / energy) : "-"});
+    }
+    out += t.render();
+  }
+
+  // -- histogram-backed quantiles over all runs of each group ---------------
+  out += "\n== quantiles (log-bucketed, 2% buckets) ==\n";
+  {
+    Table t({"metric", "group", "protocol", "n", "p50", "p90", "p95", "p99"});
+    for (const GroupStats& g : groups) {
+      LogHistogram time_h{};
+      LogHistogram energy_h{};
+      for (const double v : g.time_s) time_h.add(v);
+      for (const double v : g.energy_j) energy_h.add(v);
+      t.add_row({"time_s", g.group, g.protocol,
+                 std::to_string(time_h.count()),
+                 quantile_row_value(time_h, 0.50),
+                 quantile_row_value(time_h, 0.90),
+                 quantile_row_value(time_h, 0.95),
+                 quantile_row_value(time_h, 0.99)});
+      t.add_row({"energy_J", g.group, g.protocol,
+                 std::to_string(energy_h.count()),
+                 quantile_row_value(energy_h, 0.50),
+                 quantile_row_value(energy_h, 0.90),
+                 quantile_row_value(energy_h, 0.95),
+                 quantile_row_value(energy_h, 0.99)});
+    }
+    out += t.render();
+  }
+
+  // -- CDF export (download time per group/protocol) ------------------------
+  out += "\n== cdf: time_s ==\n";
+  for (const GroupStats& g : groups) {
+    LogHistogram h{};
+    for (const double v : g.time_s) h.add(v);
+    out += g.group + "/" + g.protocol + ":";
+    for (const LogHistogram::CdfPoint& p : h.cdf()) {
+      out += " " + Table::num(p.upper, 3) + ":" + Table::num(p.fraction, 3);
+    }
+    out += "\n";
+  }
+
+  // -- windowed power timeline (first run of each group/protocol) -----------
+  out += "\n== power timeline (first seed, 10 s windows, mean mW) ==\n";
+  for (const GroupStats& g : groups) {
+    const AnalyzedRun* first = nullptr;
+    for (const AnalyzedRun& a : runs) {
+      if (a.rollup.group == g.group && a.rollup.protocol == g.protocol) {
+        first = &a;
+        break;
+      }
+    }
+    if (first == nullptr) continue;
+    out += g.group + "/" + g.protocol + " seed " +
+           std::to_string(first->rollup.seed) + ":";
+    // Mean over the per-interface tracker samples inside each window.
+    for (const WindowedAggregator::Window& w : first->power_windows) {
+      out += " " + Table::num(w.mean(), 1);
+    }
+    out += "\n";
+  }
+
+  // -- energy-accounting cross-check + integrity ----------------------------
+  out += "\n== integrity ==\n";
+  bool clean = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].digest_ok) {
+      out += "DIGEST MISMATCH: " + runs[i].source + "\n";
+      clean = false;
+    }
+    const RunRollup& r = runs[i].rollup;
+    // The trace-integrated energy must agree with the tracker's own total
+    // to within one sampling window of max power; flag anything worse.
+    if (r.energy_j > 0.0 &&
+        std::fabs(r.integrated_energy_j - r.energy_j) > 0.05 * r.energy_j) {
+      out += "ENERGY DRIFT: " + runs[i].source + " tracker=" +
+             stats::fmt_double(r.energy_j) + " trace=" +
+             stats::fmt_double(r.integrated_energy_j) + "\n";
+      clean = false;
+    }
+  }
+  if (clean) out += "all digests and energy cross-checks ok\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing.
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative '*' glob with backtracking to the most recent star.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<ToleranceRule> default_bench_tolerances() {
+  using Mode = ToleranceRule::Mode;
+  return {
+      // Schema/version markers must match exactly.
+      {"schema", Mode::kExact, 0.0},
+      {"*version*", Mode::kExact, 0.0},
+      // Per-op allocation counts are deterministic: any increase beyond
+      // rounding noise is a real hot-path regression.
+      {"*alloc*", Mode::kMaxAbs, 0.01},
+      // High-water marks (scheduler slab, packet pool) are deterministic
+      // per workload; allow modest growth, catch structural blowups.
+      {"*high_water*", Mode::kMaxFactor, 1.5},
+      {"*slots*", Mode::kMaxFactor, 1.5},
+      // Throughput / latency: CI machines and neighbors vary wildly, so
+      // only a ~5x regression in the slower direction fails the gate.
+      {"*per_sec*", Mode::kMinFactor, 5.0},
+      {"*ns_per*", Mode::kMaxFactor, 5.0},
+      // Everything else (raw counts, wall-clock seconds, metadata) is
+      // informational only.
+      {"*", Mode::kIgnore, 0.0},
+  };
+}
+
+bool parse_tolerance(std::string_view spec, ToleranceRule& out) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  out.pattern = std::string(spec.substr(0, eq));
+  std::string_view rest = spec.substr(eq + 1);
+  const std::size_t colon = rest.find(':');
+  const std::string_view mode =
+      colon == std::string_view::npos ? rest : rest.substr(0, colon);
+  using Mode = ToleranceRule::Mode;
+  if (mode == "ignore") {
+    out.mode = Mode::kIgnore;
+  } else if (mode == "exact") {
+    out.mode = Mode::kExact;
+  } else if (mode == "abs") {
+    out.mode = Mode::kMaxAbs;
+  } else if (mode == "factor") {
+    out.mode = Mode::kMaxFactor;
+  } else if (mode == "min") {
+    out.mode = Mode::kMinFactor;
+  } else {
+    return false;
+  }
+  out.tol = 0.0;
+  if (out.mode == Mode::kMaxAbs || out.mode == Mode::kMaxFactor ||
+      out.mode == Mode::kMinFactor) {
+    if (colon == std::string_view::npos) return false;
+    char* end = nullptr;
+    const std::string tol_str(rest.substr(colon + 1));
+    out.tol = std::strtod(tol_str.c_str(), &end);
+    if (end == tol_str.c_str() || *end != '\0') return false;
+    if (out.tol < 0.0) return false;
+    if ((out.mode == Mode::kMaxFactor || out.mode == Mode::kMinFactor) &&
+        out.tol < 1.0) {
+      return false;  // a factor below 1 would reject identical values
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::string render_scalar(const JsonScalar& s) {
+  switch (s.type) {
+    case JsonScalar::Type::kNumber: return stats::fmt_double(s.num);
+    case JsonScalar::Type::kString: return s.str;
+    case JsonScalar::Type::kBool: return s.boolean ? "true" : "false";
+    case JsonScalar::Type::kNull: return "null";
+  }
+  return "?";
+}
+
+const ToleranceRule* rule_for(const std::vector<ToleranceRule>& rules,
+                              std::string_view key) {
+  for (const ToleranceRule& r : rules) {
+    if (glob_match(r.pattern, key)) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+DiffResult diff_metrics(const FlatJson& baseline, const FlatJson& current,
+                        const std::vector<ToleranceRule>& rules) {
+  using Mode = ToleranceRule::Mode;
+  DiffResult out;
+  for (const auto& [key, base] : baseline) {
+    DiffResult::Row row;
+    row.key = key;
+    row.baseline = render_scalar(base);
+    const ToleranceRule* rule = rule_for(rules, key);
+    const Mode mode = rule == nullptr ? Mode::kIgnore : rule->mode;
+    const JsonScalar* cur = json_find(current, key);
+    if (cur == nullptr) {
+      row.current = "-";
+      row.violation = mode != Mode::kIgnore;
+      row.verdict = row.violation ? "FAIL missing" : "ignored (missing)";
+    } else {
+      row.current = render_scalar(*cur);
+      if (mode == Mode::kIgnore) {
+        row.verdict = "ignored";
+      } else if (mode == Mode::kExact) {
+        row.violation = render_scalar(base) != render_scalar(*cur);
+        row.verdict = row.violation ? "FAIL not equal" : "ok";
+      } else if (base.type != JsonScalar::Type::kNumber ||
+                 cur->type != JsonScalar::Type::kNumber) {
+        row.violation = true;
+        row.verdict = "FAIL non-numeric under numeric rule";
+      } else {
+        const double b = base.num;
+        const double c = cur->num;
+        switch (mode) {
+          case Mode::kMaxAbs:
+            row.violation = c > b + rule->tol;
+            break;
+          case Mode::kMaxFactor:
+            row.violation = c > b * rule->tol;
+            break;
+          case Mode::kMinFactor:
+            row.violation = c < b / rule->tol;
+            break;
+          default:
+            break;
+        }
+        row.verdict = row.violation ? "FAIL out of tolerance" : "ok";
+      }
+    }
+    if (row.violation) ++out.violations;
+    out.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, cur] : current) {
+    if (json_find(baseline, key) != nullptr) continue;
+    DiffResult::Row row;
+    row.key = key;
+    row.baseline = "-";
+    row.current = render_scalar(cur);
+    row.verdict = "new";
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string DiffResult::render() const {
+  Table t({"metric", "baseline", "current", "verdict"});
+  for (const Row& r : rows) {
+    t.add_row({r.key, r.baseline, r.current, r.verdict});
+  }
+  std::string out = t.render();
+  out += violations == 0
+             ? "diff: OK\n"
+             : "diff: " + std::to_string(violations) + " violation(s)\n";
+  return out;
+}
+
+}  // namespace emptcp::analysis

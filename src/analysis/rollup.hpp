@@ -1,0 +1,119 @@
+// Per-connection/run rollups computed from serialized traces.
+//
+// The rollup consumes the PR-2 JSONL trace stream (events + metric
+// snapshot) and reduces it to the aggregate view the paper reports:
+// energy-per-bit, per-subflow byte shares, suspend/resume counts,
+// retransmission ratios, mode switches. It deliberately works on the
+// *serialized* form — the same bytes `emptcp-report` reads from disk —
+// so in-process tests and the offline CLI exercise one code path, and a
+// trace plus manifest is sufficient to reproduce every reported number
+// without re-running the simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "analysis/manifest.hpp"
+#include "analysis/windowed.hpp"
+
+namespace emptcp::analysis {
+
+/// A parsed JSONL trace: one FlatJson per event line, plus the metric
+/// snapshot lines ({"metric": name, "value": v}) in registration order.
+struct TraceData {
+  std::vector<FlatJson> events;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  [[nodiscard]] double metric(std::string_view name, double fallback) const;
+};
+
+/// Parses JSONL trace text. Malformed lines abort with false and `err`.
+bool parse_trace_jsonl(std::string_view text, TraceData& out,
+                       std::string* err = nullptr);
+
+/// The per-run aggregate view.
+struct RunRollup {
+  // Identity (copied from the manifest).
+  std::string group;
+  std::string protocol;
+  std::uint64_t seed = 0;
+
+  // Headline numbers (from the run.* gauges the scenario records into the
+  // trace's metric snapshot).
+  bool completed = false;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double wifi_j = 0.0;
+  double cell_j = 0.0;
+  std::uint64_t bytes = 0;
+
+  /// Independent cross-check: trapezoid-free integration of the per-window
+  /// energy_sample events (power * window). Should track energy_j closely;
+  /// a large gap means the trace is stale or truncated.
+  double integrated_energy_j = 0.0;
+
+  // Scheduler / subflow activity.
+  std::uint64_t sched_picks = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> sched_bytes_by_iface;
+  std::uint64_t suspends = 0;       ///< MP_PRIO backup=true transitions
+  std::uint64_t resumes = 0;        ///< MP_PRIO backup=false transitions
+  std::uint64_t mode_changes = 0;   ///< eMPTCP path-usage decisions
+  std::uint64_t radio_transitions = 0;
+  std::uint64_t warnings = 0;
+  std::uint64_t events = 0;         ///< total trace events
+
+  // TCP loss-recovery counters (from the metric snapshot).
+  std::uint64_t retransmits = 0;
+  std::uint64_t rtos = 0;
+  std::uint64_t fast_recoveries = 0;
+  std::uint64_t reinjections = 0;
+
+  [[nodiscard]] double energy_per_bit_uj() const {
+    return bytes == 0 ? 0.0
+                      : energy_j * 1e6 / (static_cast<double>(bytes) * 8.0);
+  }
+  /// Retransmitted segments per megabyte received.
+  [[nodiscard]] double retx_per_mb() const {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(retransmits) /
+                            (static_cast<double>(bytes) / 1e6);
+  }
+  /// Fraction of scheduler-assigned bytes that went to `iface`.
+  [[nodiscard]] double iface_share(std::string_view iface) const;
+};
+
+RunRollup rollup_run(const RunManifest& manifest, const TraceData& trace);
+
+/// Streaming rollup: fold one parsed trace line at a time, never retaining
+/// events. This is what `emptcp-report` runs over multi-hundred-MB traces
+/// — memory stays O(interfaces + covered-time/window), independent of
+/// event count. `rollup_run` above is a convenience wrapper over this for
+/// already-materialized TraceData.
+class RollupBuilder {
+ public:
+  explicit RollupBuilder(const RunManifest& manifest);
+
+  /// Folds one parsed JSONL line — event or metric line, auto-detected.
+  void add_line(const FlatJson& doc);
+  void add_event(const FlatJson& event);
+  void add_metric(const std::string& name, double value);
+
+  /// The finished rollup (metric-derived fields resolved on each call).
+  [[nodiscard]] RunRollup finish() const;
+
+  /// 10 s mean-power windows over every energy_sample seen — the report's
+  /// power-timeline view, built in the same single pass.
+  [[nodiscard]] const WindowedAggregator& power() const { return power_; }
+
+ private:
+  RunRollup r_;  ///< event-derived counters accumulate here
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> prev_sample_t_;
+  WindowedAggregator power_{10.0};
+};
+
+}  // namespace emptcp::analysis

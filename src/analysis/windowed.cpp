@@ -1,0 +1,60 @@
+#include "analysis/windowed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emptcp::analysis {
+
+WindowedAggregator::WindowedAggregator(double interval_s)
+    : interval_s_(interval_s) {
+  if (!(interval_s > 0.0)) {
+    throw std::invalid_argument("WindowedAggregator: interval must be > 0");
+  }
+}
+
+std::int64_t WindowedAggregator::window_index(double t_s) const {
+  return static_cast<std::int64_t>(std::floor(t_s / interval_s_));
+}
+
+void WindowedAggregator::add(double t_s, double v) {
+  const std::int64_t idx = window_index(t_s);
+  if (!has_base_) {
+    has_base_ = true;
+    base_index_ = idx;
+    windows_.push_back(Window{static_cast<double>(idx) * interval_s_, 0,
+                              0.0, 0.0, 0.0});
+  } else if (idx < base_index_) {
+    // Prepend empty windows; rare (trace streams are time-ordered).
+    const std::size_t grow = static_cast<std::size_t>(base_index_ - idx);
+    std::vector<Window> fresh(grow);
+    for (std::size_t i = 0; i < grow; ++i) {
+      fresh[i].start_s =
+          static_cast<double>(idx + static_cast<std::int64_t>(i)) *
+          interval_s_;
+    }
+    windows_.insert(windows_.begin(), fresh.begin(), fresh.end());
+    base_index_ = idx;
+  }
+  const std::size_t slot = static_cast<std::size_t>(idx - base_index_);
+  while (windows_.size() <= slot) {
+    windows_.push_back(
+        Window{static_cast<double>(base_index_ + static_cast<std::int64_t>(
+                                                     windows_.size())) *
+                   interval_s_,
+               0, 0.0, 0.0, 0.0});
+  }
+  Window& w = windows_[slot];
+  if (w.count == 0) {
+    w.min = v;
+    w.max = v;
+  } else {
+    w.min = std::min(w.min, v);
+    w.max = std::max(w.max, v);
+  }
+  ++w.count;
+  w.sum += v;
+  ++count_;
+}
+
+}  // namespace emptcp::analysis

@@ -1,0 +1,61 @@
+// Windowed time-series aggregation: fixed-interval rollups of a streaming
+// (t, value) sequence — count / mean / min / max / rate per window —
+// without retaining the samples. This is how the analysis layer turns
+// per-event trace streams (cwnd updates, power samples, channel rates)
+// into the per-interval series the paper's time-series figures plot,
+// with memory proportional to the covered time span, not the event count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emptcp::analysis {
+
+class WindowedAggregator {
+ public:
+  struct Window {
+    double start_s = 0.0;  ///< window covers [start_s, start_s + interval)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  /// `interval_s` is the window width in seconds (> 0).
+  explicit WindowedAggregator(double interval_s);
+
+  /// Folds one sample into its window. Times may arrive in any order;
+  /// windows are laid out densely from the earliest time seen.
+  void add(double t_s, double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double interval_s() const { return interval_s_; }
+
+  /// All windows from the earliest to the latest sample, in time order;
+  /// gaps appear as zero-count windows. Empty if nothing was added.
+  [[nodiscard]] const std::vector<Window>& windows() const {
+    return windows_;
+  }
+
+  /// Events per second landing in `w` — the "rate" view (e.g. trace
+  /// events/s, retransmits/s).
+  [[nodiscard]] double rate(const Window& w) const {
+    return static_cast<double>(w.count) / interval_s_;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t window_index(double t_s) const;
+
+  double interval_s_;
+  std::uint64_t count_ = 0;
+  bool has_base_ = false;
+  std::int64_t base_index_ = 0;  ///< window index of windows_[0]
+  std::vector<Window> windows_;
+};
+
+}  // namespace emptcp::analysis

@@ -9,6 +9,7 @@
 #include "baselines/wifi_first.hpp"
 #include "energy/energy_tracker.hpp"
 #include "net/node.hpp"
+#include "net/packet_pool.hpp"
 
 namespace emptcp::app {
 
@@ -430,18 +431,22 @@ stats::Series to_series(
   return s;
 }
 
-RunMetrics collect(World& w, const ClientConnHandle& client,
-                   bool completed, double download_time_s) {
+/// Shared run collection: everything derivable from the world plus the
+/// caller-supplied completion state and byte count (the web-page run has
+/// no single ClientConnHandle, so those arrive as parameters).
+RunMetrics collect_core(World& w, bool completed, double download_time_s,
+                        std::uint64_t bytes_received,
+                        std::uint64_t controller_switches) {
   RunMetrics m;
   m.completed = completed;
   m.download_time_s = download_time_s;
   m.energy_j = w.tracker.total_j();
   m.wifi_j = w.tracker.iface_j(w.wifi_if->type());
   m.cell_j = w.tracker.iface_j(w.cell_if->type());
-  m.bytes_received = client.bytes_received();
+  m.bytes_received = bytes_received;
   m.cellular_used = w.cell_if->rx_bytes() > 5000;
   m.cellular_activations = w.cell_radio.activations();
-  m.controller_switches = client.controller_switches();
+  m.controller_switches = controller_switches;
   m.wifi_capacity_mbps = w.scfg.wifi.down_mbps;
   m.cell_capacity_mbps = w.scfg.cell.down_mbps;
   if (download_time_s > 0.0) {
@@ -450,16 +455,39 @@ RunMetrics collect(World& w, const ClientConnHandle& client,
     m.mean_cell_mbps = static_cast<double>(w.cell_if->rx_bytes()) * 8.0 /
                        1e6 / download_time_s;
   }
+  m.profile.events_executed = w.sim.scheduler().events_executed();
+  m.profile.sched_slab_slots = w.sim.scheduler().slab_size();
+  m.profile.packet_pool_slots = w.sim.context<net::PacketPool>().allocated();
   if (w.scfg.record_series) {
     m.energy_series = to_series(w.tracker.energy_series());
     m.wifi_rate_series = to_series(w.tracker.rate_series(w.wifi_if->type()));
     m.cell_rate_series = to_series(w.tracker.rate_series(w.cell_if->type()));
   }
   if (w.scfg.trace) {
+    // Record the headline results as run.* gauges before snapshotting, so
+    // the serialized trace carries them and the analysis layer can rebuild
+    // every reported number from the trace alone.
+    trace::Metrics& reg = w.sim.trace().metrics();
+    reg.gauge("run.completed").set(completed ? 1.0 : 0.0);
+    reg.gauge("run.download_time_s").set(download_time_s);
+    reg.gauge("run.energy_j").set(m.energy_j);
+    reg.gauge("run.wifi_j").set(m.wifi_j);
+    reg.gauge("run.cell_j").set(m.cell_j);
+    reg.gauge("run.bytes_received")
+        .set(static_cast<double>(bytes_received));
+    reg.gauge("sim.events_executed")
+        .set(static_cast<double>(m.profile.events_executed));
     m.trace_events = w.sim.trace().events();
-    m.trace_metrics = w.sim.trace().metrics().snapshot();
+    m.trace_metrics = reg.snapshot();
+    m.profile.trace_events = m.trace_events.size();
   }
   return m;
+}
+
+RunMetrics collect(World& w, const ClientConnHandle& client,
+                   bool completed, double download_time_s) {
+  return collect_core(w, completed, download_time_s, client.bytes_received(),
+                      client.controller_switches());
 }
 
 void advance_until(World& w, const std::function<bool()>& done,
@@ -666,24 +694,9 @@ RunMetrics Scenario::run_web_page(Protocol p, const WebPage& page,
   if (completed) drain_tails(w, cfg_.max_drain);
   w.tracker.stop();
 
-  RunMetrics m;
-  m.completed = completed;
-  m.download_time_s =
-      completed ? loaded_at : sim::to_seconds(w.sim.now());
-  m.energy_j = w.tracker.total_j();
-  m.wifi_j = w.tracker.iface_j(w.wifi_if->type());
-  m.cell_j = w.tracker.iface_j(w.cell_if->type());
-  m.bytes_received = browser.bytes_received();
-  m.cellular_used = w.cell_if->rx_bytes() > 5000;
-  m.cellular_activations = w.cell_radio.activations();
-  m.wifi_capacity_mbps = cfg_.wifi.down_mbps;
-  m.cell_capacity_mbps = cfg_.cell.down_mbps;
-  if (cfg_.record_series) {
-    m.energy_series = to_series(w.tracker.energy_series());
-    m.wifi_rate_series = to_series(w.tracker.rate_series(w.wifi_if->type()));
-    m.cell_rate_series = to_series(w.tracker.rate_series(w.cell_if->type()));
-  }
-  return m;
+  return collect_core(w, completed,
+                      completed ? loaded_at : sim::to_seconds(w.sim.now()),
+                      browser.bytes_received(), 0);
 }
 
 }  // namespace emptcp::app

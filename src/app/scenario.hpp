@@ -80,6 +80,17 @@ struct ScenarioConfig {
   bool trace = false;
 };
 
+/// Simulator-internals snapshot taken at the end of a run: how much work
+/// the event core did and how large the run-scoped slabs grew. These are
+/// self-profiling diagnostics (deterministic per (scenario, seed)), not
+/// measurements of the modeled system.
+struct SimProfile {
+  std::uint64_t events_executed = 0;   ///< scheduler actions fired
+  std::size_t sched_slab_slots = 0;    ///< event-slab high-water mark
+  std::size_t packet_pool_slots = 0;   ///< PacketPool high-water mark
+  std::size_t trace_events = 0;        ///< retained trace records
+};
+
 struct RunMetrics {
   bool completed = false;
   double download_time_s = 0.0;
@@ -106,9 +117,13 @@ struct RunMetrics {
   stats::Series cell_rate_series;
 
   // Populated when ScenarioConfig::trace is set (serialize with
-  // stats::trace_to_jsonl / trace_to_csv).
+  // stats::trace_to_jsonl / trace_to_csv). The metric snapshot includes
+  // the run.* summary gauges, so a serialized trace alone is sufficient to
+  // reproduce the headline numbers (see analysis/rollup.hpp).
   std::vector<trace::Event> trace_events;
   std::vector<trace::MetricSnapshot> trace_metrics;
+
+  SimProfile profile;
 
   [[nodiscard]] double energy_per_mb() const {
     return bytes_received > 0

@@ -6,6 +6,10 @@
 
 namespace emptcp::energy {
 
+/// Trace id for the synthetic "platform" energy stream — out of the range
+/// net::InterfaceType codes occupy.
+constexpr std::uint32_t kPlatformTraceCode = 0xFFFF;
+
 EnergyTracker::EnergyTracker(sim::Simulation& sim, Config cfg)
     : sim_(sim),
       cfg_(cfg),
@@ -76,6 +80,15 @@ void EnergyTracker::tick() {
   }
   if (transferring >= 1) {
     platform_mj_ += cfg_.platform_mw * window_s;
+  }
+  if (cfg_.platform_mw > 0.0) {
+    // The shared platform-activity draw must appear in the trace too, or
+    // integrating the energy_sample stream can never reproduce total_j().
+    // Sampled every window (zero when no radio moved bytes) so offline
+    // integration needs no knowledge of the transfer windows.
+    const double plat_mw = transferring >= 1 ? cfg_.platform_mw : 0.0;
+    EMPTCP_TRACE(sim_, energy_sample(now, kPlatformTraceCode, "platform",
+                                     0.0, plat_mw));
   }
   if (cfg_.record_series && sample_index_ % cfg_.series_stride == 0) {
     energy_series_.push_back(SeriesPoint{sim::to_seconds(now), total_j()});

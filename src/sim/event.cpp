@@ -79,6 +79,7 @@ std::size_t Scheduler::run_until(Time stop_at) {
     // even if it schedules (and a new event acquires) other slots.
     s.action();
     release_slot(top.slot);
+    ++executed_total_;
     if (++executed >= event_limit_) {
       throw std::runtime_error("Scheduler: event limit exceeded at t=" +
                                format_time(now_));

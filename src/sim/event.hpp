@@ -83,7 +83,15 @@ class Scheduler {
   void set_event_limit(std::size_t limit) { event_limit_ = limit; }
 
   /// Slab capacity (allocated slots), for diagnostics and slab-reuse tests.
+  /// Slots are never freed, so this doubles as the high-water mark of
+  /// concurrently pending events — a self-profiling figure.
   [[nodiscard]] std::size_t slab_size() const { return slab_size_; }
+
+  /// Total events executed over the scheduler's lifetime (across every
+  /// run_until call), for self-profiling and events/s accounting.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return executed_total_;
+  }
 
  private:
   friend class EventId;
@@ -178,6 +186,7 @@ class Scheduler {
   std::uint32_t free_head_ = kNoFreeSlot;
   Time now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_total_ = 0;
   std::size_t live_count_ = 0;
   std::size_t event_limit_ = 500'000'000;
 };

@@ -1,3 +1,15 @@
 #include "sim/simulation.hpp"
 
-// Simulation is header-only; see simulation.hpp.
+#include <cstdio>
+
+namespace emptcp::sim {
+
+void Simulation::dump_flight_recorder(const char* why) const {
+  const trace::FlightRecorder& fr = trace_.flight();
+  if (fr.total() == 0) return;
+  std::fprintf(stderr, "emptcp: %s at t=%s; %s", why,
+               format_time(now()).c_str(), fr.dump().c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace emptcp::sim

@@ -20,7 +20,18 @@ namespace emptcp::sim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {
+    // Register as this thread's current sink so out-of-band observers
+    // (test-failure listeners, panic paths) can reach the flight recorder.
+    prev_sink_ = trace::detail::set_current_sink(&trace_);
+  }
+  ~Simulation() {
+    // Best-effort LIFO restore (simulations are stack objects in practice;
+    // out-of-order destruction just loses the current-sink shortcut).
+    if (trace::current_sink() == &trace_) {
+      trace::detail::set_current_sink(prev_sink_);
+    }
+  }
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -44,9 +55,23 @@ class Simulation {
     return sched_.schedule_in(dt, std::move(a));
   }
 
-  /// Runs until `t`; see Scheduler::run_until.
-  std::size_t run_until(Time t) { return sched_.run_until(t); }
-  std::size_t run() { return sched_.run(); }
+  /// Runs until `t`; see Scheduler::run_until. On a simulation invariant
+  /// violation (scheduler exceptions: event-limit runaway, scheduling in
+  /// the past, anything thrown out of an event action) the flight-recorder
+  /// tail is dumped to stderr before the exception propagates.
+  std::size_t run_until(Time t) {
+    try {
+      return sched_.run_until(t);
+    } catch (...) {
+      dump_flight_recorder("exception out of the event loop");
+      throw;
+    }
+  }
+  std::size_t run() { return run_until(kTimeNever); }
+
+  /// Dumps the flight-recorder tail to stderr (no-op when empty) — the
+  /// post-mortem view of what the simulation did last.
+  void dump_flight_recorder(const char* why) const;
 
   /// Per-simulation singleton of an arbitrary default-constructible type,
   /// created on first use. Lets higher layers (e.g. the net packet pool)
@@ -78,6 +103,7 @@ class Simulation {
   Rng rng_;
   Logger logger_;
   trace::TraceSink trace_;
+  trace::TraceSink* prev_sink_ = nullptr;
 };
 
 }  // namespace emptcp::sim

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -12,11 +13,22 @@
 
 namespace emptcp::stats {
 
-/// Escapes one CSV field (quotes when it contains separators/quotes).
+/// Locale-independent shortest-roundtrip double formatting ("0.1", not
+/// "0.10000000000000001"). Shared by every deterministic text artifact:
+/// JSONL traces, CSV dumps, run manifests and report output.
+std::string fmt_double(double v);
+
+/// Escapes one CSV field per RFC 4180 (quotes when it contains a comma,
+/// quote, CR or LF; embedded quotes are doubled).
 std::string csv_field(const std::string& value);
 
 /// Renders rows (first row = header) as CSV text.
 std::string to_csv(const std::vector<std::vector<std::string>>& rows);
+
+/// Parses RFC-4180 CSV text back into rows. Quoted fields may contain
+/// commas, doubled quotes, CR and LF; rows end at an unquoted LF or CRLF.
+/// The exact inverse of to_csv: parse_csv(to_csv(rows)) == rows.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
 
 /// One (t, v) series with a named value column.
 std::string series_to_csv(const Series& series,

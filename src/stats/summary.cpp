@@ -26,24 +26,38 @@ double sem(const std::vector<double>& xs) {
   return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
 }
 
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile of empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 double quantile(std::vector<double> xs, double q) {
   if (xs.empty()) throw std::invalid_argument("quantile of empty sample");
-  q = std::clamp(q, 0.0, 1.0);
   std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
+  return quantile_sorted(xs, q);
+}
+
+SortedSample::SortedSample(std::vector<double> xs) : xs_(std::move(xs)) {
+  std::sort(xs_.begin(), xs_.end());
 }
 
 Whisker whisker(const std::vector<double>& xs) {
+  return whisker(SortedSample(xs));
+}
+
+Whisker whisker(const SortedSample& sample) {
+  const std::vector<double>& xs = sample.data();
   Whisker w;
   w.n = xs.size();
   if (xs.empty()) return w;
-  w.q1 = quantile(xs, 0.25);
-  w.median = quantile(xs, 0.5);
-  w.q3 = quantile(xs, 0.75);
+  w.q1 = quantile_sorted(xs, 0.25);
+  w.median = quantile_sorted(xs, 0.5);
+  w.q3 = quantile_sorted(xs, 0.75);
   const double iqr = w.q3 - w.q1;
   const double lo_fence = w.q1 - 1.5 * iqr;
   const double hi_fence = w.q3 + 1.5 * iqr;

@@ -20,8 +20,30 @@ double stddev(const std::vector<double>& xs);
 /// Standard error of the mean: s / sqrt(n).
 double sem(const std::vector<double>& xs);
 
-/// Linear-interpolation quantile, q in [0,1].
+/// Linear-interpolation quantile over an already ascending-sorted sample,
+/// q in [0,1]. Precondition: `sorted` is non-empty and sorted.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Linear-interpolation quantile, q in [0,1]. Sorts a copy of the sample
+/// on every call; for repeated queries over one sample use SortedSample.
 double quantile(std::vector<double> xs, double q);
+
+/// Sort-once view of a sample for repeated quantile queries. Holds its own
+/// sorted copy, so the source vector may be discarded or mutated freely.
+class SortedSample {
+ public:
+  explicit SortedSample(std::vector<double> xs);
+
+  [[nodiscard]] double quantile(double q) const {
+    return quantile_sorted(xs_, q);
+  }
+  [[nodiscard]] const std::vector<double>& data() const { return xs_; }
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+
+ private:
+  std::vector<double> xs_;
+};
 
 /// Whisker-plot summary: quartiles, whiskers at the most extreme samples
 /// within [Q1 - 1.5 IQR, Q3 + 1.5 IQR], and the samples outside (outliers).
@@ -36,5 +58,9 @@ struct Whisker {
 };
 
 Whisker whisker(const std::vector<double>& xs);
+
+/// Batch path: computes the whisker summary from an already-sorted sample
+/// (one sort total, instead of one per quantile call).
+Whisker whisker(const SortedSample& xs);
 
 }  // namespace emptcp::stats

@@ -17,7 +17,13 @@ double value_at(const Series& s, double t) {
 
 Series resample(const Series& s, double t0, double t1, std::size_t n) {
   Series out;
-  if (n == 0 || t1 <= t0) return out;
+  if (n == 0 || t1 < t0) return out;
+  if (n == 1 || t1 == t0) {
+    // One point (or a zero-width range): sample the start of the range.
+    // The general formula below would divide 0 by 0 and emit NaN times.
+    out.push_back(Point{t0, value_at(s, t0)});
+    return out;
+  }
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double t =

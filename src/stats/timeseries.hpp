@@ -19,7 +19,9 @@ using Series = std::vector<Point>;
 /// the first value before the series starts).
 double value_at(const Series& s, double t);
 
-/// Resamples onto [t0, t1] with `n` evenly spaced points.
+/// Resamples onto [t0, t1] with `n` evenly spaced points. Degenerate
+/// inputs are well-defined: n == 0 or t1 < t0 yields an empty series;
+/// n == 1 or a zero-width range yields the single sample at t0.
 Series resample(const Series& s, double t0, double t1, std::size_t n);
 
 /// Renders the series as one line of unicode block characters, scaled to

@@ -8,21 +8,6 @@
 namespace emptcp::stats {
 namespace {
 
-/// Locale-independent shortest-roundtrip double formatting. %.17g would be
-/// exact but ugly ("0.10000000000000001"); try increasing precision until
-/// the value round-trips, which for the doubles this simulator produces
-/// almost always stops well short of 17 digits.
-std::string fmt_double(double v) {
-  char buf[64];
-  for (int prec = 6; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == v) break;
-  }
-  return buf;
-}
-
 void append_json_string(std::string& out, const char* s) {
   out += '"';
   for (const char* p = s; *p != '\0'; ++p) {

@@ -1,6 +1,56 @@
 #include "trace/sink.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace emptcp::trace {
+namespace {
+thread_local TraceSink* t_current_sink = nullptr;
+}  // namespace
+
+TraceSink* current_sink() { return t_current_sink; }
+
+namespace detail {
+TraceSink* set_current_sink(TraceSink* s) {
+  TraceSink* prev = t_current_sink;
+  t_current_sink = s;
+  return prev;
+}
+}  // namespace detail
+
+std::vector<Event> FlightRecorder::tail() const {
+  std::vector<Event> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump() const {
+  // Raw record layout, self-contained (no dependency on the stats
+  // exporters): forensic output for panic paths and test failures.
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder: %" PRIu64 " events recorded, last %zu:\n",
+                total_, size());
+  out += buf;
+  for (const Event& e : tail()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  t=%" PRId64 " kind=%s id=%" PRIu32
+                  " label=%s label2=%s i0=%" PRId64 " i1=%" PRId64
+                  " d0=%g d1=%g\n",
+                  static_cast<std::int64_t>(e.t), to_string(e.kind), e.id,
+                  e.label == nullptr ? "-" : e.label,
+                  e.label2 == nullptr ? "-" : e.label2, e.i0, e.i1, e.d0,
+                  e.d1);
+    out += buf;
+  }
+  return out;
+}
 
 const char* to_string(Kind k) {
   switch (k) {

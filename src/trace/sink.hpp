@@ -19,6 +19,8 @@
 // a single add through a cached pointer, enabled or not.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -88,14 +90,65 @@ class Metrics {
   std::deque<Gauge> gauges_;
 };
 
+/// Bounded last-N ring of trace events — the simulator's flight recorder.
+/// Always on (capacity is fixed at compile time, writes are an index mask
+/// and a POD copy), so the most recent instrumented activity is available
+/// for post-mortem dumps even when full event retention is disabled.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  void record(const Event& e) {
+    ring_[total_ % kCapacity] = e;
+    ++total_;
+  }
+  void clear() { total_ = 0; }
+
+  /// Events ever recorded (retained tail is min(total, kCapacity)).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t size() const {
+    return total_ < kCapacity ? static_cast<std::size_t>(total_) : kCapacity;
+  }
+
+  /// Retained tail, oldest first.
+  [[nodiscard]] std::vector<Event> tail() const;
+
+  /// Human-readable dump of the tail (raw record layout, one line per
+  /// event) for invariant-violation and test-failure forensics.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::array<Event, kCapacity> ring_{};
+  std::uint64_t total_ = 0;
+};
+
 class TraceSink {
  public:
-  /// The one hot-path query; instrumentation macros branch on it.
-  [[nodiscard]] bool enabled() const { return enabled_; }
-  void enable(bool on = true) { enabled_ = on; }
+  /// The one hot-path query; instrumentation macros branch on it. True when
+  /// anything wants the record: full event retention (enabled) or the
+  /// always-on flight recorder.
+  [[nodiscard]] bool recording() const { return recording_; }
 
-  // Typed record methods. Call only when enabled() — the EMPTCP_TRACE
-  // macro enforces the gate so disabled runs never reach these.
+  /// Full event retention (the exported trace stream).
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void enable(bool on = true) {
+    enabled_ = on;
+    recording_ = enabled_ || flight_on_;
+  }
+
+  /// The bounded flight-recorder ring; on by default. Turning it off (with
+  /// retention also off) reduces every instrumentation site to a cached
+  /// bool load and branch.
+  void flight_enable(bool on = true) {
+    flight_on_ = on;
+    recording_ = enabled_ || flight_on_;
+  }
+  [[nodiscard]] bool flight_enabled() const { return flight_on_; }
+  [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
+  FlightRecorder& flight() { return flight_; }
+
+  // Typed record methods. Call only when recording() — the EMPTCP_TRACE
+  // macro enforces the gate so fully-disabled runs never reach these.
   void tcp_state(sim::Time t, std::uint32_t flow, const char* from,
                  const char* to) {
     push({t, Kind::kTcpState, flow, from, to, 0, 0, 0.0, 0.0});
@@ -150,11 +203,30 @@ class TraceSink {
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
 
  private:
-  void push(const Event& e) { events_.push_back(e); }
+  void push(const Event& e) {
+    if (enabled_) events_.push_back(e);
+    if (flight_on_) flight_.record(e);
+  }
 
   bool enabled_ = false;
+  bool flight_on_ = true;
+  bool recording_ = true;  ///< enabled_ || flight_on_, cached for the gate
   std::vector<Event> events_;
+  FlightRecorder flight_;
   Metrics metrics_;
 };
+
+/// Thread-local "most recently constructed, still alive" sink, maintained
+/// by sim::Simulation. Lets out-of-band observers — the gtest failure
+/// listener, signal-style panic paths — find the flight recorder of the
+/// simulation under test without threading a reference through every call.
+/// Returns nullptr when no Simulation is alive on this thread.
+[[nodiscard]] TraceSink* current_sink();
+
+namespace detail {
+/// Pushes `s` as the thread's current sink; returns the previous one so
+/// the caller (Simulation's destructor) can restore it LIFO-style.
+TraceSink* set_current_sink(TraceSink* s);
+}  // namespace detail
 
 }  // namespace emptcp::trace

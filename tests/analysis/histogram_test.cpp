@@ -1,0 +1,110 @@
+#include "analysis/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace emptcp::analysis {
+namespace {
+
+TEST(LogHistogramTest, EmptyHistogramIsInert) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(LogHistogramTest, ExactExtremesAndMeanCarryNoBucketError) {
+  LogHistogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(LogHistogramTest, UnderflowAndOverflowPinToRangeEdges) {
+  LogHistogram h(LogHistogram::Config{1.0, 100.0, 1.02});
+  h.add(0.0);      // below min -> underflow
+  h.add(-5.0);     // negative -> underflow
+  h.add(1e6);      // >= max -> overflow
+  h.add(std::nan(""));  // NaN must not corrupt state
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // All three real samples still count; the NaN is dropped.
+  EXPECT_EQ(h.count(), 3u);
+  // Quantiles stay finite even with only out-of-range samples.
+  EXPECT_TRUE(std::isfinite(h.quantile(0.5)));
+}
+
+TEST(LogHistogramTest, QuantilesWithinConfiguredRelativeError) {
+  // The default 2% growth bounds relative quantile error at one bucket
+  // width. Check against exact order statistics on a lognormal sample —
+  // the heavy-tailed shape download times and energy actually take.
+  std::mt19937 rng(42);
+  std::lognormal_distribution<double> dist(1.0, 0.8);
+  LogHistogram h;
+  std::vector<double> xs;
+  xs.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    xs.push_back(v);
+    h.add(v);
+  }
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const double exact = stats::quantile(xs, q);
+    const double est = h.quantile(q);
+    // Allow a little beyond one bucket for interpolation at the edges.
+    EXPECT_NEAR(est, exact, 0.06 * exact) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, MemoryIsBucketCountNotSampleCount) {
+  LogHistogram h;
+  const std::size_t buckets = h.bucket_count();
+  ASSERT_GT(buckets, 0u);
+  // A million samples must not change the allocated bucket storage.
+  for (int i = 0; i < 1000000; ++i) h.add(1.0 + (i % 97) * 0.5);
+  EXPECT_EQ(h.bucket_count(), buckets);
+  EXPECT_EQ(h.count(), 1000000u);
+}
+
+TEST(LogHistogramTest, CdfIsMonotoneAndEndsAtOne) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0.1, 50.0);
+  LogHistogram h;
+  for (int i = 0; i < 5000; ++i) h.add(dist(rng));
+  const std::vector<LogHistogram::CdfPoint> cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_upper = 0.0;
+  double prev_frac = 0.0;
+  for (const auto& p : cdf) {
+    EXPECT_GT(p.upper, prev_upper);
+    EXPECT_GE(p.fraction, prev_frac);
+    prev_upper = p.upper;
+    prev_frac = p.fraction;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(LogHistogramTest, WeightedAddMatchesRepeatedAdd) {
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 0; i < 10; ++i) a.add(3.5);
+  b.add(3.5, 10);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+}
+
+}  // namespace
+}  // namespace emptcp::analysis

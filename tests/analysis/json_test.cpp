@@ -1,0 +1,119 @@
+#include "analysis/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/manifest.hpp"
+
+namespace emptcp::analysis {
+namespace {
+
+TEST(JsonFlatTest, FlattensNestedObjectsWithDottedPaths) {
+  const auto doc = parse_json_flat(R"({"a":{"b":1,"c":"x"},"d":true})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->size(), 3u);
+  EXPECT_EQ((*doc)[0].first, "a.b");
+  EXPECT_DOUBLE_EQ((*doc)[0].second.num, 1.0);
+  EXPECT_EQ((*doc)[1].first, "a.c");
+  EXPECT_EQ((*doc)[1].second.str, "x");
+  EXPECT_EQ((*doc)[2].first, "d");
+  EXPECT_TRUE((*doc)[2].second.boolean);
+}
+
+TEST(JsonFlatTest, ArraysFlattenWithNumericSegments) {
+  const auto doc = parse_json_flat(R"({"xs":[10,20],"m":{"ys":[true]}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(json_num(*doc, "xs.0", -1), 10.0);
+  EXPECT_DOUBLE_EQ(json_num(*doc, "xs.1", -1), 20.0);
+  EXPECT_DOUBLE_EQ(json_num(*doc, "m.ys.0", -1), 1.0);  // bool widens
+}
+
+TEST(JsonFlatTest, StringEscapes) {
+  const auto doc =
+      parse_json_flat(R"({"s":"quote \" slash \\ nl \n u A"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(json_str(*doc, "s"), "quote \" slash \\ nl \n u A");
+}
+
+TEST(JsonFlatTest, ScalarsAndEmptyContainers) {
+  EXPECT_TRUE(parse_json_flat("{}").has_value());
+  EXPECT_TRUE(parse_json_flat("[]").has_value());
+  const auto n = parse_json_flat("-12.5e2");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_DOUBLE_EQ(json_num(*n, "", 0), -1250.0);
+  const auto nul = parse_json_flat("null");
+  ASSERT_TRUE(nul.has_value());
+  EXPECT_EQ((*nul)[0].second.type, JsonScalar::Type::kNull);
+}
+
+TEST(JsonFlatTest, MalformedInputsFailWithOffset) {
+  std::string err;
+  EXPECT_FALSE(parse_json_flat("{\"a\":}", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+  EXPECT_FALSE(parse_json_flat("{\"a\":1", &err).has_value());
+  EXPECT_FALSE(parse_json_flat("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse_json_flat("{\"a\":1}trailing", &err).has_value());
+  EXPECT_FALSE(parse_json_flat("", &err).has_value());
+  EXPECT_FALSE(parse_json_flat("{1:2}", &err).has_value());
+}
+
+TEST(JsonFlatTest, LookupHelpersFallBack) {
+  const auto doc = parse_json_flat(R"({"a":1,"s":"x"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(json_find(*doc, "missing"), nullptr);
+  EXPECT_DOUBLE_EQ(json_num(*doc, "missing", 42.0), 42.0);
+  EXPECT_DOUBLE_EQ(json_num(*doc, "s", 42.0), 42.0);  // wrong type
+  EXPECT_EQ(json_str(*doc, "missing", "fb"), "fb");
+}
+
+TEST(ManifestTest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64_hex(""), "fnv1a64:cbf29ce484222325");
+}
+
+TEST(ManifestTest, JsonRoundTripPreservesEveryField) {
+  RunManifest m;
+  m.group = "fig10-n2";
+  m.protocol = "emptcp";
+  m.seed = 17;
+  m.workload = "download-268435456B";
+  m.trace_file = "fig10-n2-emptcp-s17.jsonl";
+  m.trace_events = 12345;
+  m.trace_digest = fnv1a64_hex("trace body");
+  m.params = {{"wifi.down_mbps", "20"},
+              {"cell_tech", "\"LTE\""},
+              {"mobility", "false"}};
+
+  const std::string json = manifest_to_json(m);
+  const auto doc = parse_json_flat(json);
+  ASSERT_TRUE(doc.has_value());
+  RunManifest back;
+  ASSERT_TRUE(manifest_from_json(*doc, back));
+  EXPECT_EQ(back.group, m.group);
+  EXPECT_EQ(back.protocol, m.protocol);
+  EXPECT_EQ(back.seed, m.seed);
+  EXPECT_EQ(back.workload, m.workload);
+  EXPECT_EQ(back.trace_file, m.trace_file);
+  EXPECT_EQ(back.trace_events, m.trace_events);
+  EXPECT_EQ(back.trace_digest, m.trace_digest);
+  EXPECT_EQ(back.params, m.params);
+}
+
+TEST(ManifestTest, FromJsonRejectsUnknownSchema) {
+  const auto doc = parse_json_flat(R"({"schema":"something-else"})");
+  ASSERT_TRUE(doc.has_value());
+  RunManifest out;
+  EXPECT_FALSE(manifest_from_json(*doc, out));
+}
+
+TEST(ManifestTest, SerializationIsDeterministic) {
+  RunManifest m;
+  m.group = "g";
+  m.protocol = "mptcp";
+  m.params = {{"k", "1"}};
+  EXPECT_EQ(manifest_to_json(m), manifest_to_json(m));
+}
+
+}  // namespace
+}  // namespace emptcp::analysis

@@ -1,0 +1,75 @@
+#include "analysis/windowed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace emptcp::analysis {
+namespace {
+
+TEST(WindowedAggregatorTest, RejectsNonPositiveInterval) {
+  EXPECT_THROW(WindowedAggregator(0.0), std::invalid_argument);
+  EXPECT_THROW(WindowedAggregator(-1.0), std::invalid_argument);
+}
+
+TEST(WindowedAggregatorTest, EmptyAggregatorHasNoWindows) {
+  WindowedAggregator agg(1.0);
+  EXPECT_EQ(agg.count(), 0u);
+  EXPECT_TRUE(agg.windows().empty());
+}
+
+TEST(WindowedAggregatorTest, FoldsSamplesIntoCorrectWindows) {
+  WindowedAggregator agg(10.0);
+  agg.add(1.0, 100.0);
+  agg.add(2.0, 200.0);
+  agg.add(15.0, 50.0);
+  const auto& ws = agg.windows();
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_DOUBLE_EQ(ws[0].start_s, 0.0);
+  EXPECT_EQ(ws[0].count, 2u);
+  EXPECT_DOUBLE_EQ(ws[0].mean(), 150.0);
+  EXPECT_DOUBLE_EQ(ws[0].min, 100.0);
+  EXPECT_DOUBLE_EQ(ws[0].max, 200.0);
+  EXPECT_DOUBLE_EQ(ws[1].start_s, 10.0);
+  EXPECT_EQ(ws[1].count, 1u);
+  EXPECT_DOUBLE_EQ(agg.rate(ws[0]), 0.2);  // 2 events / 10 s
+}
+
+TEST(WindowedAggregatorTest, GapsAppearAsZeroCountWindows) {
+  WindowedAggregator agg(1.0);
+  agg.add(0.5, 1.0);
+  agg.add(3.5, 2.0);
+  const auto& ws = agg.windows();
+  ASSERT_EQ(ws.size(), 4u);
+  EXPECT_EQ(ws[1].count, 0u);
+  EXPECT_EQ(ws[2].count, 0u);
+  EXPECT_DOUBLE_EQ(ws[1].mean(), 0.0);  // empty window: mean is defined 0
+}
+
+TEST(WindowedAggregatorTest, OutOfOrderSamplesPrependWindows) {
+  WindowedAggregator agg(1.0);
+  agg.add(5.2, 10.0);
+  agg.add(1.7, 20.0);  // earlier than anything seen: layout must extend left
+  const auto& ws = agg.windows();
+  ASSERT_EQ(ws.size(), 5u);
+  EXPECT_DOUBLE_EQ(ws.front().start_s, 1.0);
+  EXPECT_EQ(ws.front().count, 1u);
+  EXPECT_DOUBLE_EQ(ws.front().sum, 20.0);
+  EXPECT_EQ(ws.back().count, 1u);
+  EXPECT_DOUBLE_EQ(ws.back().sum, 10.0);
+  EXPECT_EQ(agg.count(), 2u);
+}
+
+TEST(WindowedAggregatorTest, NegativeTimesSupported) {
+  WindowedAggregator agg(2.0);
+  agg.add(-3.0, 1.0);
+  agg.add(1.0, 2.0);
+  const auto& ws = agg.windows();
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_DOUBLE_EQ(ws.front().start_s, -4.0);
+  EXPECT_EQ(ws.front().count, 1u);
+  EXPECT_EQ(ws.back().count, 1u);
+}
+
+}  // namespace
+}  // namespace emptcp::analysis

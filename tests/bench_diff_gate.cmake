@@ -1,0 +1,32 @@
+# CI diff gate: re-measure the core performance envelope in quick mode and
+# diff it against the committed baseline under the default tolerances.
+# Invoked by ctest (see tests/CMakeLists.txt) with:
+#   -DBENCH_MICRO=<path to bench_micro>
+#   -DREPORT_TOOL=<path to emptcp-report>
+#   -DBASELINE=<committed BENCH_core.json>
+#   -DOUT_JSON=<scratch output path>
+foreach(var BENCH_MICRO REPORT_TOOL BASELINE OUT_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_diff_gate: missing -D${var}")
+  endif()
+endforeach()
+
+# --benchmark_filter matching nothing skips the google-benchmark suite;
+# only the direct harness (the part that writes the JSON) runs.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env EMPTCP_BENCH_QUICK=1
+          "EMPTCP_BENCH_JSON=${OUT_JSON}"
+          ${BENCH_MICRO} --benchmark_filter=^$
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff_gate: bench_micro failed (${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${REPORT_TOOL} --diff ${BASELINE} ${OUT_JSON}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff_gate: core envelope regressed vs ${BASELINE} "
+          "(emptcp-report --diff exited ${diff_rc})")
+endif()

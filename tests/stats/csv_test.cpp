@@ -17,6 +17,39 @@ TEST(CsvTest, SpecialFieldsQuotedAndEscaped) {
   EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
   EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
   EXPECT_EQ(csv_field("line\nbreak"), "\"line\nbreak\"");
+  // RFC 4180: a bare CR needs quoting too, not just LF.
+  EXPECT_EQ(csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvTest, ParseCsvRoundTripsEveryEscapeClass) {
+  const std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with \"quotes\""},
+      {"multi\nline", "cr\r\nlf", ""},
+      {"", "", "trailing-empty-ok"},
+  };
+  const std::vector<std::vector<std::string>> parsed = parse_csv(to_csv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvTest, ParseCsvHandlesCrlfRowSeparators) {
+  const auto rows = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseCsvDoubledQuotesInsideQuotedField) {
+  const auto rows = parse_csv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(CsvTest, ParseCsvEmptyInputs) {
+  EXPECT_TRUE(parse_csv("").empty());
+  // A lone newline is one row with one empty field per RFC grammar — our
+  // writer never emits it, and the parser must not crash on it.
+  EXPECT_EQ(parse_csv("\n").size(), 1u);
 }
 
 TEST(CsvTest, RowsRender) {

@@ -37,6 +37,35 @@ TEST(SummaryTest, QuantileUnsortedInput) {
   EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
 }
 
+TEST(SummaryTest, SortedSampleMatchesQuantileWithoutResorting) {
+  const std::vector<double> xs{9.0, 1.0, 5.0, 3.0, 7.0};
+  const SortedSample sorted(xs);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(sorted.quantile(q), quantile(xs, q)) << "q=" << q;
+  }
+  // The stored data is ascending — quantile_sorted's precondition.
+  EXPECT_TRUE(std::is_sorted(sorted.data().begin(), sorted.data().end()));
+  EXPECT_EQ(sorted.size(), xs.size());
+}
+
+TEST(SummaryTest, QuantileSortedRequiresNoCopy) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 1.75);
+}
+
+TEST(SummaryTest, WhiskerFromSortedSampleMatchesVectorPath) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100};
+  const Whisker a = whisker(xs);
+  const Whisker b = whisker(SortedSample(xs));
+  EXPECT_DOUBLE_EQ(a.q1, b.q1);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.q3, b.q3);
+  EXPECT_DOUBLE_EQ(a.lo_whisker, b.lo_whisker);
+  EXPECT_DOUBLE_EQ(a.hi_whisker, b.hi_whisker);
+  EXPECT_EQ(a.outliers, b.outliers);
+}
+
 TEST(SummaryTest, WhiskerFiveNumberSummary) {
   std::vector<double> xs;
   for (int i = 1; i <= 11; ++i) xs.push_back(static_cast<double>(i));

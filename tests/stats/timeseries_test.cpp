@@ -32,7 +32,22 @@ TEST(TimeseriesTest, ResampleProducesEvenGrid) {
 
 TEST(TimeseriesTest, ResampleDegenerateInputs) {
   EXPECT_TRUE(resample(ramp(), 0.0, 3.0, 0).empty());
-  EXPECT_TRUE(resample(ramp(), 3.0, 3.0, 5).empty());
+  // An inverted window yields nothing.
+  EXPECT_TRUE(resample(ramp(), 3.0, 2.0, 5).empty());
+  // A zero-width window collapses to a single sample at t0 (no 0/0 grid
+  // spacing), as does asking for a single point.
+  const Series zero_width = resample(ramp(), 3.0, 3.0, 5);
+  ASSERT_EQ(zero_width.size(), 1u);
+  EXPECT_DOUBLE_EQ(zero_width[0].t, 3.0);
+  EXPECT_DOUBLE_EQ(zero_width[0].v, 30.0);
+  const Series single = resample(ramp(), 1.0, 3.0, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(single[0].v, 10.0);
+  // Resampling an empty series yields finite zeros, not UB.
+  const Series empty_src = resample(Series{}, 0.0, 1.0, 3);
+  ASSERT_EQ(empty_src.size(), 3u);
+  EXPECT_DOUBLE_EQ(empty_src[1].v, 0.0);
 }
 
 TEST(TimeseriesTest, SparklineHasRequestedWidth) {

@@ -1,0 +1,39 @@
+// Custom gtest main: on any test failure, dump the flight recorder of the
+// simulation currently under test (if one is alive on this thread) so the
+// failure report carries the last instrumented simulator activity. The
+// ring is on by default and survives with the Simulation object, so this
+// works even for tests that never enabled full tracing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/sink.hpp"
+
+namespace {
+
+class FlightRecorderDumper : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override { dumped_ = false; }
+
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed() || dumped_) return;
+    emptcp::trace::TraceSink* sink = emptcp::trace::current_sink();
+    if (sink == nullptr || sink->flight().total() == 0) return;
+    dumped_ = true;  // once per test: later failures add no new context
+    std::fprintf(stderr, "[  FLIGHT  ] %s",
+                 sink->flight().dump().c_str());
+    std::fflush(stderr);
+  }
+
+ private:
+  bool dumped_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightRecorderDumper);  // the listener list takes ownership
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,228 @@
+// emptcp-report: offline analysis CLI over trace + manifest artifacts.
+//
+// Report mode:
+//   emptcp-report DIR [DIR...]
+// scans each directory for `*.manifest.json` (written by the benches under
+// EMPTCP_TRACE_DIR), loads the JSONL trace next to each manifest, verifies
+// its digest, and renders the paper-style report (per-run rollups,
+// mean±SEM aggregates, energy-per-bit table, quantiles/CDFs) to stdout.
+// Output is deterministic: same artifacts -> byte-identical report.
+//
+// Diff mode (the CI gate):
+//   emptcp-report --diff BASELINE.json CURRENT.json [--tol PAT=MODE:TOL...]
+// compares two flat JSON metric files (e.g. BENCH_core.json) under
+// per-metric tolerance rules. Exit code 1 when any metric is out of
+// tolerance, 2 on usage/IO errors, 0 otherwise. User --tol rules are
+// prepended to the defaults, so they win on overlap. MODE is one of
+// ignore | exact | abs | factor | min (see analysis/report.hpp).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace emptcp;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: emptcp-report DIR [DIR...]\n"
+               "       emptcp-report --diff BASELINE.json CURRENT.json"
+               " [--tol PATTERN=MODE:TOL ...]\n");
+  return 2;
+}
+
+/// Streams one JSONL trace through the rollup builder chunk-by-chunk:
+/// digest and per-line fold in a single pass, O(chunk + one line) memory
+/// regardless of trace size (mobility traces run to hundreds of MB).
+bool stream_trace(const std::string& path, analysis::RollupBuilder& builder,
+                  std::string& digest_hex, std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot open";
+    return false;
+  }
+  analysis::Fnv1a64Stream digest;
+  std::string chunk(1 << 20, '\0');
+  std::string carry;  // partial line from the previous chunk
+  std::size_t line_no = 0;
+  auto fold_line = [&](std::string_view line) {
+    ++line_no;
+    if (line.empty()) return true;
+    std::string perr;
+    const auto doc = analysis::parse_json_flat(line, &perr);
+    if (!doc) {
+      err = "line " + std::to_string(line_no) + ": " + perr;
+      return false;
+    }
+    builder.add_line(*doc);
+    return true;
+  };
+  while (in) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    const std::string_view data(chunk.data(), got);
+    digest.update(data);
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t nl = data.find('\n', pos);
+      if (nl == std::string_view::npos) {
+        carry.append(data.substr(pos));
+        break;
+      }
+      if (carry.empty()) {
+        if (!fold_line(data.substr(pos, nl - pos))) return false;
+      } else {
+        carry.append(data.substr(pos, nl - pos));
+        if (!fold_line(carry)) return false;
+        carry.clear();
+      }
+      pos = nl + 1;
+    }
+  }
+  if (!carry.empty() && !fold_line(carry)) return false;
+  digest_hex = digest.hex();
+  return true;
+}
+
+int run_report(const std::vector<std::string>& dirs) {
+  std::vector<std::string> manifest_paths;
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "emptcp-report: cannot read %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    for (const fs::directory_entry& e : it) {
+      const std::string name = e.path().filename().string();
+      if (name.size() > 14 &&
+          name.compare(name.size() - 14, 14, ".manifest.json") == 0) {
+        manifest_paths.push_back(e.path().string());
+      }
+    }
+  }
+  // Directory iteration order is unspecified; sort for determinism.
+  std::sort(manifest_paths.begin(), manifest_paths.end());
+  if (manifest_paths.empty()) {
+    std::fprintf(stderr, "emptcp-report: no *.manifest.json found\n");
+    return 2;
+  }
+
+  std::vector<analysis::AnalyzedRun> runs;
+  for (const std::string& path : manifest_paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "emptcp-report: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string err;
+    const auto doc = analysis::parse_json_flat(text, &err);
+    if (!doc) {
+      std::fprintf(stderr, "emptcp-report: %s: %s\n", path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    analysis::RunManifest manifest;
+    if (!analysis::manifest_from_json(*doc, manifest)) {
+      std::fprintf(stderr, "emptcp-report: %s: not a run manifest\n",
+                   path.c_str());
+      return 2;
+    }
+    const std::string trace_path =
+        (fs::path(path).parent_path() / manifest.trace_file).string();
+    analysis::RollupBuilder builder(manifest);
+    std::string digest_hex;
+    if (!stream_trace(trace_path, builder, digest_hex, err)) {
+      std::fprintf(stderr, "emptcp-report: %s: %s\n", trace_path.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    analysis::AnalyzedRun run;
+    run.rollup = builder.finish();
+    run.power_windows = builder.power().windows();
+    run.digest_ok = digest_hex == manifest.trace_digest;
+    run.source = path;
+    runs.push_back(std::move(run));
+  }
+  const std::string report = analysis::render_report(std::move(runs));
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  return 0;
+}
+
+int run_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  std::vector<analysis::ToleranceRule> rules;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tol") {
+      if (i + 1 >= args.size()) return usage();
+      analysis::ToleranceRule rule;
+      if (!analysis::parse_tolerance(args[++i], rule)) {
+        std::fprintf(stderr, "emptcp-report: bad --tol spec: %s\n",
+                     args[i].c_str());
+        return 2;
+      }
+      rules.push_back(std::move(rule));
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) return usage();
+  for (auto& rule : analysis::default_bench_tolerances()) {
+    rules.push_back(std::move(rule));
+  }
+
+  analysis::FlatJson docs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!read_file(files[static_cast<std::size_t>(i)], text)) {
+      std::fprintf(stderr, "emptcp-report: cannot read %s\n",
+                   files[static_cast<std::size_t>(i)].c_str());
+      return 2;
+    }
+    std::string err;
+    auto doc = analysis::parse_json_flat(text, &err);
+    if (!doc) {
+      std::fprintf(stderr, "emptcp-report: %s: %s\n",
+                   files[static_cast<std::size_t>(i)].c_str(), err.c_str());
+      return 2;
+    }
+    docs[i] = std::move(*doc);
+  }
+  const analysis::DiffResult diff =
+      analysis::diff_metrics(docs[0], docs[1], rules);
+  const std::string rendered = diff.render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return diff.violations > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  if (args[0] == "--diff") {
+    return run_diff({args.begin() + 1, args.end()});
+  }
+  for (const std::string& a : args) {
+    if (a.rfind("--", 0) == 0) return usage();
+  }
+  return run_report(args);
+}
