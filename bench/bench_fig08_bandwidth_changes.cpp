@@ -1,7 +1,6 @@
 // Paper Fig. 8: energy and download time under random WiFi bandwidth
 // changes, mean +- SEM over ten 256 MB runs (§4.3).
 #include "bench_util.hpp"
-#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -17,7 +16,6 @@ int main() {
   cfg.onoff.low_mbps = 0.8;
   cfg.onoff.mean_high_s = 40.0;
   cfg.onoff.mean_low_s = 40.0;
-  cfg.trace = trace_requested();
 
   struct Result {
     std::vector<double> energy, time;
@@ -25,17 +23,14 @@ int main() {
   const std::vector<app::Protocol> protocols = {app::Protocol::kMptcp,
                                                 app::Protocol::kEmptcp,
                                                 app::Protocol::kTcpWifi};
-  // Each (protocol, seed) replication is an independent simulation; fan
-  // them out across cores. The [protocol][seed] matrix keeps aggregation
-  // identical to the sequential loop.
-  const auto matrix = runtime::run_replications(
-      protocols, runtime::seed_range(40, 10),
-      [&cfg](const app::Protocol& p, std::uint64_t seed) {
-        app::Scenario s(cfg);
-        app::RunMetrics m = s.run_download(p, 256 * kMB, seed);
-        maybe_dump_run("fig08", cfg, p, seed, "download-256MB", m);
-        return m;
-      });
+  // Each (protocol, seed) replication is an independent simulation; the
+  // [protocol][seed] matrix keeps aggregation identical to the sequential
+  // loop.
+  std::vector<RunSpec> specs;
+  for (const app::Protocol p : protocols) {
+    specs.push_back(download_spec("fig08", cfg, p, 256 * kMB));
+  }
+  const auto matrix = run_specs(specs, runtime::seed_range(40, 10));
   Result results[3];
   for (int i = 0; i < 3; ++i) {
     for (const app::RunMetrics& m : matrix[i]) {

@@ -2,7 +2,6 @@
 // traffic, as a percentage of standard MPTCP, for
 // (λoff, n) in {(0.025, 2), (0.025, 3), (0.05, 3)}; 256 MB, 5 runs (§4.4).
 #include "bench_util.hpp"
-#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -22,31 +21,21 @@ int main() {
                                      app::Protocol::kEmptcp,
                                      app::Protocol::kTcpWifi};
 
-  // Flatten (setting, protocol) into one config list so every replication
+  // Flatten (setting, protocol) into one spec list so every replication
   // across all three settings runs concurrently; the matrix comes back in
   // submission order, so aggregation matches the sequential nesting.
-  struct RunConfig {
-    app::ScenarioConfig cfg;
-    app::Protocol protocol;
-  };
-  std::vector<RunConfig> runs;
+  std::vector<RunSpec> specs;
   for (const Setting& set : settings) {
     app::ScenarioConfig cfg = lab_config(15.0, 9.0);
     cfg.interferers = set.n;
     cfg.lambda_on = 0.05;
     cfg.lambda_off = set.lambda_off;
-    cfg.trace = trace_requested();
-    for (const app::Protocol p : protocols) runs.push_back({cfg, p});
+    for (const app::Protocol p : protocols) {
+      specs.push_back(download_spec("fig10-n" + std::to_string(set.n), cfg, p,
+                                    256 * kMB));
+    }
   }
-  const auto matrix = runtime::run_replications(
-      runs, runtime::seed_range(60, 5),
-      [](const RunConfig& rc, std::uint64_t seed) {
-        app::Scenario s(rc.cfg);
-        app::RunMetrics m = s.run_download(rc.protocol, 256 * kMB, seed);
-        maybe_dump_run("fig10-n" + std::to_string(rc.cfg.interferers),
-                       rc.cfg, rc.protocol, seed, "download-256MB", m);
-        return m;
-      });
+  const auto matrix = run_specs(specs, runtime::seed_range(60, 5));
 
   stats::Table table({"(λoff, n)", "protocol", "energy vs MPTCP",
                       "time vs MPTCP"});

@@ -1,7 +1,6 @@
 // Paper Fig. 13: mobile scenario comparison — energy per byte and total
 // download amount over the 250 s walk, mean ± SEM over five runs (§4.5).
 #include "bench_util.hpp"
-#include "runtime/replication.hpp"
 #include "sim/random.hpp"
 
 int main() {
@@ -14,24 +13,24 @@ int main() {
   const std::vector<app::Protocol> protocols = {app::Protocol::kMptcp,
                                                 app::Protocol::kEmptcp,
                                                 app::Protocol::kTcpWifi};
-  const auto matrix = runtime::run_replications(
-      protocols, runtime::seed_range(80, 5),
-      [](const app::Protocol& p, std::uint64_t seed) {
-        // Per-run environmental jitter: the paper repeats the same walk on
-        // different days, with varying radio conditions. The jitter RNG is
-        // seeded from the run index, so every protocol sees the same
-        // conditions for a given run — exactly as the sequential loop did.
-        const std::uint64_t run = seed - 80;
-        sim::Rng jitter(800 + run);
-        app::ScenarioConfig cfg = lab_config(18.0 * jitter.uniform(0.9, 1.1),
-                                             9.0 * jitter.uniform(0.9, 1.1));
-        cfg.mobility = true;
-        cfg.trace = trace_requested();
-        app::Scenario s(cfg);
-        app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
-        maybe_dump_run("fig13", cfg, p, seed, "timed-250s", m);
-        return m;
-      });
+  std::vector<RunSpec> specs;
+  for (const app::Protocol p : protocols) {
+    RunSpec rs = timed_spec("fig13", {}, p, sim::seconds(250));
+    // Per-run environmental jitter: the paper repeats the same walk on
+    // different days, with varying radio conditions. The jitter RNG is
+    // seeded from the run index, so every protocol sees the same
+    // conditions for a given run — exactly as the sequential loop did.
+    rs.cfg_for = [](std::uint64_t seed) {
+      const std::uint64_t run = seed - 80;
+      sim::Rng jitter(800 + run);
+      app::ScenarioConfig cfg = lab_config(18.0 * jitter.uniform(0.9, 1.1),
+                                           9.0 * jitter.uniform(0.9, 1.1));
+      cfg.mobility = true;
+      return cfg;
+    };
+    specs.push_back(std::move(rs));
+  }
+  const auto matrix = run_specs(specs, runtime::seed_range(80, 5));
   std::vector<double> jpm[3];
   std::vector<double> mb[3];
   for (int i = 0; i < 3; ++i) {

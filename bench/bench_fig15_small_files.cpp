@@ -27,12 +27,25 @@ int main() {
   };
   std::map<Category, Bucket> buckets;
 
-  for (const WildDraw& d : draws) {
-    app::Scenario s(wild_config(d));
+  // One spec per (trace draw, protocol); every draw carries its own seed.
+  // The matrix comes back in submission order, so the per-category buckets
+  // fill exactly as the sequential loop filled them.
+  std::vector<RunSpec> specs;
+  for (std::size_t di = 0; di < draws.size(); ++di) {
+    for (int i = 0; i < 3; ++i) {
+      RunSpec rs = download_spec("fig15-t" + std::to_string(di),
+                                 wild_config(draws[di]), protocols[i],
+                                 256 * kKB);
+      rs.fixed_seed = draws[di].seed;
+      specs.push_back(std::move(rs));
+    }
+  }
+  const auto matrix = run_specs(specs, {0});
+  for (std::size_t di = 0; di < draws.size(); ++di) {
+    const WildDraw& d = draws[di];
     Bucket& b = buckets[categorize(d.wifi_mbps, d.cell_mbps)];
     for (int i = 0; i < 3; ++i) {
-      const app::RunMetrics m =
-          s.run_download(protocols[i], 256 * kKB, d.seed);
+      const app::RunMetrics& m = matrix[di * 3 + static_cast<std::size_t>(i)][0];
       b.energy[i].push_back(m.energy_j);
       b.time[i].push_back(m.download_time_s);
       if (protocols[i] == app::Protocol::kEmptcp && m.cellular_used) {

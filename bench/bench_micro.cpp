@@ -22,6 +22,7 @@
 
 #include "analysis/profile.hpp"
 #include "app/scenario.hpp"
+#include "app/world.hpp"
 #include "core/energy_info_base.hpp"
 #include "core/holt_winters.hpp"
 #include "energy/device_profile.hpp"
@@ -29,6 +30,7 @@
 #include "sim/simulation.hpp"
 #include "tcp/buffers.hpp"
 #include "trace/trace.hpp"
+#include "workload/fleet.hpp"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: replace the global allocator for this binary only.
@@ -245,6 +247,12 @@ struct CoreResult {
   std::uint64_t flight_gate_ops = 0;
   double flight_gate_seconds = 0.0;
   double flight_gate_allocs_per_op = 0.0;
+  // 256-client fleet steady state: event rate and allocations/event with
+  // hundreds of concurrent connections multiplexed on one node.
+  std::uint64_t fleet_clients = 0;
+  std::uint64_t fleet_events = 0;
+  double fleet_seconds = 0.0;
+  double fleet_allocs_per_event = 0.0;
   // Wall-time per harness section (self-profiling of the bench itself).
   analysis::Profiler harness;
 };
@@ -353,6 +361,43 @@ void measure_gate(bool flight, std::uint64_t& ops_out, double& seconds_out,
   allocs_out = static_cast<double>(allocs) / static_cast<double>(kOps);
 }
 
+// 256 concurrent eMPTCP clients in one simulation, closed loop on flow
+// sizes far larger than the measured window can serve — so the window is
+// pure steady-state multiplexing (no connection churn) and the
+// allocations/event figure isolates the per-event hot path at fleet scale.
+void measure_fleet(CoreResult& out) {
+  const auto timer = out.harness.time("fleet");
+  workload::FleetConfig cfg;
+  cfg.scenario.wifi.down_mbps = 90.0;
+  cfg.scenario.cell.down_mbps = 40.0;
+  cfg.scenario.record_series = false;
+  cfg.protocol = app::Protocol::kEmptcp;
+  cfg.mode = workload::FleetConfig::Mode::kClosed;
+  cfg.clients = 256;
+  cfg.flows_per_client = 0;  // endless: nothing completes mid-measurement
+  cfg.flow_size.kind = workload::SizeDist::Kind::kFixed;
+  cfg.flow_size.mean_bytes = 64ull * 1024 * 1024;
+  workload::ClientFleet fleet(cfg);
+  fleet.start(1);
+  // Warm up: connection establishment plus slab/pool/ring/spare-node
+  // growth to their high-water marks.
+  const double warm_s = bench_quick() ? 1.0 : 4.0;
+  fleet.run_until(warm_s);
+  sim::Simulation& sim = fleet.world().sim;
+  const std::uint64_t events_before = sim.scheduler().events_executed();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  fleet.run_until(warm_s + (bench_quick() ? 1.0 : 2.0));
+  out.fleet_seconds = seconds_since(start);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.fleet_clients = cfg.clients;
+  out.fleet_events = sim.scheduler().events_executed() - events_before;
+  out.fleet_allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(out.fleet_events);
+}
+
 void measure_trace_gates(CoreResult& out) {
   const auto timer = out.harness.time("trace_gates");
   measure_gate(false, out.trace_gate_ops, out.trace_gate_seconds,
@@ -417,6 +462,17 @@ void write_json(const CoreResult& r) {
   std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
                r.flight_gate_allocs_per_op);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet_256\": {\n");
+  std::fprintf(f, "    \"clients\": %llu,\n",
+               static_cast<unsigned long long>(r.fleet_clients));
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.fleet_events));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.fleet_seconds);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+               static_cast<double>(r.fleet_events) / r.fleet_seconds);
+  std::fprintf(f, "    \"allocs_per_event\": %.6f\n",
+               r.fleet_allocs_per_event);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"self_profile\": {\n");
   std::fprintf(f, "    \"e2e_events_executed\": %llu,\n",
                static_cast<unsigned long long>(
@@ -442,7 +498,13 @@ void run_core_harness() {
   measure_scheduler(r);
   measure_packet_path(r);
   measure_end_to_end(r);
+  measure_fleet(r);
   measure_trace_gates(r);
+  std::printf(
+      "fleet: %llu clients, %.2fM events/s, %.6f allocs/event\n",
+      static_cast<unsigned long long>(r.fleet_clients),
+      static_cast<double>(r.fleet_events) / r.fleet_seconds / 1e6,
+      r.fleet_allocs_per_event);
   std::printf(
       "core: scheduler %.2fM events/s (%.4f allocs/event), "
       "packet path %.2fM packets/s (%.4f allocs/packet), "

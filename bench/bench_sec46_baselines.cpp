@@ -10,7 +10,6 @@
 #include "bench_util.hpp"
 #include "baselines/mdp_scheduler.hpp"
 #include "energy/device_profile.hpp"
-#include "runtime/replication.hpp"
 
 int main() {
   using namespace emptcp;
@@ -52,18 +51,16 @@ int main() {
     std::printf("mobility scenario (250 s walk), all protocols:\n");
     app::ScenarioConfig cfg = lab_config(18.0, 9.0);
     cfg.mobility = true;
-    cfg.trace = trace_requested();
     const std::vector<app::Protocol> protocols = {
         app::Protocol::kMptcp, app::Protocol::kEmptcp,
         app::Protocol::kTcpWifi, app::Protocol::kWifiFirst,
         app::Protocol::kMdp};
-    const auto matrix = runtime::run_replications(
-        protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
-          app::Scenario s(cfg);
-          app::RunMetrics m = s.run_timed(p, sim::seconds(250), seed);
-          maybe_dump_run("sec46-mobility", cfg, p, seed, "timed-250s", m);
-          return m;
-        });
+    std::vector<RunSpec> specs;
+    for (const app::Protocol p : protocols) {
+      specs.push_back(timed_spec("sec46-mobility", cfg, p,
+                                 sim::seconds(250)));
+    }
+    const auto matrix = run_specs(specs, {46});
     stats::Table table({"protocol", "energy (J)", "downloaded (MB)",
                         "J/MB", "LTE activations"});
     for (std::size_t i = 0; i < protocols.size(); ++i) {
@@ -80,17 +77,14 @@ int main() {
   {
     std::printf("degraded-but-associated WiFi (0.5 Mbps), 16 MB download:\n");
     app::ScenarioConfig cfg = lab_config(0.5, 9.0);
-    cfg.trace = trace_requested();
     const std::vector<app::Protocol> protocols = {app::Protocol::kEmptcp,
                                                   app::Protocol::kWifiFirst,
                                                   app::Protocol::kTcpWifi};
-    const auto matrix = runtime::run_replications(
-        protocols, {46}, [&cfg](const app::Protocol& p, std::uint64_t seed) {
-          app::Scenario s(cfg);
-          app::RunMetrics m = s.run_download(p, 16 * kMB, seed);
-          maybe_dump_run("sec46-degraded", cfg, p, seed, "download-16MB", m);
-          return m;
-        });
+    std::vector<RunSpec> specs;
+    for (const app::Protocol p : protocols) {
+      specs.push_back(download_spec("sec46-degraded", cfg, p, 16 * kMB));
+    }
+    const auto matrix = run_specs(specs, {46});
     stats::Table table({"protocol", "energy (J)", "time (s)", "LTE bytes"});
     for (std::size_t i = 0; i < protocols.size(); ++i) {
       const app::RunMetrics& m = matrix[i][0];

@@ -9,11 +9,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/manifest.hpp"
 #include "app/scenario.hpp"
+#include "runtime/replication.hpp"
 #include "stats/csv.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -116,6 +120,82 @@ inline void maybe_dump_run(const std::string& group,
   if (stats::write_file(manifest_path, analysis::manifest_to_json(manifest))) {
     std::printf("(wrote %s + manifest)\n", trace_path.c_str());
   }
+}
+
+/// One cell of a figure's replication grid: which scenario to build, which
+/// protocol to drive, and what workload to run. `run_specs` fans a list of
+/// these out on the replication pool — the shared loop every comparison
+/// bench used to hand-roll — and dumps each run's trace + manifest pair
+/// under EMPTCP_TRACE_DIR.
+struct RunSpec {
+  std::string group;  ///< manifest group / artifact basename prefix
+  app::ScenarioConfig cfg;
+  app::Protocol protocol = app::Protocol::kEmptcp;
+  /// Per-seed config override (environmental jitter between repeat runs,
+  /// Fig. 13 style); when set it replaces `cfg` for that seed.
+  std::function<app::ScenarioConfig(std::uint64_t seed)> cfg_for;
+  /// When set, this run ignores the shared seed list and always uses this
+  /// seed (the in-the-wild benches give every trace draw its own seed).
+  std::optional<std::uint64_t> fixed_seed;
+
+  enum class Kind : std::uint8_t { kDownload, kTimed };
+  Kind kind = Kind::kDownload;
+  std::uint64_t bytes = 0;       ///< kDownload payload
+  sim::Duration duration = 0;    ///< kTimed horizon
+  std::string workload;          ///< manifest workload tag
+};
+
+/// "256MB" / "256KB" / "1500B" — the manifest workload size tag.
+inline std::string size_tag(std::uint64_t bytes) {
+  if (bytes != 0 && bytes % kMB == 0) return std::to_string(bytes / kMB) + "MB";
+  if (bytes != 0 && bytes % kKB == 0) return std::to_string(bytes / kKB) + "KB";
+  return std::to_string(bytes) + "B";
+}
+
+inline RunSpec download_spec(std::string group, app::ScenarioConfig cfg,
+                             app::Protocol p, std::uint64_t bytes) {
+  RunSpec rs;
+  rs.group = std::move(group);
+  rs.cfg = std::move(cfg);
+  rs.protocol = p;
+  rs.kind = RunSpec::Kind::kDownload;
+  rs.bytes = bytes;
+  rs.workload = "download-" + size_tag(bytes);
+  return rs;
+}
+
+inline RunSpec timed_spec(std::string group, app::ScenarioConfig cfg,
+                          app::Protocol p, sim::Duration d) {
+  RunSpec rs;
+  rs.group = std::move(group);
+  rs.cfg = std::move(cfg);
+  rs.protocol = p;
+  rs.kind = RunSpec::Kind::kTimed;
+  rs.duration = d;
+  rs.workload = "timed-" + std::to_string(d / sim::seconds(1)) + "s";
+  return rs;
+}
+
+/// Runs every (spec, seed) replication on the pool and returns the
+/// [spec][seed] metrics matrix in submission order — aggregation stays
+/// identical to the sequential nesting. Tracing follows EMPTCP_TRACE_DIR:
+/// when set, each run records its structured trace and dumps the
+/// trace + manifest artifact pair there.
+inline std::vector<std::vector<app::RunMetrics>> run_specs(
+    const std::vector<RunSpec>& specs,
+    const std::vector<std::uint64_t>& seeds) {
+  return runtime::run_replications(
+      specs, seeds, [](const RunSpec& rs, std::uint64_t pool_seed) {
+        const std::uint64_t seed = rs.fixed_seed.value_or(pool_seed);
+        app::ScenarioConfig cfg = rs.cfg_for ? rs.cfg_for(seed) : rs.cfg;
+        cfg.trace = trace_requested();
+        app::Scenario s(cfg);
+        app::RunMetrics m = rs.kind == RunSpec::Kind::kTimed
+                                ? s.run_timed(rs.protocol, rs.duration, seed)
+                                : s.run_download(rs.protocol, rs.bytes, seed);
+        maybe_dump_run(rs.group, cfg, rs.protocol, seed, rs.workload, m);
+        return m;
+      });
 }
 
 /// "mean ± SEM" cell, the paper's Figs. 8/10/13 presentation (Eq. 2).

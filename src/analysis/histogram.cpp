@@ -52,6 +52,28 @@ void LogHistogram::add(double v, std::uint64_t n) {
   counts_[bucket_index(v)] += n;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  if (cfg_.min != other.cfg_.min || cfg_.max != other.cfg_.max ||
+      cfg_.growth != other.cfg_.growth) {
+    throw std::invalid_argument("LogHistogram::merge: config mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
 double LogHistogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

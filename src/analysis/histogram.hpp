@@ -51,6 +51,11 @@ class LogHistogram {
   /// histogram; q == 0 / q == 1 return the exact min/max.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Folds another histogram's counts into this one. Both histograms must
+  /// share an identical Config (bucket edges align one-to-one); throws
+  /// std::invalid_argument otherwise.
+  void merge(const LogHistogram& other);
+
   struct CdfPoint {
     double upper = 0.0;     ///< bucket upper edge
     double fraction = 0.0;  ///< P(X <= upper)

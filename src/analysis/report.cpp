@@ -27,6 +27,10 @@ struct GroupStats {
   double bytes = 0.0;
   double wifi_j = 0.0;
   double cell_j = 0.0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  LogHistogram flow_fct_s;
+  LogHistogram flow_epb_uj;
 };
 
 std::string quantile_row_value(const LogHistogram& h, double q) {
@@ -111,6 +115,10 @@ std::string render_report(std::vector<AnalyzedRun> runs) {
     g->bytes += static_cast<double>(r.bytes);
     g->wifi_j += r.wifi_j;
     g->cell_j += r.cell_j;
+    g->flows_started += r.flows_started;
+    g->flows_completed += r.flows_completed;
+    g->flow_fct_s.merge(r.flow_fct_s);
+    g->flow_epb_uj.merge(r.flow_epb_uj);
   }
 
   out += "\n== aggregates (mean +/- SEM over seeds) ==\n";
@@ -171,6 +179,37 @@ std::string render_report(std::vector<AnalyzedRun> runs) {
                  quantile_row_value(energy_h, 0.99)});
     }
     out += t.render();
+  }
+
+  // -- per-flow distributions (fleet workloads only) ------------------------
+  // Rendered only when some run carried flow-level events, so single-flow
+  // scenario reports stay byte-identical to their goldens.
+  bool any_flows = false;
+  for (const GroupStats& g : groups) any_flows |= g.flows_started != 0;
+  if (any_flows) {
+    out += "\n== flows (per-flow FCT and energy/bit over all seeds) ==\n";
+    Table t({"group", "protocol", "started", "done", "fct_p50", "fct_p95",
+             "fct_p99", "uJ/bit_p50", "uJ/bit_p95"});
+    for (const GroupStats& g : groups) {
+      if (g.flows_started == 0) continue;
+      t.add_row({g.group, g.protocol, std::to_string(g.flows_started),
+                 std::to_string(g.flows_completed),
+                 quantile_row_value(g.flow_fct_s, 0.50),
+                 quantile_row_value(g.flow_fct_s, 0.95),
+                 quantile_row_value(g.flow_fct_s, 0.99),
+                 quantile_row_value(g.flow_epb_uj, 0.50),
+                 quantile_row_value(g.flow_epb_uj, 0.95)});
+    }
+    out += t.render();
+    out += "\n== cdf: flow_fct_s ==\n";
+    for (const GroupStats& g : groups) {
+      if (g.flow_fct_s.count() == 0) continue;
+      out += g.group + "/" + g.protocol + ":";
+      for (const LogHistogram::CdfPoint& p : g.flow_fct_s.cdf()) {
+        out += " " + Table::num(p.upper, 3) + ":" + Table::num(p.fraction, 3);
+      }
+      out += "\n";
+    }
   }
 
   // -- CDF export (download time per group/protocol) ------------------------

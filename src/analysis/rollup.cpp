@@ -108,6 +108,15 @@ void RollupBuilder::add_event(const FlatJson& e) {
       r_.integrated_energy_j += power_mw * 1e-3 * dt;
     }
     power_.add(t_s, power_mw);
+  } else if (kind == "flow_start") {
+    ++r_.flows_started;
+  } else if (kind == "flow_complete") {
+    ++r_.flows_completed;
+    const double fct = json_num(e, "fct_s", 0.0);
+    if (fct > 0.0) r_.flow_fct_s.add(fct);
+    const double bytes = json_num(e, "bytes", 0.0);
+    const double energy = json_num(e, "energy_j", 0.0);
+    if (bytes > 0.0) r_.flow_epb_uj.add(energy * 1e6 / (bytes * 8.0));
   } else if (kind == "warning") {
     ++r_.warnings;
   }

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/histogram.hpp"
 #include "analysis/json.hpp"
 #include "analysis/manifest.hpp"
 #include "analysis/windowed.hpp"
@@ -71,6 +72,12 @@ struct RunRollup {
   std::uint64_t rtos = 0;
   std::uint64_t fast_recoveries = 0;
   std::uint64_t reinjections = 0;
+
+  // Per-flow workload view (fleet runs; zero/empty for single-flow runs).
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  LogHistogram flow_fct_s;    ///< completed-flow completion time (seconds)
+  LogHistogram flow_epb_uj;   ///< completed-flow energy per bit (µJ/bit)
 
   [[nodiscard]] double energy_per_bit_uj() const {
     return bytes == 0 ? 0.0

@@ -1,15 +1,10 @@
 #include "app/scenario.hpp"
 
+#include <cstring>
 #include <memory>
-#include <vector>
 
 #include "app/bulk_download.hpp"
-#include "app/onoff_udp.hpp"
-#include "baselines/mdp_scheduler.hpp"
-#include "baselines/wifi_first.hpp"
-#include "energy/energy_tracker.hpp"
-#include "net/node.hpp"
-#include "net/packet_pool.hpp"
+#include "app/world.hpp"
 
 namespace emptcp::app {
 
@@ -25,485 +20,23 @@ const char* to_string(Protocol p) {
   return "?";
 }
 
-namespace {
-
-constexpr net::Addr kWifiAddr = 1;
-constexpr net::Addr kCellAddr = 2;
-constexpr net::Addr kServerAddr = 10;
-constexpr net::Port kPort = 80;
-
-constexpr sim::Duration kWifiAccessDelay = sim::milliseconds(2);
-constexpr sim::Duration kCellAccessDelay = sim::milliseconds(15);
-
-net::InterfaceType classify_client_addr(net::Addr a) {
-  if (a == kWifiAddr) return net::InterfaceType::kWifi;
-  if (a == kCellAddr) return net::InterfaceType::kLte;
-  return net::InterfaceType::kEthernet;
+std::optional<Protocol> protocol_from_string(std::string_view name) {
+  // Accepts both the display names above and spec-friendly lowercase
+  // aliases (no slashes), so campaign files read naturally.
+  constexpr std::pair<std::string_view, Protocol> kNames[] = {
+      {"TCP/WiFi", Protocol::kTcpWifi}, {"tcp-wifi", Protocol::kTcpWifi},
+      {"TCP/LTE", Protocol::kTcpLte},   {"tcp-lte", Protocol::kTcpLte},
+      {"MPTCP", Protocol::kMptcp},      {"mptcp", Protocol::kMptcp},
+      {"eMPTCP", Protocol::kEmptcp},    {"emptcp", Protocol::kEmptcp},
+      {"WiFi-First", Protocol::kWifiFirst},
+      {"wifi-first", Protocol::kWifiFirst},
+      {"MDP", Protocol::kMdp},          {"mdp", Protocol::kMdp},
+  };
+  for (const auto& [n, p] : kNames) {
+    if (name == n) return p;
+  }
+  return std::nullopt;
 }
-
-mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
-                                              bool coupled) {
-  mptcp::MptcpConnection::Config c = cfg.emptcp.mptcp;
-  c.coupled_cc = coupled;
-  c.classify_peer = classify_client_addr;
-  return c;
-}
-
-sim::Duration wan_delay(sim::Duration rtt, sim::Duration access) {
-  const sim::Duration one_way = rtt / 2;
-  return one_way > access ? one_way - access : sim::microseconds(100);
-}
-
-/// The per-run world: fresh simulation, topology, radios and tracker.
-struct World {
-  explicit World(const ScenarioConfig& cfg, std::uint64_t seed)
-      : scfg(cfg),
-        sim(seed),
-        client(sim, "client"),
-        server(sim, "server"),
-        channel(sim, net::WifiChannel::Config{cfg.wifi.down_mbps, 0.008}),
-        wifi_radio(cfg.device.wifi),
-        cell_radio(cfg.cell_tech == energy::CellTech::kLte
-                       ? cfg.device.lte
-                       : cfg.device.threeg),
-        tracker(sim, energy::EnergyTracker::Config{
-                         sim::milliseconds(100), cfg.device.platform_mw,
-                         cfg.record_series, 1}) {
-    // Enable tracing before any instrumented object exists so construction
-    // -time events (handshakes scheduled at t=0) are captured too.
-    if (cfg.trace) sim.trace().enable();
-    wifi_if = &client.add_interface(
-        {net::InterfaceType::kWifi, kWifiAddr, "client-wifi"});
-    // The cellular interface is typed kLte regardless of cell_tech: the
-    // eMPTCP components key their cellular lookups on kLte, and the tech
-    // only changes the energy parameters (cell_radio above).
-    cell_if = &client.add_interface(
-        {net::InterfaceType::kLte, kCellAddr, "client-cell"});
-    srv_if = &server.add_interface(
-        {net::InterfaceType::kEthernet, kServerAddr, "server-eth"});
-
-    auto mk = [this](double mbps, sim::Duration delay, double loss,
-                     std::size_t queue, const char* name) {
-      net::Link::Config lc;
-      lc.rate_mbps = mbps;
-      lc.prop_delay = delay;
-      lc.loss_prob = loss;
-      lc.queue_limit_bytes = queue;
-      lc.name = name;
-      return std::make_unique<net::Link>(sim, lc);
-    };
-
-    // WiFi path: client <-> AP (access) <-> Internet (wan) <-> server.
-    wifi_acc_up = mk(cfg.wifi.up_mbps, kWifiAccessDelay, 0.0,
-                     cfg.wifi.queue_bytes, "wifi-acc-up");
-    wifi_wan_up = mk(1000.0, wan_delay(cfg.wifi.rtt, kWifiAccessDelay), 0.0,
-                     1 << 20, "wifi-wan-up");
-    wifi_wan_down = mk(1000.0, wan_delay(cfg.wifi.rtt, kWifiAccessDelay),
-                       0.0, 1 << 20, "wifi-wan-down");
-    wifi_acc_down = mk(cfg.wifi.down_mbps, kWifiAccessDelay, cfg.wifi.loss,
-                       cfg.wifi.queue_bytes, "wifi-acc-down");
-
-    // Cellular path.
-    cell_acc_up = mk(cfg.cell.up_mbps, kCellAccessDelay, 0.0,
-                     cfg.cell.queue_bytes, "cell-acc-up");
-    cell_wan_up = mk(1000.0, wan_delay(cfg.cell.rtt, kCellAccessDelay), 0.0,
-                     1 << 20, "cell-wan-up");
-    cell_wan_down = mk(1000.0, wan_delay(cfg.cell.rtt, kCellAccessDelay),
-                       0.0, 1 << 20, "cell-wan-down");
-    cell_acc_down = mk(cfg.cell.down_mbps, kCellAccessDelay, cfg.cell.loss,
-                       cfg.cell.queue_bytes, "cell-acc-down");
-
-    // Wire the chains. Intermediate hops forward the pooled buffer with
-    // chain_to (no per-hop copy); only the endpoints deliver by reference.
-    wifi_if->set_default_route(*wifi_acc_up);
-    wifi_acc_up->chain_to(*wifi_wan_up);
-    wifi_wan_up->set_receiver(
-        [this](const net::Packet& p) { srv_if->deliver(p); });
-    cell_if->set_default_route(*cell_acc_up);
-    cell_acc_up->chain_to(*cell_wan_up);
-    cell_wan_up->set_receiver(
-        [this](const net::Packet& p) { srv_if->deliver(p); });
-
-    srv_if->add_route(kWifiAddr, *wifi_wan_down);
-    srv_if->add_route(kCellAddr, *cell_wan_down);
-    wifi_wan_down->chain_to(*wifi_acc_down);
-    wifi_acc_down->set_receiver(
-        [this](const net::Packet& p) { wifi_if->deliver(p); });
-    cell_wan_down->chain_to(*cell_acc_down);
-    cell_acc_down->set_receiver(
-        [this](const net::Packet& p) { cell_if->deliver(p); });
-
-    // The WiFi downlink is the contended medium the channel governs.
-    channel.govern(*wifi_acc_down);
-
-    tracker.track(*wifi_if, wifi_radio);
-    tracker.track(*cell_if, cell_radio);
-  }
-
-  void start_dynamics() {
-    if (scfg.wifi_onoff) {
-      onoff.emplace(sim, *wifi_acc_down, scfg.onoff);
-      onoff->also_govern(*wifi_acc_up);
-      onoff->start();
-    }
-    for (int i = 0; i < scfg.interferers; ++i) {
-      OnOffUdpSource::Config icfg;
-      icfg.lambda_on = scfg.lambda_on;
-      icfg.lambda_off = scfg.lambda_off;
-      interferers.push_back(
-          std::make_unique<OnOffUdpSource>(sim, channel, icfg));
-      interferers.back()->start();
-    }
-    if (scfg.mobility) {
-      mobility.emplace(sim, channel,
-                       net::MobilityModel::umass_corridor_route());
-      mobility->start();
-    }
-  }
-
-  /// Lazily-built shared eMPTCP state (EIB + device-wide predictor).
-  core::EnergyInfoBase& eib() {
-    if (!eib_) {
-      eib_ = core::EnergyInfoBase::generate(
-          scfg.device.model(scfg.cell_tech));
-    }
-    return *eib_;
-  }
-  core::BandwidthPredictor& predictor() {
-    if (!predictor_) {
-      predictor_ = std::make_unique<core::BandwidthPredictor>(
-          sim, scfg.emptcp.predictor);
-    }
-    return *predictor_;
-  }
-
-  const ScenarioConfig& scfg;
-  sim::Simulation sim;
-  net::Node client;
-  net::Node server;
-  net::NetworkInterface* wifi_if = nullptr;
-  net::NetworkInterface* cell_if = nullptr;
-  net::NetworkInterface* srv_if = nullptr;
-  std::unique_ptr<net::Link> wifi_acc_up, wifi_wan_up, wifi_wan_down,
-      wifi_acc_down;
-  std::unique_ptr<net::Link> cell_acc_up, cell_wan_up, cell_wan_down,
-      cell_acc_down;
-  net::WifiChannel channel;
-  energy::RadioModel wifi_radio;
-  energy::RadioModel cell_radio;
-  energy::EnergyTracker tracker;
-  std::optional<net::OnOffBandwidth> onoff;
-  std::vector<std::unique_ptr<OnOffUdpSource>> interferers;
-  std::optional<net::MobilityModel> mobility;
-
- private:
-  std::optional<core::EnergyInfoBase> eib_;
-  std::unique_ptr<core::BandwidthPredictor> predictor_;
-};
-
-/// Synthesises the 1-second (wifi, cell) bandwidth trace the MDP scheduler
-/// learns its transition matrix from — the paper's "finite state machine of
-/// throughput changes" — by replaying the scenario's configured dynamics.
-std::vector<std::pair<double, double>> bandwidth_trace(
-    const ScenarioConfig& cfg, std::uint64_t seed, int seconds = 900) {
-  sim::Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
-  std::vector<std::pair<double, double>> trace;
-  trace.reserve(static_cast<std::size_t>(seconds));
-
-  bool onoff_high = cfg.onoff.start_high;
-  double onoff_next = 0.0;
-  std::vector<bool> station_on(static_cast<std::size_t>(cfg.interferers),
-                               false);
-  std::vector<double> station_next(
-      static_cast<std::size_t>(cfg.interferers), 0.0);
-
-  net::MobilityModel::Config mob = net::MobilityModel::umass_corridor_route();
-
-  for (int t = 0; t < seconds; ++t) {
-    double wifi = cfg.wifi.down_mbps;
-    if (cfg.wifi_onoff) {
-      if (static_cast<double>(t) >= onoff_next) {
-        onoff_high = !onoff_high;
-        onoff_next = static_cast<double>(t) +
-                     rng.exponential(onoff_high ? cfg.onoff.mean_high_s
-                                                : cfg.onoff.mean_low_s);
-      }
-      wifi = onoff_high ? cfg.onoff.high_mbps : cfg.onoff.low_mbps;
-    }
-    int active = 0;
-    for (std::size_t i = 0; i < station_on.size(); ++i) {
-      if (static_cast<double>(t) >= station_next[i]) {
-        station_on[i] = !station_on[i];
-        const double rate = station_on[i] ? cfg.lambda_on : cfg.lambda_off;
-        station_next[i] =
-            static_cast<double>(t) + rng.exponential(1.0 / rate);
-      }
-      if (station_on[i]) ++active;
-    }
-    if (active > 0) wifi /= static_cast<double>(active + 1);
-    if (cfg.mobility) {
-      // Rate along the walking route, looped over the trace length.
-      const double route_t =
-          std::fmod(static_cast<double>(t), mob.route.back().t_s);
-      const double d = [&] {
-        net::Waypoint prev = mob.route.front();
-        for (const net::Waypoint& w : mob.route) {
-          if (route_t <= w.t_s) {
-            const double span = w.t_s - prev.t_s;
-            const double f = span > 0 ? (route_t - prev.t_s) / span : 0.0;
-            const double x = prev.x + f * (w.x - prev.x);
-            const double y = prev.y + f * (w.y - prev.y);
-            return std::hypot(x - mob.ap_x, y - mob.ap_y);
-          }
-          prev = w;
-        }
-        return std::hypot(mob.route.back().x - mob.ap_x,
-                          mob.route.back().y - mob.ap_y);
-      }();
-      if (d >= mob.usable_range_m) {
-        wifi = mob.floor_mbps;
-      } else {
-        const double frac = d / mob.usable_range_m;
-        wifi = std::max(mob.max_rate_mbps * (1.0 - frac * frac),
-                        mob.floor_mbps);
-      }
-    }
-    trace.emplace_back(wifi, cfg.cell.down_mbps);
-  }
-  return trace;
-}
-
-/// Standard MPTCP / single-path TCP / MDP client.
-class MetaHandle final : public ClientConnHandle {
- public:
-  MetaHandle(World& w, Protocol p) : w_(w), proto_(p) {
-    const bool coupled = p == Protocol::kMptcp || p == Protocol::kMdp;
-    meta_ = std::make_unique<mptcp::MptcpConnection>(
-        w.sim, w.client, make_mptcp_cfg(w.scfg, coupled));
-
-    if (p == Protocol::kMdp) {
-      baseline::MdpScheduler::Config mcfg;
-      mdp_.emplace(w.scfg.device.model(w.scfg.cell_tech), mcfg);
-      mdp_->fit(bandwidth_trace(w.scfg, 12345));
-      mdp_->solve();
-      runner_ = std::make_unique<baseline::MdpRunner>(
-          w.sim, *mdp_, *meta_, *w.wifi_if, *w.cell_if);
-    }
-
-    mptcp::MptcpConnection::Callbacks mcb;
-    mcb.on_established = [this] {
-      if (proto_ == Protocol::kMptcp || proto_ == Protocol::kMdp) {
-        meta_->add_subflow(kCellAddr);
-      }
-      if (cb_.on_established) cb_.on_established();
-    };
-    mcb.on_subflow_established = [this](mptcp::Subflow& sf) {
-      if (runner_ && sf.iface() != net::InterfaceType::kWifi) {
-        runner_->start();
-      }
-    };
-    mcb.on_data = [this](std::uint64_t n) {
-      if (cb_.on_data) cb_.on_data(n);
-    };
-    mcb.on_eof = [this] {
-      if (cb_.on_eof) cb_.on_eof();
-    };
-    mcb.on_closed = [this] {
-      if (runner_) runner_->stop();
-      if (cb_.on_closed) cb_.on_closed();
-    };
-    meta_->set_callbacks(std::move(mcb));
-  }
-
-  void set_callbacks(Callbacks cb) override { cb_ = std::move(cb); }
-  void set_app_tag(std::uint32_t tag) override { meta_->set_app_tag(tag); }
-  void connect() override {
-    const net::Addr local =
-        proto_ == Protocol::kTcpLte ? kCellAddr : kWifiAddr;
-    meta_->connect(local, kServerAddr, kPort);
-  }
-  void send(std::uint64_t bytes) override { meta_->send(bytes); }
-  void shutdown_write() override { meta_->shutdown_write(); }
-  [[nodiscard]] std::uint64_t bytes_received() const override {
-    return meta_->data_bytes_received();
-  }
-
- private:
-  World& w_;
-  Protocol proto_;
-  Callbacks cb_;
-  std::unique_ptr<mptcp::MptcpConnection> meta_;
-  std::optional<baseline::MdpScheduler> mdp_;
-  std::unique_ptr<baseline::MdpRunner> runner_;
-};
-
-class EmptcpHandle final : public ClientConnHandle {
- public:
-  explicit EmptcpHandle(World& w) {
-    core::EmptcpConfig cfg = w.scfg.emptcp;
-    cfg.mptcp = make_mptcp_cfg(w.scfg, /*coupled=*/true);
-    conn_ = std::make_unique<core::EmptcpConnection>(
-        w.sim, w.client, std::move(cfg), w.eib(), &w.predictor());
-  }
-
-  void set_callbacks(Callbacks cb) override {
-    core::EmptcpConnection::Callbacks ecb;
-    ecb.on_established = std::move(cb.on_established);
-    ecb.on_data = std::move(cb.on_data);
-    ecb.on_eof = std::move(cb.on_eof);
-    ecb.on_closed = std::move(cb.on_closed);
-    conn_->set_callbacks(std::move(ecb));
-  }
-  void set_app_tag(std::uint32_t tag) override {
-    conn_->mptcp().set_app_tag(tag);
-  }
-  void connect() override {
-    conn_->connect(kWifiAddr, kCellAddr, kServerAddr, kPort);
-  }
-  void send(std::uint64_t bytes) override { conn_->send(bytes); }
-  void shutdown_write() override { conn_->shutdown_write(); }
-  [[nodiscard]] std::uint64_t bytes_received() const override {
-    return conn_->data_bytes_received();
-  }
-  [[nodiscard]] std::uint64_t controller_switches() const override {
-    return conn_->controller().switch_count();
-  }
-
- private:
-  std::unique_ptr<core::EmptcpConnection> conn_;
-};
-
-class WifiFirstHandle final : public ClientConnHandle {
- public:
-  explicit WifiFirstHandle(World& w) {
-    conn_ = std::make_unique<baseline::WifiFirstConnection>(
-        w.sim, w.client, make_mptcp_cfg(w.scfg, /*coupled=*/true));
-  }
-
-  void set_callbacks(Callbacks cb) override {
-    mptcp::MptcpConnection::Callbacks mcb;
-    mcb.on_established = std::move(cb.on_established);
-    mcb.on_data = std::move(cb.on_data);
-    mcb.on_eof = std::move(cb.on_eof);
-    mcb.on_closed = std::move(cb.on_closed);
-    conn_->set_callbacks(std::move(mcb));
-  }
-  void set_app_tag(std::uint32_t tag) override {
-    conn_->mptcp().set_app_tag(tag);
-  }
-  void connect() override {
-    conn_->connect(kWifiAddr, kCellAddr, kServerAddr, kPort);
-  }
-  void send(std::uint64_t bytes) override { conn_->send(bytes); }
-  void shutdown_write() override { conn_->shutdown_write(); }
-  [[nodiscard]] std::uint64_t bytes_received() const override {
-    return conn_->mptcp().data_bytes_received();
-  }
-
- private:
-  std::unique_ptr<baseline::WifiFirstConnection> conn_;
-};
-
-std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p) {
-  switch (p) {
-    case Protocol::kEmptcp:
-      return std::make_unique<EmptcpHandle>(w);
-    case Protocol::kWifiFirst:
-      return std::make_unique<WifiFirstHandle>(w);
-    default:
-      return std::make_unique<MetaHandle>(w, p);
-  }
-}
-
-stats::Series to_series(
-    const std::vector<energy::EnergyTracker::SeriesPoint>& pts) {
-  stats::Series s;
-  s.reserve(pts.size());
-  for (const auto& p : pts) s.push_back(stats::Point{p.t_s, p.cumulative_j});
-  return s;
-}
-
-stats::Series to_series(
-    const std::vector<energy::EnergyTracker::RatePoint>& pts) {
-  stats::Series s;
-  s.reserve(pts.size());
-  for (const auto& p : pts) s.push_back(stats::Point{p.t_s, p.mbps});
-  return s;
-}
-
-/// Shared run collection: everything derivable from the world plus the
-/// caller-supplied completion state and byte count (the web-page run has
-/// no single ClientConnHandle, so those arrive as parameters).
-RunMetrics collect_core(World& w, bool completed, double download_time_s,
-                        std::uint64_t bytes_received,
-                        std::uint64_t controller_switches) {
-  RunMetrics m;
-  m.completed = completed;
-  m.download_time_s = download_time_s;
-  m.energy_j = w.tracker.total_j();
-  m.wifi_j = w.tracker.iface_j(w.wifi_if->type());
-  m.cell_j = w.tracker.iface_j(w.cell_if->type());
-  m.bytes_received = bytes_received;
-  m.cellular_used = w.cell_if->rx_bytes() > 5000;
-  m.cellular_activations = w.cell_radio.activations();
-  m.controller_switches = controller_switches;
-  m.wifi_capacity_mbps = w.scfg.wifi.down_mbps;
-  m.cell_capacity_mbps = w.scfg.cell.down_mbps;
-  if (download_time_s > 0.0) {
-    m.mean_wifi_mbps = static_cast<double>(w.wifi_if->rx_bytes()) * 8.0 /
-                       1e6 / download_time_s;
-    m.mean_cell_mbps = static_cast<double>(w.cell_if->rx_bytes()) * 8.0 /
-                       1e6 / download_time_s;
-  }
-  m.profile.events_executed = w.sim.scheduler().events_executed();
-  m.profile.sched_slab_slots = w.sim.scheduler().slab_size();
-  m.profile.packet_pool_slots = w.sim.context<net::PacketPool>().allocated();
-  if (w.scfg.record_series) {
-    m.energy_series = to_series(w.tracker.energy_series());
-    m.wifi_rate_series = to_series(w.tracker.rate_series(w.wifi_if->type()));
-    m.cell_rate_series = to_series(w.tracker.rate_series(w.cell_if->type()));
-  }
-  if (w.scfg.trace) {
-    // Record the headline results as run.* gauges before snapshotting, so
-    // the serialized trace carries them and the analysis layer can rebuild
-    // every reported number from the trace alone.
-    trace::Metrics& reg = w.sim.trace().metrics();
-    reg.gauge("run.completed").set(completed ? 1.0 : 0.0);
-    reg.gauge("run.download_time_s").set(download_time_s);
-    reg.gauge("run.energy_j").set(m.energy_j);
-    reg.gauge("run.wifi_j").set(m.wifi_j);
-    reg.gauge("run.cell_j").set(m.cell_j);
-    reg.gauge("run.bytes_received")
-        .set(static_cast<double>(bytes_received));
-    reg.gauge("sim.events_executed")
-        .set(static_cast<double>(m.profile.events_executed));
-    m.trace_events = w.sim.trace().events();
-    m.trace_metrics = reg.snapshot();
-    m.profile.trace_events = m.trace_events.size();
-  }
-  return m;
-}
-
-RunMetrics collect(World& w, const ClientConnHandle& client,
-                   bool completed, double download_time_s) {
-  return collect_core(w, completed, download_time_s, client.bytes_received(),
-                      client.controller_switches());
-}
-
-void advance_until(World& w, const std::function<bool()>& done,
-                   sim::Time deadline) {
-  while (!done() && w.sim.now() < deadline) {
-    w.sim.run_until(w.sim.now() + sim::milliseconds(200));
-  }
-}
-
-void drain_tails(World& w, sim::Duration max_drain) {
-  const sim::Time end = w.sim.now() + max_drain;
-  advance_until(
-      w, [&] { return w.tracker.all_idle(); }, end);
-}
-
-}  // namespace
 
 RunMetrics Scenario::run_download(Protocol p, std::uint64_t bytes,
                                   std::uint64_t seed) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "app/streaming.hpp"
 #include "app/web_browser.hpp"
@@ -40,6 +41,10 @@ enum class Protocol {
 };
 
 const char* to_string(Protocol p);
+
+/// Inverse of to_string, also accepting lowercase spec aliases
+/// ("tcp-wifi", "emptcp", ...); nullopt for unknown names.
+std::optional<Protocol> protocol_from_string(std::string_view name);
 
 struct PathParams {
   double down_mbps = 10.0;

@@ -1,0 +1,112 @@
+// World: the per-run testbed every experiment builds on.
+//
+// Reproduces the paper's §4.1 setup as a reusable object: a mobile client
+// with WiFi and LTE interfaces, a wired server reachable over both paths,
+// the access/WAN link chains, the contended WiFi channel, the device
+// radios and the energy tracker. Scenario (single-connection figure runs)
+// and workload::ClientFleet (multi-flow populations) both instantiate one
+// World per (config, seed) and drive their own applications inside it.
+//
+// The client-connection factory lives here too: make_client() returns the
+// protocol-appropriate ClientConnHandle (plain TCP, MPTCP, eMPTCP,
+// WiFi-First, MDP) wired into the world's shared eMPTCP state (EIB +
+// device-wide bandwidth predictor).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/client_handle.hpp"
+#include "app/onoff_udp.hpp"
+#include "app/scenario.hpp"
+#include "core/bandwidth_predictor.hpp"
+#include "core/energy_info_base.hpp"
+#include "energy/energy_tracker.hpp"
+#include "energy/radio.hpp"
+#include "net/channel/mobility.hpp"
+#include "net/channel/onoff_bandwidth.hpp"
+#include "net/channel/wifi_channel.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::app {
+
+/// Fixed addressing of the testbed (the paper's single-server topology).
+inline constexpr net::Addr kWifiAddr = 1;
+inline constexpr net::Addr kCellAddr = 2;
+inline constexpr net::Addr kServerAddr = 10;
+inline constexpr net::Port kPort = 80;
+
+/// Maps a client address to the interface type it belongs to; used as the
+/// MPTCP peer classifier on both ends.
+net::InterfaceType classify_client_addr(net::Addr a);
+
+/// The scenario's MPTCP knobs with the coupling flag and peer classifier
+/// applied — what every connection (client or server side) is built from.
+mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
+                                              bool coupled);
+
+/// The per-run world: fresh simulation, topology, radios and tracker.
+struct World {
+  World(const ScenarioConfig& cfg, std::uint64_t seed);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Starts the configured environment dynamics (on-off WiFi, interfering
+  /// stations, the walking route). Call once, after construction.
+  void start_dynamics();
+
+  /// Lazily-built shared eMPTCP state (EIB + device-wide predictor).
+  core::EnergyInfoBase& eib();
+  core::BandwidthPredictor& predictor();
+
+  const ScenarioConfig& scfg;
+  sim::Simulation sim;
+  net::Node client;
+  net::Node server;
+  net::NetworkInterface* wifi_if = nullptr;
+  net::NetworkInterface* cell_if = nullptr;
+  net::NetworkInterface* srv_if = nullptr;
+  std::unique_ptr<net::Link> wifi_acc_up, wifi_wan_up, wifi_wan_down,
+      wifi_acc_down;
+  std::unique_ptr<net::Link> cell_acc_up, cell_wan_up, cell_wan_down,
+      cell_acc_down;
+  net::WifiChannel channel;
+  energy::RadioModel wifi_radio;
+  energy::RadioModel cell_radio;
+  energy::EnergyTracker tracker;
+  std::optional<net::OnOffBandwidth> onoff;
+  std::vector<std::unique_ptr<OnOffUdpSource>> interferers;
+  std::optional<net::MobilityModel> mobility;
+
+ private:
+  std::optional<core::EnergyInfoBase> eib_;
+  std::unique_ptr<core::BandwidthPredictor> predictor_;
+};
+
+/// Builds the protocol-appropriate client connection inside `w`.
+std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p);
+
+/// Shared run collection: everything derivable from the world plus the
+/// caller-supplied completion state and byte count (multi-connection runs
+/// have no single ClientConnHandle, so those arrive as parameters).
+RunMetrics collect_core(World& w, bool completed, double download_time_s,
+                        std::uint64_t bytes_received,
+                        std::uint64_t controller_switches);
+
+RunMetrics collect(World& w, const ClientConnHandle& client, bool completed,
+                   double download_time_s);
+
+/// Advances the simulation in 200 ms slices until `done()` or `deadline`.
+void advance_until(World& w, const std::function<bool()>& done,
+                   sim::Time deadline);
+
+/// Runs until every tracked radio has fallen back to idle (the paper's
+/// post-download tail energy), bounded by `max_drain`.
+void drain_tails(World& w, sim::Duration max_drain);
+
+}  // namespace emptcp::app

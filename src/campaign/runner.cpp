@@ -1,0 +1,248 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/manifest.hpp"
+#include "runtime/replication.hpp"
+#include "stats/csv.hpp"
+#include "stats/trace_export.hpp"
+
+namespace emptcp::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Ledger lines -> (label, digest) pairs; malformed lines are dropped (a
+/// torn final line from a killed run must not poison the resume).
+std::vector<std::pair<std::string, std::string>> read_ledger(
+    const std::string& path) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::string text;
+  if (!read_file(path, text)) return entries;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // no newline: torn write, drop
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) continue;
+    entries.emplace_back(line.substr(0, sp), line.substr(sp + 1));
+  }
+  return entries;
+}
+
+const std::string* ledger_digest(
+    const std::vector<std::pair<std::string, std::string>>& ledger,
+    const std::string& label) {
+  for (const auto& [l, d] : ledger) {
+    if (l == label) return &d;
+  }
+  return nullptr;
+}
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+std::uint64_t derive_cell_seed(const std::string& campaign_name,
+                               app::Protocol p, std::size_t fleet_size,
+                               std::uint64_t seed) {
+  const std::string key = campaign_name + "|" + protocol_slug(p) + "|f" +
+                          std::to_string(fleet_size) + "|s" +
+                          std::to_string(seed);
+  std::uint64_t h = analysis::fnv1a64(key);
+  // An all-zero seed would collapse mt19937_64 initialisation quality;
+  // vanishingly unlikely, but free to rule out.
+  return h == 0 ? 1 : h;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, std::string out_dir)
+    : spec_(std::move(spec)), out_dir_(std::move(out_dir)) {}
+
+std::string CampaignRunner::ledger_path() const {
+  return out_dir_ + "/campaign.ledger";
+}
+
+std::vector<CampaignCell> CampaignRunner::cells() const {
+  std::vector<CampaignCell> grid;
+  grid.reserve(spec_.cell_count());
+  for (const app::Protocol p : spec_.protocols) {
+    for (const std::size_t fleet : spec_.fleet_sizes) {
+      for (const std::uint64_t seed : spec_.seeds) {
+        CampaignCell cell;
+        cell.protocol = p;
+        cell.fleet_size = fleet;
+        cell.seed = seed;
+        cell.derived_seed = derive_cell_seed(spec_.name, p, fleet, seed);
+        cell.label = spec_.name + "-" + protocol_slug(p) + "-f" +
+                     std::to_string(fleet) + "-s" + std::to_string(seed);
+        grid.push_back(std::move(cell));
+      }
+    }
+  }
+  return grid;
+}
+
+std::string CampaignRunner::run_cell(const CampaignCell& cell) {
+  workload::FleetConfig cfg = spec_.workload;
+  cfg.protocol = cell.protocol;
+  cfg.clients = cell.fleet_size;
+  cfg.scenario.trace = true;
+
+  workload::ClientFleet fleet(cfg);
+  const workload::FleetMetrics m = fleet.run(cell.derived_seed);
+
+  const std::string jsonl =
+      stats::trace_to_jsonl(m.run.trace_events, m.run.trace_metrics);
+  const std::string trace_file = cell.label + ".jsonl";
+  const std::string trace_path = out_dir_ + "/" + trace_file;
+  if (!stats::write_file(trace_path, jsonl)) {
+    throw std::runtime_error("campaign: cannot write " + trace_path);
+  }
+
+  analysis::RunManifest manifest;
+  manifest.group = spec_.name;
+  manifest.protocol = app::to_string(cell.protocol);
+  manifest.seed = cell.seed;
+  manifest.workload =
+      std::string("fleet/") +
+      (cfg.mode == workload::FleetConfig::Mode::kClosed ? "closed" : "open") +
+      "/c" + std::to_string(cell.fleet_size);
+  manifest.trace_file = trace_file;
+  manifest.trace_events = m.run.trace_events.size();
+  manifest.trace_digest = analysis::fnv1a64_hex(jsonl);
+  manifest.params = analysis::describe_scenario(cfg.scenario);
+  manifest.params.emplace_back("fleet.clients",
+                               std::to_string(cell.fleet_size));
+  manifest.params.emplace_back("fleet.flows_per_client",
+                               std::to_string(cfg.flows_per_client));
+  manifest.params.emplace_back(
+      "fleet.mode",
+      quoted(cfg.mode == workload::FleetConfig::Mode::kClosed ? "closed"
+                                                              : "open"));
+  // Rendered as a string: a 64-bit hash is not exactly representable as a
+  // JSON double.
+  manifest.params.emplace_back("fleet.derived_seed",
+                               quoted(std::to_string(cell.derived_seed)));
+  for (auto& kv : analysis::describe_build()) {
+    manifest.params.push_back(std::move(kv));
+  }
+  const std::string manifest_path =
+      out_dir_ + "/" + cell.label + ".manifest.json";
+  if (!stats::write_file(manifest_path,
+                         analysis::manifest_to_json(manifest))) {
+    throw std::runtime_error("campaign: cannot write " + manifest_path);
+  }
+  return manifest.trace_digest;
+}
+
+CampaignResult CampaignRunner::run(std::size_t workers) {
+  std::error_code ec;
+  fs::create_directories(out_dir_, ec);
+  if (ec) {
+    throw std::runtime_error("campaign: cannot create " + out_dir_ + ": " +
+                             ec.message());
+  }
+
+  const std::vector<CampaignCell> grid = cells();
+  const auto ledger = read_ledger(ledger_path());
+
+  // Classify every cell up front: complete (ledger + manifest + trace all
+  // agree) cells resume, everything else runs.
+  std::vector<bool> complete(grid.size(), false);
+  std::vector<std::string> digests(grid.size());
+  std::vector<CampaignCell> pending;
+  std::vector<std::size_t> pending_index;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CampaignCell& cell = grid[i];
+    const std::string* led = ledger_digest(ledger, cell.label);
+    if (led != nullptr) {
+      std::string manifest_text;
+      std::string trace_text;
+      if (read_file(out_dir_ + "/" + cell.label + ".manifest.json",
+                    manifest_text) &&
+          read_file(out_dir_ + "/" + cell.label + ".jsonl", trace_text)) {
+        std::string err;
+        analysis::RunManifest manifest;
+        const auto doc = analysis::parse_json_flat(manifest_text, &err);
+        if (doc && analysis::manifest_from_json(*doc, manifest) &&
+            manifest.trace_digest == *led &&
+            analysis::fnv1a64_hex(trace_text) == *led) {
+          complete[i] = true;
+          digests[i] = *led;
+        }
+      }
+    }
+    if (!complete[i]) {
+      pending.push_back(cell);
+      pending_index.push_back(i);
+    }
+  }
+
+  // Run what's left on the pool. Each finished cell appends to the ledger
+  // immediately (flushed), so a kill mid-campaign loses at most the cells
+  // in flight.
+  if (!pending.empty()) {
+    const std::vector<std::uint64_t> one{0};
+    auto ran = runtime::run_replications(
+        pending, one,
+        [this](const CampaignCell& cell, std::uint64_t) {
+          std::string digest = run_cell(cell);
+          {
+            const std::lock_guard<std::mutex> lock(ledger_mu_);
+            std::ofstream out(ledger_path(),
+                              std::ios::binary | std::ios::app);
+            out << cell.label << ' ' << digest << '\n';
+            out.flush();
+          }
+          return digest;
+        },
+        workers);
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      digests[pending_index[k]] = std::move(ran[k][0]);
+    }
+  }
+
+  // Rewrite the ledger sorted: the final file is a pure function of the
+  // grid, independent of completion order and worker count.
+  std::vector<std::string> lines;
+  lines.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    lines.push_back(grid[i].label + " " + digests[i] + "\n");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string ledger_text;
+  for (const std::string& line : lines) ledger_text += line;
+  if (!stats::write_file(ledger_path(), ledger_text)) {
+    throw std::runtime_error("campaign: cannot write " + ledger_path());
+  }
+
+  CampaignResult result;
+  result.cells.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    CellOutcome outcome;
+    outcome.cell = grid[i];
+    outcome.kind = complete[i] ? CellOutcome::Kind::kResumed
+                               : CellOutcome::Kind::kRan;
+    (complete[i] ? result.resumed : result.ran) += 1;
+    result.cells.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace emptcp::campaign

@@ -1,0 +1,81 @@
+// Campaign execution: the grid, the artifacts, and the resume ledger.
+//
+// Each cell (protocol, fleet size, seed) runs one ClientFleet simulation
+// and writes the standard artifact pair — `<label>.jsonl` trace plus
+// `<label>.manifest.json` — into the output directory, exactly the format
+// the benches emit under EMPTCP_TRACE_DIR and `emptcp-report` consumes.
+//
+// Determinism & decorrelation: every cell seeds its simulation with
+// fnv1a64("name|protocol|f<fleet>|s<seed>"), a pure function of the cell's
+// identity. Cells are therefore independent of grid order and worker
+// count: running sequentially, on 4 workers, or resuming half-way produces
+// byte-identical artifacts.
+//
+// Resume: a `campaign.ledger` file in the output directory records
+// "<label> <digest>" per completed cell, appended (flushed) as cells
+// finish and rewritten sorted at the end. On start the runner skips any
+// cell whose ledger entry, manifest and trace digest all agree — an
+// interrupted campaign re-runs only what is missing or corrupt.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+
+namespace emptcp::campaign {
+
+struct CampaignCell {
+  app::Protocol protocol = app::Protocol::kEmptcp;
+  std::size_t fleet_size = 0;
+  std::uint64_t seed = 0;          ///< spec-level replication seed
+  std::uint64_t derived_seed = 0;  ///< what actually seeds the simulation
+  std::string label;               ///< artifact basename
+};
+
+/// fnv1a64 over "name|protocol-slug|f<fleet>|s<seed>".
+std::uint64_t derive_cell_seed(const std::string& campaign_name,
+                               app::Protocol p, std::size_t fleet_size,
+                               std::uint64_t seed);
+
+struct CellOutcome {
+  CampaignCell cell;
+  enum class Kind : std::uint8_t {
+    kRan,      ///< simulated this invocation
+    kResumed,  ///< verified complete from a previous invocation; skipped
+  };
+  Kind kind = Kind::kRan;
+};
+
+struct CampaignResult {
+  std::vector<CellOutcome> cells;  ///< grid order
+  std::size_t ran = 0;
+  std::size_t resumed = 0;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(CampaignSpec spec, std::string out_dir);
+
+  /// The grid in spec order: protocols × fleet_sizes × seeds.
+  [[nodiscard]] std::vector<CampaignCell> cells() const;
+
+  /// Runs (or resumes) the whole campaign on `workers` pool threads
+  /// (0 = all cores, respecting EMPTCP_JOBS). Throws on IO failure.
+  CampaignResult run(std::size_t workers = 0);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& out_dir() const { return out_dir_; }
+  [[nodiscard]] std::string ledger_path() const;
+
+ private:
+  std::string run_cell(const CampaignCell& cell);  ///< returns trace digest
+
+  CampaignSpec spec_;
+  std::string out_dir_;
+  std::mutex ledger_mu_;
+};
+
+}  // namespace emptcp::campaign

@@ -1,0 +1,374 @@
+#include "campaign/spec.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/json.hpp"
+
+namespace emptcp::campaign {
+namespace {
+
+using analysis::FlatJson;
+using analysis::JsonScalar;
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+JsonScalar scalar_from_text(std::string_view text) {
+  JsonScalar v;
+  if (text == "true" || text == "false") {
+    v.type = JsonScalar::Type::kBool;
+    v.boolean = text == "true";
+    return v;
+  }
+  const std::string buf(text);
+  char* end = nullptr;
+  const double num = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() && *end == '\0' && !buf.empty()) {
+    v.type = JsonScalar::Type::kNumber;
+    v.num = num;
+    return v;
+  }
+  v.type = JsonScalar::Type::kString;
+  v.str = buf;
+  return v;
+}
+
+/// key=value lines -> the same flattened document JSON parses to.
+/// Comma-separated values become list entries (key.0, key.1, ...).
+bool keyvalue_to_flat(std::string_view text, FlatJson& out, std::string& err) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = trim(text.substr(pos, nl - pos));
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      err = "line " + std::to_string(line_no) + ": expected key = value";
+      return false;
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      err = "line " + std::to_string(line_no) + ": empty key";
+      return false;
+    }
+    if (value.find(',') == std::string_view::npos) {
+      out.emplace_back(key, scalar_from_text(value));
+      continue;
+    }
+    std::size_t index = 0;
+    std::size_t vpos = 0;
+    while (vpos <= value.size()) {
+      std::size_t comma = value.find(',', vpos);
+      if (comma == std::string_view::npos) comma = value.size();
+      const std::string_view item = trim(value.substr(vpos, comma - vpos));
+      vpos = comma + 1;
+      if (item.empty()) continue;
+      out.emplace_back(key + "." + std::to_string(index++),
+                       scalar_from_text(item));
+    }
+  }
+  return true;
+}
+
+double as_num(const JsonScalar& v) {
+  switch (v.type) {
+    case JsonScalar::Type::kNumber: return v.num;
+    case JsonScalar::Type::kBool: return v.boolean ? 1.0 : 0.0;
+    default: return 0.0;
+  }
+}
+
+bool as_bool(const JsonScalar& v) { return as_num(v) != 0.0; }
+
+std::string as_str(const JsonScalar& v) {
+  if (v.type == JsonScalar::Type::kString) return v.str;
+  return {};
+}
+
+bool apply_scenario_key(app::ScenarioConfig& cfg, std::string_view key,
+                        const JsonScalar& v) {
+  auto path_key = [&](app::PathParams& pp, std::string_view sub) {
+    if (sub == "down_mbps") { pp.down_mbps = as_num(v); return true; }
+    if (sub == "up_mbps") { pp.up_mbps = as_num(v); return true; }
+    if (sub == "rtt_ms") {
+      pp.rtt = sim::from_seconds(as_num(v) * 1e-3);
+      return true;
+    }
+    if (sub == "loss") { pp.loss = as_num(v); return true; }
+    if (sub == "queue_bytes") {
+      pp.queue_bytes = static_cast<std::size_t>(as_num(v));
+      return true;
+    }
+    return false;
+  };
+  if (starts_with(key, "wifi.")) return path_key(cfg.wifi, key.substr(5));
+  if (starts_with(key, "cell.")) return path_key(cfg.cell, key.substr(5));
+  if (key == "wifi_onoff") { cfg.wifi_onoff = as_bool(v); return true; }
+  if (key == "onoff.high_mbps") { cfg.onoff.high_mbps = as_num(v); return true; }
+  if (key == "onoff.low_mbps") { cfg.onoff.low_mbps = as_num(v); return true; }
+  if (key == "onoff.mean_high_s") {
+    cfg.onoff.mean_high_s = as_num(v);
+    return true;
+  }
+  if (key == "onoff.mean_low_s") {
+    cfg.onoff.mean_low_s = as_num(v);
+    return true;
+  }
+  if (key == "interferers") {
+    cfg.interferers = static_cast<int>(as_num(v));
+    return true;
+  }
+  if (key == "lambda_on") { cfg.lambda_on = as_num(v); return true; }
+  if (key == "lambda_off") { cfg.lambda_off = as_num(v); return true; }
+  if (key == "mobility") { cfg.mobility = as_bool(v); return true; }
+  if (key == "request_bytes") {
+    cfg.request_bytes = static_cast<std::uint64_t>(as_num(v));
+    return true;
+  }
+  if (key == "max_sim_time_s") {
+    cfg.max_sim_time = sim::from_seconds(as_num(v));
+    return true;
+  }
+  if (key == "max_drain_s") {
+    cfg.max_drain = sim::from_seconds(as_num(v));
+    return true;
+  }
+  if (key == "record_series") { cfg.record_series = as_bool(v); return true; }
+  return false;
+}
+
+bool apply_key(CampaignSpec& spec, const std::string& key,
+               const JsonScalar& v, std::string& err) {
+  using workload::ArrivalProcess;
+  using workload::FleetConfig;
+  using workload::SizeDist;
+  using workload::ThinkTime;
+
+  auto bad_value = [&](const std::string& what) {
+    err = key + ": unknown " + what + " \"" + as_str(v) + "\"";
+    return false;
+  };
+
+  if (key == "schema") {
+    if (as_str(v) != kCampaignSchema) {
+      err = "schema: expected \"" + std::string(kCampaignSchema) + "\"";
+      return false;
+    }
+    return true;
+  }
+  if (key == "name") {
+    spec.name = as_str(v);
+    return !spec.name.empty() || (err = "name: must be non-empty", false);
+  }
+  // List keys accept both the indexed form ("seeds.0", from JSON arrays
+  // and comma lists) and the bare form (a single-element key=value line).
+  auto list_key = [&key](std::string_view base) {
+    return key == base ||
+           (starts_with(key, base) && key.size() > base.size() &&
+            key[base.size()] == '.');
+  };
+  if (list_key("protocols")) {
+    const auto p = app::protocol_from_string(as_str(v));
+    if (!p) return bad_value("protocol");
+    spec.protocols.push_back(*p);
+    return true;
+  }
+  if (list_key("fleet_sizes")) {
+    const auto n = static_cast<std::size_t>(as_num(v));
+    if (n == 0) { err = key + ": fleet size must be >= 1"; return false; }
+    spec.fleet_sizes.push_back(n);
+    return true;
+  }
+  if (list_key("seeds")) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(as_num(v)));
+    return true;
+  }
+  if (key == "mode") {
+    const std::string m = as_str(v);
+    if (m == "closed") spec.workload.mode = FleetConfig::Mode::kClosed;
+    else if (m == "open") spec.workload.mode = FleetConfig::Mode::kOpen;
+    else return bad_value("mode");
+    return true;
+  }
+  if (key == "flows_per_client") {
+    spec.workload.flows_per_client = static_cast<std::size_t>(as_num(v));
+    return true;
+  }
+  if (key == "size.kind") {
+    const std::string k = as_str(v);
+    if (k == "fixed") spec.workload.flow_size.kind = SizeDist::Kind::kFixed;
+    else if (k == "lognormal") {
+      spec.workload.flow_size.kind = SizeDist::Kind::kLognormal;
+    } else if (k == "pareto") {
+      spec.workload.flow_size.kind = SizeDist::Kind::kPareto;
+    } else if (k == "empirical") {
+      spec.workload.flow_size.kind = SizeDist::Kind::kEmpirical;
+    } else {
+      return bad_value("size distribution");
+    }
+    return true;
+  }
+  if (key == "size.mean_bytes") {
+    spec.workload.flow_size.mean_bytes =
+        static_cast<std::uint64_t>(as_num(v));
+    return true;
+  }
+  if (key == "size.log_mu") {
+    spec.workload.flow_size.log_mu = as_num(v);
+    return true;
+  }
+  if (key == "size.log_sigma") {
+    spec.workload.flow_size.log_sigma = as_num(v);
+    return true;
+  }
+  if (key == "size.alpha") {
+    spec.workload.flow_size.alpha = as_num(v);
+    return true;
+  }
+  if (key == "size.min_bytes") {
+    spec.workload.flow_size.min_bytes = static_cast<std::uint64_t>(as_num(v));
+    return true;
+  }
+  if (key == "size.max_bytes") {
+    spec.workload.flow_size.max_bytes = static_cast<std::uint64_t>(as_num(v));
+    return true;
+  }
+  if (list_key("size.values")) {
+    spec.workload.flow_size.values.push_back(
+        static_cast<std::uint64_t>(as_num(v)));
+    return true;
+  }
+  if (key == "think.kind") {
+    const std::string k = as_str(v);
+    if (k == "none") spec.workload.think.kind = ThinkTime::Kind::kNone;
+    else if (k == "fixed") spec.workload.think.kind = ThinkTime::Kind::kFixed;
+    else if (k == "exponential") {
+      spec.workload.think.kind = ThinkTime::Kind::kExponential;
+    } else {
+      return bad_value("think-time model");
+    }
+    return true;
+  }
+  if (key == "think.mean_s") {
+    spec.workload.think.mean_s = as_num(v);
+    return true;
+  }
+  if (key == "arrival.kind") {
+    const std::string k = as_str(v);
+    if (k == "poisson") {
+      spec.workload.arrival.kind = ArrivalProcess::Kind::kPoisson;
+    } else if (k == "deterministic") {
+      spec.workload.arrival.kind = ArrivalProcess::Kind::kDeterministic;
+    } else if (k == "trace") {
+      spec.workload.arrival.kind = ArrivalProcess::Kind::kTrace;
+    } else {
+      return bad_value("arrival process");
+    }
+    return true;
+  }
+  if (key == "arrival.rate_per_s") {
+    spec.workload.arrival.rate_per_s = as_num(v);
+    return true;
+  }
+  if (list_key("arrival.times_s")) {
+    spec.workload.arrival.times_s.push_back(as_num(v));
+    return true;
+  }
+  if (starts_with(key, "scenario.")) {
+    if (!apply_scenario_key(spec.workload.scenario, key.substr(9), v)) {
+      err = "unknown scenario key: " + key;
+      return false;
+    }
+    return true;
+  }
+  err = "unknown key: " + key;
+  return false;
+}
+
+}  // namespace
+
+const char* protocol_slug(app::Protocol p) {
+  switch (p) {
+    case app::Protocol::kTcpWifi: return "tcp-wifi";
+    case app::Protocol::kTcpLte: return "tcp-lte";
+    case app::Protocol::kMptcp: return "mptcp";
+    case app::Protocol::kEmptcp: return "emptcp";
+    case app::Protocol::kWifiFirst: return "wifi-first";
+    case app::Protocol::kMdp: return "mdp";
+  }
+  return "unknown";
+}
+
+bool parse_campaign_spec(std::string_view text, CampaignSpec& out,
+                         std::string& err) {
+  FlatJson doc;
+  const std::string_view body = trim(text);
+  if (!body.empty() && body.front() == '{') {
+    std::string perr;
+    auto parsed = analysis::parse_json_flat(body, &perr);
+    if (!parsed) {
+      err = perr;
+      return false;
+    }
+    doc = std::move(*parsed);
+  } else if (!keyvalue_to_flat(text, doc, err)) {
+    return false;
+  }
+
+  CampaignSpec spec;
+  // Campaign runs always trace (the artifacts are the output) and default
+  // to lean runs: no in-memory series.
+  spec.workload.scenario.trace = true;
+  spec.workload.scenario.record_series = false;
+  for (const auto& [key, v] : doc) {
+    if (!apply_key(spec, key, v, err)) return false;
+  }
+  if (spec.protocols.empty()) { err = "spec has no protocols"; return false; }
+  if (spec.fleet_sizes.empty()) {
+    err = "spec has no fleet_sizes";
+    return false;
+  }
+  if (spec.seeds.empty()) { err = "spec has no seeds"; return false; }
+  // Stamped per cell by the runner; re-force in case a scenario key
+  // toggled it.
+  spec.workload.scenario.trace = true;
+  out = std::move(spec);
+  return true;
+}
+
+bool load_campaign_spec(const std::string& path, CampaignSpec& out,
+                        std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!parse_campaign_spec(ss.str(), out, err)) {
+    err = path + ": " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace emptcp::campaign

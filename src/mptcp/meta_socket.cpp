@@ -131,6 +131,7 @@ Subflow& MptcpConnection::create_subflow(
                                       std::move(socket));
   Subflow* raw = sf.get();
   subflows_.push_back(std::move(sf));
+  subflow_view_.push_back(raw);
 
   sock->set_data_ack(data_rcv_.cumulative());
   sock->set_segment_source(
@@ -145,13 +146,6 @@ Subflow& MptcpConnection::create_subflow(
   cb.on_closed = [this, raw] { on_subflow_closed(*raw); };
   sock->set_callbacks(std::move(cb));
   return *raw;
-}
-
-std::vector<Subflow*> MptcpConnection::subflows() {
-  std::vector<Subflow*> out;
-  out.reserve(subflows_.size());
-  for (auto& sf : subflows_) out.push_back(sf.get());
-  return out;
 }
 
 Subflow* MptcpConnection::subflow_on(net::InterfaceType t) {
@@ -324,9 +318,13 @@ void MptcpConnection::on_subflow_closed(Subflow& sf) {
 }
 
 void MptcpConnection::poke_subflows() {
-  for (Subflow* sf : scheduler_->preference_order(subflows())) {
-    sf->socket().notify_data_available();
-  }
+  // Borrow the recycled buffer for the duration of the poke: if a callback
+  // re-enters poke_subflows, the inner call simply starts from an empty
+  // (moved-from) scratch instead of clobbering this iteration.
+  std::vector<Subflow*> order = std::move(prefs_scratch_);
+  scheduler_->preference_order_into(subflows(), order);
+  for (Subflow* sf : order) sf->socket().notify_data_available();
+  prefs_scratch_ = std::move(order);
 }
 
 void MptcpConnection::maybe_send_fins() {

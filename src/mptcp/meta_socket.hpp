@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "mptcp/scheduler.hpp"
 #include "mptcp/subflow.hpp"
 #include "net/node.hpp"
+#include "sim/ring_deque.hpp"
 #include "tcp/buffers.hpp"
 #include "tcp/tcp_socket.hpp"
 
@@ -125,7 +125,9 @@ class MptcpConnection {
   void handle_interface_down(net::InterfaceType type);
 
   // --- Introspection ----------------------------------------------------
-  [[nodiscard]] std::vector<Subflow*> subflows();
+  [[nodiscard]] const std::vector<Subflow*>& subflows() const {
+    return subflow_view_;
+  }
   [[nodiscard]] Subflow* subflow_on(net::InterfaceType t);
   [[nodiscard]] bool established() const { return established_reported_; }
   [[nodiscard]] bool eof() const { return eof_reported_; }
@@ -165,6 +167,11 @@ class MptcpConnection {
   LiaState lia_;
   trace::Counter* ctr_reinjected_ = nullptr;  ///< reinjected data chunks
   std::vector<std::unique_ptr<Subflow>> subflows_;
+  /// Raw-pointer view of `subflows_`, maintained alongside it so the hot
+  /// scheduling paths never materialise a fresh vector.
+  std::vector<Subflow*> subflow_view_;
+  /// Recycled buffer for scheduler preference orders (see poke_subflows).
+  std::vector<Subflow*> prefs_scratch_;
   std::vector<tcp::CongestionControl*> subflow_cc_;  ///< parallel to subflows_
   std::uint64_t token_ = 0;
   std::uint32_t app_tag_ = 0;
@@ -178,7 +185,7 @@ class MptcpConnection {
   std::uint64_t data_end_ = 1;
   std::uint64_t app_queued_ = 0;
   std::uint64_t data_snd_una_ = 1;
-  std::deque<DataChunk> reinject_;
+  sim::RingDeque<DataChunk> reinject_;
   bool fin_pending_ = false;
   bool subflow_fins_sent_ = false;
 

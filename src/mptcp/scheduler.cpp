@@ -14,21 +14,29 @@ bool SubflowScheduler::eligible(const Subflow& sf,
   });
 }
 
-std::vector<Subflow*> MinRttScheduler::preference_order(
-    const std::vector<Subflow*>& all) const {
-  std::vector<Subflow*> out;
+void MinRttScheduler::preference_order_into(
+    const std::vector<Subflow*>& all, std::vector<Subflow*>& out) const {
+  out.clear();
   for (Subflow* sf : all) {
     if (eligible(*sf, all)) out.push_back(sf);
   }
-  std::stable_sort(out.begin(), out.end(), [](Subflow* a, Subflow* b) {
-    return a->socket().srtt() < b->socket().srtt();
-  });
-  return out;
+  // Stable insertion sort by SRTT: subflow sets are tiny (2-3 entries)
+  // and std::stable_sort heap-allocates a temporary buffer, which would
+  // put an allocation on every scheduling poke.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    Subflow* key = out[i];
+    std::size_t j = i;
+    while (j > 0 && key->socket().srtt() < out[j - 1]->socket().srtt()) {
+      out[j] = out[j - 1];
+      --j;
+    }
+    out[j] = key;
+  }
 }
 
-std::vector<Subflow*> RoundRobinScheduler::preference_order(
-    const std::vector<Subflow*>& all) const {
-  std::vector<Subflow*> out;
+void RoundRobinScheduler::preference_order_into(
+    const std::vector<Subflow*>& all, std::vector<Subflow*>& out) const {
+  out.clear();
   for (Subflow* sf : all) {
     if (eligible(*sf, all)) out.push_back(sf);
   }
@@ -54,7 +62,6 @@ std::vector<Subflow*> RoundRobinScheduler::preference_order(
     last_served_ = out.front()->id();
     has_last_ = true;
   }
-  return out;
 }
 
 }  // namespace emptcp::mptcp

@@ -25,16 +25,26 @@ class SubflowScheduler {
   [[nodiscard]] virtual bool eligible(
       const Subflow& sf, const std::vector<Subflow*>& all) const;
 
-  /// Eligible subflows in preference order (most preferred first).
-  [[nodiscard]] virtual std::vector<Subflow*> preference_order(
-      const std::vector<Subflow*>& all) const = 0;
+  /// Fills `out` with the eligible subflows, most preferred first. This is
+  /// the hot-path primitive: the caller recycles `out` across calls so the
+  /// per-poke scheduling decision is allocation-free at steady state.
+  virtual void preference_order_into(const std::vector<Subflow*>& all,
+                                     std::vector<Subflow*>& out) const = 0;
+
+  /// Convenience wrapper returning a fresh vector.
+  [[nodiscard]] std::vector<Subflow*> preference_order(
+      const std::vector<Subflow*>& all) const {
+    std::vector<Subflow*> out;
+    preference_order_into(all, out);
+    return out;
+  }
 };
 
 /// Default MPTCP scheduler: lowest-SRTT first.
 class MinRttScheduler final : public SubflowScheduler {
  public:
-  [[nodiscard]] std::vector<Subflow*> preference_order(
-      const std::vector<Subflow*>& all) const override;
+  void preference_order_into(const std::vector<Subflow*>& all,
+                             std::vector<Subflow*>& out) const override;
 };
 
 /// Round-robin over eligible subflows; kept as a comparison point and for
@@ -47,8 +57,8 @@ class MinRttScheduler final : public SubflowScheduler {
 /// double-serving subflows.
 class RoundRobinScheduler final : public SubflowScheduler {
  public:
-  [[nodiscard]] std::vector<Subflow*> preference_order(
-      const std::vector<Subflow*>& all) const override;
+  void preference_order_into(const std::vector<Subflow*>& all,
+                             std::vector<Subflow*>& out) const override;
 
  private:
   mutable std::size_t last_served_ = 0;  ///< id most recently put first

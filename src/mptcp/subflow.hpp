@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 
 #include "net/interface.hpp"
+#include "sim/ring_deque.hpp"
 #include "tcp/tcp_socket.hpp"
 
 namespace emptcp::mptcp {
@@ -54,7 +54,7 @@ class Subflow {
   [[nodiscard]] bool failed() const { return failed_; }
 
   // Outstanding connection-level chunks for reinjection on failure.
-  std::deque<DataChunk>& outstanding() { return outstanding_; }
+  sim::RingDeque<DataChunk>& outstanding() { return outstanding_; }
 
   /// Prunes chunks fully covered by the connection-level cumulative ACK.
   void prune_outstanding(std::uint64_t data_una) {
@@ -75,7 +75,7 @@ class Subflow {
   std::unique_ptr<tcp::TcpSocket> socket_;
   bool backup_ = false;
   bool failed_ = false;
-  std::deque<DataChunk> outstanding_;
+  sim::RingDeque<DataChunk> outstanding_;
 };
 
 }  // namespace emptcp::mptcp

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/simulation.hpp"
 
 namespace emptcp::net {
@@ -87,7 +87,7 @@ class Link {
   PacketPool& pool_;
   Receiver receiver_;
   Link* next_ = nullptr;
-  std::deque<PooledPacket> queue_;
+  sim::RingDeque<PooledPacket> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
   sim::Duration pending_delay_ = 0;

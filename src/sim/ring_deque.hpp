@@ -1,0 +1,120 @@
+// Allocation-stable FIFO ring.
+//
+// Drop-in replacement for the FIFO subset of std::deque (push_back /
+// pop_front / front / back / iteration). A std::deque that cycles at
+// steady state allocates and frees a fixed-size block every few elements,
+// which puts the allocator on the per-packet path of every link queue and
+// retransmission buffer. RingDeque grows to its high-water capacity once
+// and then never touches the allocator again.
+//
+// T must be default-constructible and move-assignable. pop_front()
+// assigns a default-constructed T into the vacated slot so RAII handles
+// (e.g. PooledPacket) release their resources immediately, not when the
+// slot is eventually overwritten.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+
+namespace emptcp::sim {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) { return slots_[wrap(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return slots_[wrap(head_ + i)]; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T& slot = slots_[wrap(head_ + size_)];
+    slot = T(std::forward<Args>(args)...);
+    ++size_;
+    return slot;
+  }
+
+  void pop_front() {
+    slots_[head_] = T();
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+    head_ = 0;
+  }
+
+  template <bool Const>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+    using reference = std::conditional_t<Const, const T&, T&>;
+    using Ring = std::conditional_t<Const, const RingDeque, RingDeque>;
+
+    Iter(Ring* ring, std::size_t i) : ring_(ring), i_(i) {}
+    reference operator*() const { return (*ring_)[i_]; }
+    pointer operator->() const { return &(*ring_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter t = *this;
+      ++i_;
+      return t;
+    }
+    bool operator==(const Iter& other) const = default;
+
+   private:
+    Ring* ring_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size_}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  // Capacity is a power of two so indices wrap with a mask.
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    return i & (capacity_ - 1);
+  }
+
+  void grow() {
+    const std::size_t cap = capacity_ == 0 ? 16 : capacity_ * 2;
+    auto next = std::make_unique<T[]>(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move((*this)[i]);
+    slots_ = std::move(next);
+    capacity_ = cap;
+    head_ = 0;
+  }
+
+  std::unique_ptr<T[]> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace emptcp::sim

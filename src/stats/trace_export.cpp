@@ -110,6 +110,16 @@ void append_event_jsonl(std::string& out, const trace::Event& e) {
       field_double(out, "mbps", e.d0);
       field_double(out, "extra", e.d1);
       break;
+    case trace::Kind::kFlowStart:
+      field_int(out, "flow", e.id);
+      field_int(out, "bytes", e.i0);
+      break;
+    case trace::Kind::kFlowComplete:
+      field_int(out, "flow", e.id);
+      field_int(out, "bytes", e.i0);
+      field_double(out, "fct_s", e.d0);
+      field_double(out, "energy_j", e.d1);
+      break;
     case trace::Kind::kWarning:
       field_str(out, "what", e.label);
       field_int(out, "v0", e.i0);

@@ -4,6 +4,37 @@
 
 namespace emptcp::tcp {
 
+namespace {
+// Bound on hoarded spare nodes; more simultaneous gaps than this (deep
+// loss episodes) falls back to the allocator.
+constexpr std::size_t kMaxSpareNodes = 16;
+}  // namespace
+
+IntervalReassembly::Map::iterator IntervalReassembly::discard(
+    Map::iterator it) {
+  auto next = std::next(it);
+  if (spares_.size() < kMaxSpareNodes) {
+    if (spares_.capacity() == 0) spares_.reserve(kMaxSpareNodes);
+    spares_.push_back(segments_.extract(it));
+  } else {
+    segments_.erase(it);
+  }
+  return next;
+}
+
+void IntervalReassembly::emplace_interval(std::uint64_t seq,
+                                          std::uint64_t end) {
+  if (!spares_.empty()) {
+    auto node = std::move(spares_.back());
+    spares_.pop_back();
+    node.key() = seq;
+    node.mapped() = end;
+    segments_.insert(std::move(node));
+  } else {
+    segments_.emplace(seq, end);
+  }
+}
+
 std::uint64_t IntervalReassembly::insert(std::uint64_t seq,
                                          std::uint64_t len) {
   if (len == 0) return 0;
@@ -11,30 +42,56 @@ std::uint64_t IntervalReassembly::insert(std::uint64_t seq,
   if (end <= cum_) return 0;  // stale duplicate
   seq = std::max(seq, cum_);
 
-  // Merge [seq, end) into the out-of-order set.
+  if (seq <= cum_) {
+    // In-order data: advance the cumulative point directly, consuming any
+    // buffered intervals it bridges. No map node is touched unless a gap
+    // actually closes, so the common case is allocation-free.
+    const std::uint64_t before = cum_;
+    cum_ = end;
+    auto head = segments_.begin();
+    while (head != segments_.end() && head->first <= cum_) {
+      cum_ = std::max(cum_, head->second);
+      head = discard(head);
+    }
+    return cum_ - before;
+  }
+
+  // Out of order. Grow an existing interval in place when possible —
+  // within one subflow data arrives in sequence, so an open gap's interval
+  // is extended on the right far more often than a new one is created.
   auto it = segments_.lower_bound(seq);
   if (it != segments_.begin()) {
     auto prev = std::prev(it);
     if (prev->second >= seq) {
-      seq = prev->first;
-      end = std::max(end, prev->second);
-      it = segments_.erase(prev);
+      if (end <= prev->second) return 0;  // fully contained duplicate
+      prev->second = end;
+      while (it != segments_.end() && it->first <= prev->second) {
+        prev->second = std::max(prev->second, it->second);
+        it = discard(it);
+      }
+      return 0;
     }
   }
-  while (it != segments_.end() && it->first <= end) {
+  if (it != segments_.end() && it->first <= end) {
+    // The new data extends `it` on the left (possibly swallowing later
+    // intervals). Keys are immutable, so rewrite the extracted node and
+    // reinsert it — same node, no allocation.
     end = std::max(end, it->second);
-    it = segments_.erase(it);
+    auto next = std::next(it);
+    while (next != segments_.end() && next->first <= end) {
+      end = std::max(end, next->second);
+      next = discard(next);
+    }
+    auto node = segments_.extract(it);
+    node.key() = seq;
+    node.mapped() = end;
+    segments_.insert(std::move(node));
+    return 0;
   }
-  segments_.emplace(seq, end);
 
-  // Advance the cumulative point through any now-contiguous intervals.
-  const std::uint64_t before = cum_;
-  auto head = segments_.begin();
-  while (head != segments_.end() && head->first <= cum_) {
-    cum_ = std::max(cum_, head->second);
-    head = segments_.erase(head);
-  }
-  return cum_ - before;
+  // Genuinely new disjoint interval; reuse a recycled node if present.
+  emplace_interval(seq, end);
+  return 0;
 }
 
 std::uint64_t IntervalReassembly::buffered_bytes() const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 namespace emptcp::tcp {
 
@@ -38,9 +39,21 @@ class IntervalReassembly {
   }
 
  private:
+  using Map = std::map<std::uint64_t, std::uint64_t>;
+
+  /// Removes `it`, stashing its node on the spare list for reuse; returns
+  /// the successor iterator.
+  Map::iterator discard(Map::iterator it);
+
+  /// Inserts [seq, end) as a fresh interval, reusing a spare node if any.
+  void emplace_interval(std::uint64_t seq, std::uint64_t end);
+
   std::uint64_t cum_;
   /// Out-of-order intervals: start -> end (exclusive), disjoint, all > cum_.
-  std::map<std::uint64_t, std::uint64_t> segments_;
+  Map segments_;
+  /// Recycled map nodes (bounded): the steady-state reorder pattern — gaps
+  /// open, fill and reopen continuously — then never touches the allocator.
+  std::vector<Map::node_type> spares_;
 };
 
 }  // namespace emptcp::tcp

@@ -20,13 +20,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/simulation.hpp"
 #include "sim/timer.hpp"
 #include "tcp/buffers.hpp"
@@ -272,7 +272,7 @@ class TcpSocket {
   // Send side. Sequence 0 is the SYN; application data starts at 1.
   std::uint64_t snd_una_ = 0;
   std::uint64_t snd_nxt_ = 0;
-  std::deque<TxSegment> retx_;
+  sim::RingDeque<TxSegment> retx_;
   std::uint64_t app_bytes_queued_ = 0;  ///< plain-TCP mode backlog
   std::uint64_t app_bytes_sent_ = 0;
   std::uint64_t app_bytes_acked_ = 0;

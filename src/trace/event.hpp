@@ -27,6 +27,8 @@ enum class Kind : std::uint8_t {
   kRadioState,    ///< radio power-state transition (idle/promo/active/tail)
   kEnergySample,  ///< one EnergyTracker sampling window for one interface
   kChannelRate,   ///< channel/link rate change (on-off, contention, walk)
+  kFlowStart,     ///< workload flow issued its request (fleet runs)
+  kFlowComplete,  ///< workload flow fully delivered; carries FCT + energy
   kWarning,       ///< anomaly worth surfacing (e.g. counter went backwards)
 };
 

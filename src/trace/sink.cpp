@@ -63,6 +63,8 @@ const char* to_string(Kind k) {
     case Kind::kRadioState: return "radio_state";
     case Kind::kEnergySample: return "energy_sample";
     case Kind::kChannelRate: return "channel_rate";
+    case Kind::kFlowStart: return "flow_start";
+    case Kind::kFlowComplete: return "flow_complete";
     case Kind::kWarning: return "warning";
   }
   return "?";

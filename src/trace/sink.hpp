@@ -190,6 +190,15 @@ class TraceSink {
                     double extra = 0.0) {
     push({t, Kind::kChannelRate, 0, what, nullptr, 0, 0, mbps, extra});
   }
+  void flow_start(sim::Time t, std::uint32_t flow, std::uint64_t bytes) {
+    push({t, Kind::kFlowStart, flow, nullptr, nullptr,
+          static_cast<std::int64_t>(bytes), 0, 0.0, 0.0});
+  }
+  void flow_complete(sim::Time t, std::uint32_t flow, std::uint64_t bytes,
+                     double fct_s, double energy_j_est) {
+    push({t, Kind::kFlowComplete, flow, nullptr, nullptr,
+          static_cast<std::int64_t>(bytes), 0, fct_s, energy_j_est});
+  }
   void warning(sim::Time t, const char* what, std::int64_t v0 = 0,
                std::int64_t v1 = 0) {
     push({t, Kind::kWarning, 0, what, nullptr, v0, v1, 0.0, 0.0});

@@ -1,0 +1,61 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emptcp::workload {
+
+std::uint64_t SizeDist::sample(sim::Rng& rng) const {
+  double bytes;
+  switch (kind) {
+    case Kind::kFixed:
+      return std::clamp(mean_bytes, min_bytes, max_bytes);
+    case Kind::kLognormal:
+      bytes = rng.lognormal(log_mu, log_sigma);
+      break;
+    case Kind::kPareto: {
+      // Inverse-CDF: x = x_m * (1 - u)^(-1/alpha), x_m = min_bytes.
+      const double u = rng.uniform(0.0, 1.0);
+      bytes = static_cast<double>(min_bytes) *
+              std::pow(1.0 - u, -1.0 / alpha);
+      break;
+    }
+    case Kind::kEmpirical: {
+      if (values.empty()) return std::clamp(mean_bytes, min_bytes, max_bytes);
+      const auto i = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(values.size()) - 1));
+      return std::clamp(values[i], min_bytes, max_bytes);
+    }
+    default:
+      return std::clamp(mean_bytes, min_bytes, max_bytes);
+  }
+  bytes = std::min(bytes, static_cast<double>(max_bytes));
+  const auto rounded = static_cast<std::uint64_t>(bytes);
+  return std::clamp(rounded, min_bytes, max_bytes);
+}
+
+double ArrivalProcess::next_start_s(sim::Rng& rng, double prev_s,
+                                    std::size_t index) const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return prev_s + rng.exponential(1.0 / rate_per_s);
+    case Kind::kDeterministic:
+      return prev_s + 1.0 / rate_per_s;
+    case Kind::kTrace:
+      if (index >= times_s.size()) return -1.0;
+      return times_s[index];
+  }
+  return -1.0;
+}
+
+double ThinkTime::sample_s(sim::Rng& rng) const {
+  switch (kind) {
+    case Kind::kNone: return 0.0;
+    case Kind::kFixed: return mean_s;
+    case Kind::kExponential:
+      return mean_s > 0.0 ? rng.exponential(mean_s) : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace emptcp::workload

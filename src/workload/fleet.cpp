@@ -1,0 +1,201 @@
+#include "workload/fleet.hpp"
+
+#include "app/bulk_download.hpp"
+#include "app/client_handle.hpp"
+#include "app/world.hpp"
+#include "trace/trace.hpp"
+
+namespace emptcp::workload {
+
+struct ClientFleet::Session {
+  std::size_t flows_done = 0;
+};
+
+ClientFleet::ClientFleet(FleetConfig cfg) : cfg_(std::move(cfg)) {}
+
+ClientFleet::~ClientFleet() = default;
+
+app::World& ClientFleet::world() { return *world_; }
+
+bool ClientFleet::budget_left() const {
+  const std::size_t budget = cfg_.total_flows();
+  return budget == 0 || started_ < budget;
+}
+
+void ClientFleet::start(std::uint64_t seed) {
+  world_ = std::make_unique<app::World>(cfg_.scenario, seed);
+  app::World& w = *world_;
+
+  app::FileServer::Config scfg;
+  scfg.port = app::kPort;
+  scfg.request_bytes = cfg_.scenario.request_bytes;
+  scfg.close_after_response = true;
+  // Connections are accepted in connect order (the request path is FIFO),
+  // so the server's connection index is the flow id; guard anyway so a
+  // stray extra connection gets an empty response instead of UB.
+  scfg.resolver = [this](std::size_t conn, std::size_t req) -> std::uint64_t {
+    if (req != 0 || conn >= records_.size()) return 0;
+    return records_[conn].bytes;
+  };
+  scfg.mptcp = app::make_mptcp_cfg(cfg_.scenario, true);
+  server_ = std::make_unique<app::FileServer>(w.sim, w.server,
+                                              std::move(scfg));
+
+  w.tracker.start();
+  w.start_dynamics();
+
+  if (cfg_.mode == FleetConfig::Mode::kClosed) {
+    sessions_.assign(cfg_.clients, Session{});
+    for (std::size_t c = 0; c < cfg_.clients && budget_left(); ++c) {
+      launch_flow(static_cast<std::uint32_t>(c));
+    }
+  } else {
+    last_arrival_s_ = 0.0;
+    schedule_next_arrival();
+  }
+}
+
+void ClientFleet::schedule_next_arrival() {
+  if (!budget_left()) {
+    arrivals_done_ = true;
+    return;
+  }
+  app::World& w = *world_;
+  const double next = cfg_.arrival.next_start_s(w.sim.rng(), last_arrival_s_,
+                                                arrivals_issued_);
+  if (next < 0.0) {  // trace schedule exhausted
+    arrivals_done_ = true;
+    return;
+  }
+  last_arrival_s_ = next;
+  const std::size_t index = arrivals_issued_++;
+  const auto client =
+      static_cast<std::uint32_t>(cfg_.clients > 0 ? index % cfg_.clients : 0);
+  sim::Time at = sim::from_seconds(next);
+  if (at < w.sim.now()) at = w.sim.now();
+  w.sim.at(at, [this, client] {
+    launch_flow(client);
+    schedule_next_arrival();
+  });
+}
+
+void ClientFleet::launch_flow(std::uint32_t client_index) {
+  app::World& w = *world_;
+  const auto flow_id = static_cast<std::uint32_t>(records_.size());
+
+  FlowRecord rec;
+  rec.id = flow_id;
+  rec.client = client_index;
+  rec.bytes = cfg_.flow_size.sample(w.sim.rng());
+  rec.start_s = sim::to_seconds(w.sim.now());
+  records_.push_back(rec);
+  energy_at_start_.push_back(w.tracker.total_j());
+  rx_at_start_.push_back(w.wifi_if->rx_bytes() + w.cell_if->rx_bytes());
+  ++started_;
+  EMPTCP_TRACE(w.sim, flow_start(w.sim.now(), flow_id, rec.bytes));
+
+  auto handle = app::make_client(w, cfg_.protocol);
+  app::ClientConnHandle* h = handle.get();
+  app::ClientConnHandle::Callbacks cb;
+  cb.on_established = [this, h] { h->send(cfg_.scenario.request_bytes); };
+  cb.on_eof = [this, h, flow_id] {
+    h->shutdown_write();
+    on_flow_done(flow_id);
+  };
+  h->set_callbacks(std::move(cb));
+  handles_.push_back(std::move(handle));
+  h->connect();
+}
+
+void ClientFleet::on_flow_done(std::uint32_t flow_id) {
+  app::World& w = *world_;
+  FlowRecord& rec = records_[flow_id];
+  rec.completed = true;
+  rec.end_s = sim::to_seconds(w.sim.now());
+  // Energy attribution under overlap: the device energy spent over the
+  // flow's lifetime, weighted by this flow's share of the bytes the device
+  // received in that span. Exact for non-overlapping flows; a fair split
+  // for concurrent ones.
+  const double de = w.tracker.total_j() - energy_at_start_[flow_id];
+  const std::uint64_t rx = w.wifi_if->rx_bytes() + w.cell_if->rx_bytes();
+  const std::uint64_t db = rx - rx_at_start_[flow_id];
+  rec.energy_j_est =
+      db > 0 ? de * (static_cast<double>(rec.bytes) /
+                     static_cast<double>(db))
+             : 0.0;
+  ++completed_;
+  EMPTCP_TRACE(w.sim, flow_complete(w.sim.now(), flow_id, rec.bytes,
+                                    rec.fct_s(), rec.energy_j_est));
+
+  if (cfg_.mode != FleetConfig::Mode::kClosed) return;
+  Session& s = sessions_[rec.client];
+  ++s.flows_done;
+  if (cfg_.flows_per_client != 0 && s.flows_done >= cfg_.flows_per_client) {
+    return;
+  }
+  const std::uint32_t client = rec.client;
+  const double think = cfg_.think.sample_s(w.sim.rng());
+  if (think <= 0.0) {
+    launch_flow(client);
+  } else {
+    w.sim.in(sim::from_seconds(think), [this, client] {
+      launch_flow(client);
+    });
+  }
+}
+
+void ClientFleet::run_until(double t_s) {
+  world_->sim.run_until(sim::from_seconds(t_s));
+}
+
+FleetMetrics ClientFleet::run(std::uint64_t seed) {
+  start(seed);
+  app::World& w = *world_;
+  const std::size_t budget = cfg_.total_flows();
+  app::advance_until(
+      w,
+      [&] {
+        if (cfg_.mode == FleetConfig::Mode::kOpen) {
+          return arrivals_done_ && completed_ >= started_;
+        }
+        return budget != 0 && completed_ >= budget;
+      },
+      cfg_.scenario.max_sim_time);
+  return finish();
+}
+
+FleetMetrics ClientFleet::finish() {
+  app::World& w = *world_;
+  const std::size_t budget = cfg_.total_flows();
+  const bool all_done =
+      cfg_.mode == FleetConfig::Mode::kOpen
+          ? (arrivals_done_ && completed_ >= started_ && started_ > 0)
+          : (budget != 0 && completed_ >= budget);
+  if (all_done) app::drain_tails(w, cfg_.scenario.max_drain);
+  w.tracker.stop();
+
+  FleetMetrics m;
+  m.flows_started = started_;
+  m.flows_completed = completed_;
+  std::uint64_t bytes = 0;
+  for (const FlowRecord& r : records_) {
+    if (!r.completed) continue;
+    bytes += r.bytes;
+    m.fct_hist.add(r.fct_s());
+    if (r.bytes > 0) m.epb_hist.add(r.energy_per_bit_uj());
+  }
+  if (cfg_.scenario.trace) {
+    // Fleet summary gauges, recorded before collect_core snapshots the
+    // registry so serialized traces carry the per-flow headline numbers.
+    trace::Metrics& reg = w.sim.trace().metrics();
+    reg.gauge("fleet.clients").set(static_cast<double>(cfg_.clients));
+    reg.gauge("fleet.flows_started").set(static_cast<double>(started_));
+    reg.gauge("fleet.flows_completed").set(static_cast<double>(completed_));
+  }
+  m.run = app::collect_core(w, all_done, sim::to_seconds(w.sim.now()), bytes,
+                            0);
+  m.flows = records_;
+  return m;
+}
+
+}  // namespace emptcp::workload

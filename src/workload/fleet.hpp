@@ -1,0 +1,132 @@
+// ClientFleet: a population of concurrent connections in one simulation.
+//
+// Scales the paper's single-connection testbed to N independent clients
+// (each its own eMPTCP / baseline-TCP connection) contending on the shared
+// WiFi/LTE bottlenecks of one World. Two driving disciplines:
+//   * closed loop — each client cycles request -> download -> think ->
+//     next request, the classic closed queueing model for user sessions;
+//   * open loop — an arrival process (Poisson / deterministic / trace)
+//     injects flows regardless of completions, the load model for
+//     aggregate-traffic experiments.
+//
+// Every flow issues a fresh connection against the shared FileServer with
+// a sampled size, and its completion yields a FlowRecord (FCT + estimated
+// energy share). Records feed the trace sink as flow_start/flow_complete
+// events, so campaign rollups rebuild per-flow FCT and energy-per-bit
+// distributions (analysis::LogHistogram) from the serialized trace alone.
+//
+// Determinism: all draws come from the World's seeded Rng in simulation
+// order, so fleet output is a pure function of (config, seed) — the same
+// guarantee single runs have, preserved under parallel replication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "app/scenario.hpp"
+#include "workload/distributions.hpp"
+
+namespace emptcp::app {
+struct World;
+class FileServer;
+class ClientConnHandle;
+}  // namespace emptcp::app
+
+namespace emptcp::workload {
+
+struct FleetConfig {
+  app::ScenarioConfig scenario;
+  app::Protocol protocol = app::Protocol::kEmptcp;
+
+  enum class Mode : std::uint8_t { kClosed, kOpen };
+  Mode mode = Mode::kClosed;
+
+  std::size_t clients = 8;          ///< concurrent sessions (closed loop)
+  std::size_t flows_per_client = 4; ///< flow budget per client; 0 = endless
+  SizeDist flow_size;
+  ThinkTime think;                  ///< closed loop only
+  ArrivalProcess arrival;           ///< open loop only
+
+  [[nodiscard]] std::size_t total_flows() const {
+    return flows_per_client == 0 ? 0 : clients * flows_per_client;
+  }
+};
+
+struct FlowRecord {
+  std::uint32_t id = 0;       ///< flow index == server connection index
+  std::uint32_t client = 0;
+  std::uint64_t bytes = 0;    ///< sampled (and served) response size
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool completed = false;
+  double energy_j_est = 0.0;  ///< device energy share (overlap-weighted)
+
+  [[nodiscard]] double fct_s() const { return end_s - start_s; }
+  [[nodiscard]] double energy_per_bit_uj() const {
+    return bytes > 0 ? energy_j_est * 1e6 / (static_cast<double>(bytes) * 8.0)
+                     : 0.0;
+  }
+};
+
+struct FleetMetrics {
+  app::RunMetrics run;           ///< world-level totals (shared semantics)
+  std::vector<FlowRecord> flows;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  analysis::LogHistogram fct_hist;      ///< completed-flow FCT (seconds)
+  analysis::LogHistogram epb_hist;      ///< completed-flow energy (µJ/bit)
+};
+
+class ClientFleet {
+ public:
+  explicit ClientFleet(FleetConfig cfg);
+  ~ClientFleet();
+
+  ClientFleet(const ClientFleet&) = delete;
+  ClientFleet& operator=(const ClientFleet&) = delete;
+
+  /// Runs the whole fleet to completion (flow budgets exhausted or
+  /// scenario.max_sim_time reached) and collects.
+  FleetMetrics run(std::uint64_t seed);
+
+  // Incremental driving, for harnesses that measure steady state
+  // (bench_micro): start() builds the world and launches the workload,
+  // run_until() advances, finish() collects. run() is the composition.
+  void start(std::uint64_t seed);
+  void run_until(double t_s);
+  FleetMetrics finish();
+
+  [[nodiscard]] app::World& world();
+  [[nodiscard]] std::uint64_t flows_started() const { return started_; }
+  [[nodiscard]] std::uint64_t flows_completed() const { return completed_; }
+
+ private:
+  struct Session;  ///< one closed-loop client's cycle state
+
+  void launch_flow(std::uint32_t client_index);
+  void on_flow_done(std::uint32_t flow_id);
+  void schedule_next_arrival();
+  [[nodiscard]] bool budget_left() const;
+
+  FleetConfig cfg_;
+  std::unique_ptr<app::World> world_;
+  std::unique_ptr<app::FileServer> server_;
+  std::vector<Session> sessions_;
+  std::vector<FlowRecord> records_;
+  // Flow handles stay alive until finish(): completion callbacks run on
+  // the connection's own stack, so destroying there would be use-after-free.
+  std::vector<std::unique_ptr<app::ClientConnHandle>> handles_;
+  // Energy/byte baselines captured at each flow's start, indexed by flow id
+  // (parallel to records_), for the overlap-weighted attribution.
+  std::vector<double> energy_at_start_;
+  std::vector<std::uint64_t> rx_at_start_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t arrivals_issued_ = 0;
+  double last_arrival_s_ = 0.0;
+  bool arrivals_done_ = false;  ///< open loop: no further arrivals coming
+};
+
+}  // namespace emptcp::workload

@@ -1,0 +1,58 @@
+# Tier-1 campaign smoke: run the committed smoke spec end to end (tiny
+# 2-protocol x 2-seed grid, seconds of wall clock), then re-run it and
+# require a full resume — no cell recomputed, byte-identical report.
+# Invoked by ctest with:
+#   -DCAMPAIGN_TOOL=<path to emptcp-campaign>
+#   -DSPEC=<examples/campaigns/smoke.spec>
+#   -DOUT_DIR=<scratch campaign directory>
+foreach(var CAMPAIGN_TOOL SPEC OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "campaign_smoke_gate: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+
+execute_process(
+  COMMAND ${CAMPAIGN_TOOL} --out ${OUT_DIR} ${SPEC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE first_report
+  ERROR_VARIABLE first_log)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "campaign_smoke_gate: first run failed (${rc}): "
+                      "${first_log}")
+endif()
+if(NOT first_log MATCHES "4 ran, 0 resumed")
+  message(FATAL_ERROR "campaign_smoke_gate: expected 4 fresh cells, got: "
+                      "${first_log}")
+endif()
+if(NOT first_report MATCHES "all digests and energy cross-checks ok")
+  message(FATAL_ERROR "campaign_smoke_gate: report integrity check failed:\n"
+                      "${first_report}")
+endif()
+if(NOT first_report MATCHES "== flows ")
+  message(FATAL_ERROR "campaign_smoke_gate: report lacks the per-flow "
+                      "distribution section:\n${first_report}")
+endif()
+
+# Second invocation: everything resumes from the ledger, and the rendered
+# report is byte-identical (same artifacts -> same report).
+execute_process(
+  COMMAND ${CAMPAIGN_TOOL} --out ${OUT_DIR} ${SPEC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE second_report
+  ERROR_VARIABLE second_log)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "campaign_smoke_gate: resume run failed (${rc}): "
+                      "${second_log}")
+endif()
+if(NOT second_log MATCHES "0 ran, 4 resumed")
+  message(FATAL_ERROR "campaign_smoke_gate: expected a full resume, got: "
+                      "${second_log}")
+endif()
+if(NOT first_report STREQUAL second_report)
+  message(FATAL_ERROR "campaign_smoke_gate: resumed report differs from the "
+                      "original")
+endif()
+
+message(STATUS "campaign_smoke_gate: run + resume + report all consistent")

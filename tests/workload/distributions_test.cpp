@@ -1,0 +1,136 @@
+// Workload distribution models: determinism, clamping, and the basic
+// statistical shape of each sampler.
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace emptcp::workload {
+namespace {
+
+TEST(SizeDistTest, FixedReturnsMeanClamped) {
+  sim::Rng rng(1);
+  SizeDist d;
+  d.kind = SizeDist::Kind::kFixed;
+  d.mean_bytes = 123456;
+  EXPECT_EQ(d.sample(rng), 123456u);
+
+  d.mean_bytes = 10;  // below min_bytes
+  d.min_bytes = 1024;
+  EXPECT_EQ(d.sample(rng), 1024u);
+}
+
+TEST(SizeDistTest, LognormalStaysInClampAndIsDeterministic) {
+  SizeDist d;
+  d.kind = SizeDist::Kind::kLognormal;
+  d.log_mu = 11.0;
+  d.log_sigma = 2.0;
+  d.min_bytes = 4096;
+  d.max_bytes = 1 << 24;
+  sim::Rng a(42);
+  sim::Rng b(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t va = d.sample(a);
+    EXPECT_GE(va, d.min_bytes);
+    EXPECT_LE(va, d.max_bytes);
+    EXPECT_EQ(va, d.sample(b));  // same seed, same draw order
+  }
+}
+
+TEST(SizeDistTest, ParetoRespectsScaleAndTail) {
+  SizeDist d;
+  d.kind = SizeDist::Kind::kPareto;
+  d.alpha = 1.2;
+  d.min_bytes = 10'000;
+  d.max_bytes = std::uint64_t{1} << 40;
+  sim::Rng rng(7);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = d.sample(rng);
+    EXPECT_GE(v, d.min_bytes);
+    max_seen = std::max(max_seen, v);
+  }
+  // Heavy tail: with 5000 draws at alpha=1.2 the max should far exceed
+  // the scale.
+  EXPECT_GT(max_seen, 10 * d.min_bytes);
+}
+
+TEST(SizeDistTest, EmpiricalPicksOnlyFromSupport) {
+  SizeDist d;
+  d.kind = SizeDist::Kind::kEmpirical;
+  d.values = {100'000, 200'000, 400'000};
+  d.min_bytes = 1;
+  sim::Rng rng(3);
+  bool saw[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = d.sample(rng);
+    const bool known =
+        v == 100'000u || v == 200'000u || v == 400'000u;
+    ASSERT_TRUE(known) << v;
+    if (v == 100'000u) saw[0] = true;
+    if (v == 200'000u) saw[1] = true;
+    if (v == 400'000u) saw[2] = true;
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+TEST(ArrivalProcessTest, DeterministicUsesFixedGap) {
+  ArrivalProcess a;
+  a.kind = ArrivalProcess::Kind::kDeterministic;
+  a.rate_per_s = 4.0;
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(a.next_start_s(rng, 1.0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(a.next_start_s(rng, 1.25, 1), 1.5);
+}
+
+TEST(ArrivalProcessTest, PoissonGapsAverageInverseRate) {
+  ArrivalProcess a;
+  a.kind = ArrivalProcess::Kind::kPoisson;
+  a.rate_per_s = 10.0;
+  sim::Rng rng(9);
+  double prev = 0.0;
+  double sum_gap = 0.0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double next = a.next_start_s(rng, prev, static_cast<std::size_t>(i));
+    EXPECT_GT(next, prev);
+    sum_gap += next - prev;
+    prev = next;
+  }
+  EXPECT_NEAR(sum_gap / kDraws, 0.1, 0.01);
+}
+
+TEST(ArrivalProcessTest, TraceFollowsScheduleThenExhausts) {
+  ArrivalProcess a;
+  a.kind = ArrivalProcess::Kind::kTrace;
+  a.times_s = {0.5, 1.0, 2.5};
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(a.next_start_s(rng, 0.0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(a.next_start_s(rng, 0.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.next_start_s(rng, 1.0, 2), 2.5);
+  EXPECT_LT(a.next_start_s(rng, 2.5, 3), 0.0);  // exhausted
+}
+
+TEST(ThinkTimeTest, Models) {
+  sim::Rng rng(5);
+  ThinkTime t;
+  EXPECT_DOUBLE_EQ(t.sample_s(rng), 0.0);  // kNone
+
+  t.kind = ThinkTime::Kind::kFixed;
+  t.mean_s = 1.5;
+  EXPECT_DOUBLE_EQ(t.sample_s(rng), 1.5);
+
+  t.kind = ThinkTime::Kind::kExponential;
+  t.mean_s = 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = t.sample_s(rng);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace emptcp::workload

@@ -1,0 +1,134 @@
+// emptcp-campaign: declarative multi-flow campaign runner.
+//
+//   emptcp-campaign [--out DIR] [--jobs N] [--no-report] SPEC
+//
+// Parses a campaign spec (JSON or key=value, see src/campaign/spec.hpp),
+// runs the protocol × fleet-size × seed grid on the replication thread
+// pool, and writes one `<label>.jsonl` + `<label>.manifest.json` artifact
+// pair per cell into the output directory — exactly the format
+// emptcp-report consumes. After the grid completes, the paper-style report
+// over every cell is rendered to stdout (suppress with --no-report).
+//
+// Campaigns are resumable: a `campaign.ledger` in the output directory
+// records each completed cell's trace digest. Re-invoking the same spec on
+// the same directory verifies the ledger against the artifacts and re-runs
+// only missing or corrupt cells; the final artifacts are byte-identical to
+// an uninterrupted run, regardless of worker count (--jobs / EMPTCP_JOBS).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/report_io.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace {
+
+using namespace emptcp;
+
+constexpr const char kUsage[] =
+    "usage: emptcp-campaign [--out DIR] [--jobs N] [--no-report] SPEC\n"
+    "       emptcp-campaign --help\n"
+    "\n"
+    "Runs the protocol x fleet-size x seed grid described by SPEC (JSON\n"
+    "or key=value lines) and writes per-cell trace + manifest artifacts\n"
+    "into DIR (default: campaign-out). Completed cells are recorded in\n"
+    "DIR/campaign.ledger; re-running the same spec resumes, re-running\n"
+    "only missing or corrupt cells. Unless --no-report is given, the\n"
+    "emptcp-report rendering over all cells is printed to stdout.\n";
+
+int usage_error(const std::string& complaint) {
+  if (!complaint.empty()) {
+    std::fprintf(stderr, "emptcp-campaign: %s\n", complaint.c_str());
+  }
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage_error("");
+  for (const std::string& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+  }
+
+  std::string out_dir = "campaign-out";
+  std::string spec_path;
+  std::size_t jobs = 0;  // 0 = pool default (cores, capped by EMPTCP_JOBS)
+  bool report = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) return usage_error("--out needs a directory");
+      out_dir = args[++i];
+    } else if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) return usage_error("--jobs needs a count");
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0' || v == 0) {
+        return usage_error("bad --jobs value: " + args[i]);
+      }
+      jobs = static_cast<std::size_t>(v);
+    } else if (args[i] == "--no-report") {
+      report = false;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("unknown option: " + args[i]);
+    } else if (spec_path.empty()) {
+      spec_path = args[i];
+    } else {
+      return usage_error("more than one SPEC given: " + args[i]);
+    }
+  }
+  if (spec_path.empty()) return usage_error("no SPEC file given");
+
+  campaign::CampaignSpec spec;
+  std::string err;
+  if (!campaign::load_campaign_spec(spec_path, spec, err)) {
+    std::fprintf(stderr, "emptcp-campaign: %s: %s\n", spec_path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "emptcp-campaign: %s: %zu protocol(s) x %zu fleet size(s) x "
+               "%zu seed(s) = %zu cell(s) -> %s\n",
+               spec.name.c_str(), spec.protocols.size(),
+               spec.fleet_sizes.size(), spec.seeds.size(), spec.cell_count(),
+               out_dir.c_str());
+
+  campaign::CampaignRunner runner(std::move(spec), out_dir);
+  campaign::CampaignResult result;
+  try {
+    result = runner.run(jobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emptcp-campaign: %s\n", e.what());
+    return 2;
+  }
+
+  for (const campaign::CellOutcome& o : result.cells) {
+    std::fprintf(stderr, "  %-7s %s\n",
+                 o.kind == campaign::CellOutcome::Kind::kResumed ? "resumed"
+                                                                 : "ran",
+                 o.cell.label.c_str());
+  }
+  std::fprintf(stderr, "emptcp-campaign: %zu ran, %zu resumed\n", result.ran,
+               result.resumed);
+
+  if (report) {
+    std::vector<analysis::AnalyzedRun> runs;
+    if (!analysis::load_analyzed_runs({out_dir}, runs, err)) {
+      std::fprintf(stderr, "emptcp-campaign: %s\n", err.c_str());
+      return 2;
+    }
+    const std::string rendered = analysis::render_report(std::move(runs));
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  }
+  return 0;
+}

@@ -3,10 +3,11 @@
 // Report mode:
 //   emptcp-report DIR [DIR...]
 // scans each directory for `*.manifest.json` (written by the benches under
-// EMPTCP_TRACE_DIR), loads the JSONL trace next to each manifest, verifies
-// its digest, and renders the paper-style report (per-run rollups,
-// mean±SEM aggregates, energy-per-bit table, quantiles/CDFs) to stdout.
-// Output is deterministic: same artifacts -> byte-identical report.
+// EMPTCP_TRACE_DIR and by emptcp-campaign), loads the JSONL trace next to
+// each manifest, verifies its digest, and renders the paper-style report
+// (per-run rollups, mean±SEM aggregates, energy-per-bit table,
+// quantiles/CDFs) to stdout. Output is deterministic: same artifacts ->
+// byte-identical report.
 //
 // Diff mode (the CI gate):
 //   emptcp-report --diff BASELINE.json CURRENT.json [--tol PAT=MODE:TOL...]
@@ -15,20 +16,30 @@
 // tolerance, 2 on usage/IO errors, 0 otherwise. User --tol rules are
 // prepended to the defaults, so they win on overlap. MODE is one of
 // ignore | exact | abs | factor | min (see analysis/report.hpp).
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "analysis/report_io.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
 using namespace emptcp;
+
+constexpr const char kUsage[] =
+    "usage: emptcp-report DIR [DIR...]\n"
+    "       emptcp-report --diff BASELINE.json CURRENT.json"
+    " [--tol PATTERN=MODE:TOL ...]\n"
+    "       emptcp-report --help\n"
+    "\n"
+    "Report mode renders the paper-style report over every\n"
+    "*.manifest.json (+ JSONL trace) found in the given directories.\n"
+    "Diff mode compares two flat JSON metric files under per-metric\n"
+    "tolerance rules (MODE: ignore|exact|abs|factor|min); exit 1 when\n"
+    "out of tolerance.\n";
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
@@ -39,128 +50,24 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: emptcp-report DIR [DIR...]\n"
-               "       emptcp-report --diff BASELINE.json CURRENT.json"
-               " [--tol PATTERN=MODE:TOL ...]\n");
+int usage_error(const char* complaint) {
+  if (complaint != nullptr) {
+    std::fprintf(stderr, "emptcp-report: %s\n", complaint);
+  }
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
-/// Streams one JSONL trace through the rollup builder chunk-by-chunk:
-/// digest and per-line fold in a single pass, O(chunk + one line) memory
-/// regardless of trace size (mobility traces run to hundreds of MB).
-bool stream_trace(const std::string& path, analysis::RollupBuilder& builder,
-                  std::string& digest_hex, std::string& err) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    err = "cannot open";
-    return false;
-  }
-  analysis::Fnv1a64Stream digest;
-  std::string chunk(1 << 20, '\0');
-  std::string carry;  // partial line from the previous chunk
-  std::size_t line_no = 0;
-  auto fold_line = [&](std::string_view line) {
-    ++line_no;
-    if (line.empty()) return true;
-    std::string perr;
-    const auto doc = analysis::parse_json_flat(line, &perr);
-    if (!doc) {
-      err = "line " + std::to_string(line_no) + ": " + perr;
-      return false;
-    }
-    builder.add_line(*doc);
-    return true;
-  };
-  while (in) {
-    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
-    const std::size_t got = static_cast<std::size_t>(in.gcount());
-    if (got == 0) break;
-    const std::string_view data(chunk.data(), got);
-    digest.update(data);
-    std::size_t pos = 0;
-    for (;;) {
-      const std::size_t nl = data.find('\n', pos);
-      if (nl == std::string_view::npos) {
-        carry.append(data.substr(pos));
-        break;
-      }
-      if (carry.empty()) {
-        if (!fold_line(data.substr(pos, nl - pos))) return false;
-      } else {
-        carry.append(data.substr(pos, nl - pos));
-        if (!fold_line(carry)) return false;
-        carry.clear();
-      }
-      pos = nl + 1;
-    }
-  }
-  if (!carry.empty() && !fold_line(carry)) return false;
-  digest_hex = digest.hex();
-  return true;
-}
-
 int run_report(const std::vector<std::string>& dirs) {
-  std::vector<std::string> manifest_paths;
-  for (const std::string& dir : dirs) {
-    std::error_code ec;
-    fs::directory_iterator it(dir, ec);
-    if (ec) {
-      std::fprintf(stderr, "emptcp-report: cannot read %s: %s\n", dir.c_str(),
-                   ec.message().c_str());
-      return 2;
-    }
-    for (const fs::directory_entry& e : it) {
-      const std::string name = e.path().filename().string();
-      if (name.size() > 14 &&
-          name.compare(name.size() - 14, 14, ".manifest.json") == 0) {
-        manifest_paths.push_back(e.path().string());
-      }
-    }
-  }
-  // Directory iteration order is unspecified; sort for determinism.
-  std::sort(manifest_paths.begin(), manifest_paths.end());
-  if (manifest_paths.empty()) {
-    std::fprintf(stderr, "emptcp-report: no *.manifest.json found\n");
+  std::vector<analysis::AnalyzedRun> runs;
+  std::string err;
+  if (!analysis::load_analyzed_runs(dirs, runs, err)) {
+    std::fprintf(stderr, "emptcp-report: %s\n", err.c_str());
     return 2;
   }
-
-  std::vector<analysis::AnalyzedRun> runs;
-  for (const std::string& path : manifest_paths) {
-    std::string text;
-    if (!read_file(path, text)) {
-      std::fprintf(stderr, "emptcp-report: cannot read %s\n", path.c_str());
-      return 2;
-    }
-    std::string err;
-    const auto doc = analysis::parse_json_flat(text, &err);
-    if (!doc) {
-      std::fprintf(stderr, "emptcp-report: %s: %s\n", path.c_str(),
-                   err.c_str());
-      return 2;
-    }
-    analysis::RunManifest manifest;
-    if (!analysis::manifest_from_json(*doc, manifest)) {
-      std::fprintf(stderr, "emptcp-report: %s: not a run manifest\n",
-                   path.c_str());
-      return 2;
-    }
-    const std::string trace_path =
-        (fs::path(path).parent_path() / manifest.trace_file).string();
-    analysis::RollupBuilder builder(manifest);
-    std::string digest_hex;
-    if (!stream_trace(trace_path, builder, digest_hex, err)) {
-      std::fprintf(stderr, "emptcp-report: %s: %s\n", trace_path.c_str(),
-                   err.c_str());
-      return 2;
-    }
-    analysis::AnalyzedRun run;
-    run.rollup = builder.finish();
-    run.power_windows = builder.power().windows();
-    run.digest_ok = digest_hex == manifest.trace_digest;
-    run.source = path;
-    runs.push_back(std::move(run));
+  if (runs.empty()) {
+    std::fprintf(stderr, "emptcp-report: no *.manifest.json found\n");
+    return 2;
   }
   const std::string report = analysis::render_report(std::move(runs));
   std::fwrite(report.data(), 1, report.size(), stdout);
@@ -172,7 +79,9 @@ int run_diff(const std::vector<std::string>& args) {
   std::vector<analysis::ToleranceRule> rules;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--tol") {
-      if (i + 1 >= args.size()) return usage();
+      if (i + 1 >= args.size()) {
+        return usage_error("--tol needs a PATTERN=MODE:TOL argument");
+      }
       analysis::ToleranceRule rule;
       if (!analysis::parse_tolerance(args[++i], rule)) {
         std::fprintf(stderr, "emptcp-report: bad --tol spec: %s\n",
@@ -180,11 +89,15 @@ int run_diff(const std::vector<std::string>& args) {
         return 2;
       }
       rules.push_back(std::move(rule));
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error(("unknown option: " + args[i]).c_str());
     } else {
       files.push_back(args[i]);
     }
   }
-  if (files.size() != 2) return usage();
+  if (files.size() != 2) {
+    return usage_error("--diff needs exactly BASELINE.json and CURRENT.json");
+  }
   for (auto& rule : analysis::default_bench_tolerances()) {
     rules.push_back(std::move(rule));
   }
@@ -217,12 +130,20 @@ int run_diff(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return usage();
+  if (args.empty()) return usage_error(nullptr);
+  for (const std::string& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+  }
   if (args[0] == "--diff") {
     return run_diff({args.begin() + 1, args.end()});
   }
   for (const std::string& a : args) {
-    if (a.rfind("--", 0) == 0) return usage();
+    if (!a.empty() && a[0] == '-') {
+      return usage_error(("unknown option: " + a).c_str());
+    }
   }
   return run_report(args);
 }
