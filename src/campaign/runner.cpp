@@ -152,6 +152,15 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
 }
 
 CampaignResult CampaignRunner::run(std::size_t workers) {
+  // Programmatic specs bypass load_campaign_spec's validation, and an
+  // empty grid would "succeed" having run nothing — fail loudly instead.
+  if (spec_.cell_count() == 0) {
+    throw std::invalid_argument(
+        "campaign: spec \"" + spec_.name +
+        "\" produces an empty cell grid (protocols x fleet_sizes x seeds "
+        "must all be non-empty)");
+  }
+
   std::error_code ec;
   fs::create_directories(out_dir_, ec);
   if (ec) {

@@ -222,6 +222,8 @@ bool apply_key(CampaignSpec& spec, const std::string& key,
       spec.workload.flow_size.kind = SizeDist::Kind::kPareto;
     } else if (k == "empirical") {
       spec.workload.flow_size.kind = SizeDist::Kind::kEmpirical;
+    } else if (k == "scheduled") {
+      spec.workload.flow_size.kind = SizeDist::Kind::kScheduled;
     } else {
       return bad_value("size distribution");
     }

@@ -1,0 +1,27 @@
+// The per-simulation attachment point for the invariant oracle.
+//
+// Instrumented protocol objects (TcpSocket, MptcpConnection, LiaCoupledCc)
+// cache a pointer to their simulation's Hub at construction time; every
+// hook site is then one pointer load plus a branch when no oracle is
+// attached, cheap enough to leave compiled into the hot paths permanently.
+// The Hub itself lives in sim::Simulation::context<T>() storage, so it is
+// created lazily, owned by the simulation, and torn down after the
+// scheduler — the same lifetime contract the trace sink follows.
+//
+// Only check/oracle.hpp defines Oracle; hook sites include this header
+// (header-light) and pull the oracle declaration into their .cpp only.
+#pragma once
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::check {
+
+class Oracle;
+
+struct Hub {
+  Oracle* oracle = nullptr;
+};
+
+inline Hub& hub(sim::Simulation& sim) { return sim.context<Hub>(); }
+
+}  // namespace emptcp::check

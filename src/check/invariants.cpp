@@ -1,0 +1,85 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace emptcp::check {
+
+bool lia_increase_within_bound(const LiaSample& s) {
+  if (s.increase == 0) return false;  // the floor guarantees progress
+  if (s.own_cwnd == 0 || s.total_cwnd == 0) {
+    // Degenerate windows take the early-return path: exactly the floor.
+    return s.increase == 1;
+  }
+  // Recompute the uncoupled NewReno increase in the same double arithmetic
+  // the controller uses; the cast truncates, so the implementation's value
+  // can never exceed floor(reno) unless the one-byte floor applied.
+  const double reno = static_cast<double>(s.acked_bytes) *
+                      static_cast<double>(s.mss) /
+                      static_cast<double>(s.own_cwnd);
+  const auto bound =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(reno), 1);
+  return s.increase <= bound;
+}
+
+bool cwnd_bounds_ok(std::uint64_t cwnd, std::uint64_t ssthresh,
+                    std::uint32_t mss, std::uint64_t max_cwnd) {
+  if (mss == 0) return false;
+  return cwnd >= mss && cwnd <= max_cwnd && ssthresh >= mss;
+}
+
+namespace {
+
+/// TcpState names in tcp::to_string order; index doubles as the state id.
+constexpr const char* kTcpStates[] = {
+    "CLOSED",   "SYN_SENT",   "SYN_RCVD", "ESTABLISHED",
+    "FIN_WAIT", "CLOSE_WAIT", "LAST_ACK", "DONE",
+};
+constexpr int kTcpStateCount = 8;
+
+int tcp_state_index(const char* name) {
+  if (name == nullptr) return -1;
+  for (int i = 0; i < kTcpStateCount; ++i) {
+    if (std::strcmp(name, kTcpStates[i]) == 0) return i;
+  }
+  return -1;
+}
+
+// Adjacency of the legal transitions, mirroring TcpSocket: every change
+// funnels through transition(), and finish() may jump to DONE from any
+// live state (failure, RST, abort).
+constexpr bool kTcpLegal[kTcpStateCount][kTcpStateCount] = {
+    // to: CLOSED SYN_SENT SYN_RCVD ESTAB FIN_WAIT CLOSE_WAIT LAST_ACK DONE
+    {false, true, true, false, false, false, false, true},    // CLOSED
+    {false, false, false, true, false, false, false, true},   // SYN_SENT
+    {false, false, false, true, false, false, false, true},   // SYN_RCVD
+    {false, false, false, false, true, true, false, true},    // ESTABLISHED
+    {false, false, false, false, false, false, false, true},  // FIN_WAIT
+    {false, false, false, false, false, false, true, true},   // CLOSE_WAIT
+    {false, false, false, false, false, false, false, true},  // LAST_ACK
+    {false, false, false, false, false, false, false, false}, // DONE
+};
+
+}  // namespace
+
+bool tcp_transition_ok(const char* from, const char* to) {
+  const int f = tcp_state_index(from);
+  const int t = tcp_state_index(to);
+  if (f < 0 || t < 0) return false;
+  return kTcpLegal[f][t];
+}
+
+bool mode_transition_ok(const char* from, const char* to,
+                        bool allow_cell_only) {
+  const auto known = [](const char* name) {
+    return name != nullptr && (std::strcmp(name, "wifi-only") == 0 ||
+                               std::strcmp(name, "both") == 0 ||
+                               std::strcmp(name, "cell-only") == 0);
+  };
+  if (!known(from) || !known(to)) return false;
+  if (std::strcmp(from, to) == 0) return false;  // only changes are traced
+  if (!allow_cell_only && std::strcmp(to, "cell-only") == 0) return false;
+  return true;
+}
+
+}  // namespace emptcp::check

@@ -1,0 +1,47 @@
+// Pure invariant predicates shared by the oracle and the unit tests.
+//
+// Each predicate states one machine-checkable protocol property as a
+// function of plain values, with no simulator dependencies, so the oracle
+// (checking live runs) and the property tests (checking randomized vectors)
+// evaluate literally the same definition. See DESIGN.md §10 for the
+// catalog.
+#pragma once
+
+#include <cstdint>
+
+namespace emptcp::check {
+
+/// One LIA congestion-avoidance increase as observed inside the coupled
+/// controller (mptcp::LiaCoupledCc::ca_increase).
+struct LiaSample {
+  std::uint64_t acked_bytes = 0;
+  std::uint32_t mss = 0;
+  std::uint64_t own_cwnd = 0;    ///< this subflow's cwnd (bytes)
+  std::uint64_t total_cwnd = 0;  ///< sum over coupled subflows (bytes)
+  double alpha = 0.0;            ///< RFC 6356 §4 aggressiveness factor
+  std::uint64_t increase = 0;    ///< bytes actually added to cwnd
+};
+
+/// RFC 6356 §3: the coupled increase never exceeds what an uncoupled
+/// NewReno flow would add on the same path (acked*mss/cwnd_i), modulo the
+/// one-byte floor the implementation applies so tiny windows still grow.
+[[nodiscard]] bool lia_increase_within_bound(const LiaSample& s);
+
+/// Congestion-window sanity: cwnd stays within [mss, max_cwnd] and
+/// ssthresh never collapses below one segment.
+[[nodiscard]] bool cwnd_bounds_ok(std::uint64_t cwnd, std::uint64_t ssthresh,
+                                  std::uint32_t mss, std::uint64_t max_cwnd);
+
+/// Legality of a TcpSocket state-machine transition, by the state names
+/// tcp::to_string(TcpState) produces (the form trace events carry).
+/// Unknown names and self-transitions are illegal.
+[[nodiscard]] bool tcp_transition_ok(const char* from, const char* to);
+
+/// Legality of a PathUsageController mode change, by the names
+/// core::to_string(PathUsage) produces. The controller only announces
+/// actual changes (no self-edges) and may enter "cell-only" only when the
+/// configuration allows it.
+[[nodiscard]] bool mode_transition_ok(const char* from, const char* to,
+                                      bool allow_cell_only);
+
+}  // namespace emptcp::check

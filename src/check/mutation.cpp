@@ -1,0 +1,41 @@
+#include "check/mutation.hpp"
+
+#include <atomic>
+
+namespace emptcp::check {
+
+namespace {
+std::atomic<Mutation> g_mutation{Mutation::kNone};
+}  // namespace
+
+Mutation active_mutation() {
+  return g_mutation.load(std::memory_order_relaxed);
+}
+
+void set_mutation(Mutation m) {
+  g_mutation.store(m, std::memory_order_relaxed);
+}
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kReassemblyDupDeliver: return "reassembly-dup-deliver";
+    case Mutation::kSchedulerIgnoreBackup: return "scheduler-ignore-backup";
+  }
+  return "?";
+}
+
+bool mutation_from_string(std::string_view name, Mutation& out) {
+  if (name == "none") {
+    out = Mutation::kNone;
+  } else if (name == "reassembly-dup-deliver") {
+    out = Mutation::kReassemblyDupDeliver;
+  } else if (name == "scheduler-ignore-backup") {
+    out = Mutation::kSchedulerIgnoreBackup;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace emptcp::check

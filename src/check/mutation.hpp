@@ -1,0 +1,48 @@
+// Deliberate-fault injection for mutation-testing the oracle.
+//
+// A mutation flips one known-correct line of protocol logic at runtime so
+// the fuzz harness can prove the invariant oracle actually detects the
+// class of bug it claims to (ISSUE acceptance: an injected reassembly bug
+// must be caught with a replayable repro). The selector is process-global —
+// mutated runs are executed with a single worker; see emptcp-fuzz.
+#pragma once
+
+#include <string_view>
+
+namespace emptcp::check {
+
+enum class Mutation {
+  kNone,
+  /// IntervalReassembly::insert reports stale duplicates (segments entirely
+  /// below the cumulative point) as freshly delivered bytes, breaking
+  /// exactly-once delivery the way a missing sequence comparison would.
+  kReassemblyDupDeliver,
+  /// SubflowScheduler::eligible stops suppressing backup subflows, so
+  /// fresh data is striped onto MP_PRIO-backup paths while regular ones
+  /// are usable — the bug eMPTCP's single-path mode depends on not having.
+  kSchedulerIgnoreBackup,
+};
+
+[[nodiscard]] Mutation active_mutation();
+void set_mutation(Mutation m);
+
+[[nodiscard]] const char* to_string(Mutation m);
+/// Parses a mutation name ("none", "reassembly-dup-deliver",
+/// "scheduler-ignore-backup"); returns false on unknown names.
+bool mutation_from_string(std::string_view name, Mutation& out);
+
+/// Scoped install/restore, for tests.
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(Mutation m) : prev_(active_mutation()) {
+    set_mutation(m);
+  }
+  ~ScopedMutation() { set_mutation(prev_); }
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+
+ private:
+  Mutation prev_;
+};
+
+}  // namespace emptcp::check

@@ -26,6 +26,7 @@ void EnergyTracker::track(net::NetworkInterface& iface, RadioModel& radio) {
 
 void EnergyTracker::start() {
   running_ = true;
+  ++epoch_;  // retire any tick chain a previous start() left scheduled
   started_at_ = sim_.now();
   for (Entry& e : entries_) {
     e.last_bytes = e.iface->tx_bytes() + e.iface->rx_bytes();
@@ -34,11 +35,11 @@ void EnergyTracker::start() {
     e.start_rx_bytes = e.iface->rx_bytes();
     e.last_state = e.radio->state_at(sim_.now());
   }
-  sim_.in(cfg_.sample, [this] { tick(); });
+  sim_.in(cfg_.sample, [this, epoch = epoch_] { tick(epoch); });
 }
 
-void EnergyTracker::tick() {
-  if (!running_) return;
+void EnergyTracker::tick(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
   const sim::Time now = sim_.now();
   const double window_s = sim::to_seconds(cfg_.sample);
 
@@ -94,7 +95,7 @@ void EnergyTracker::tick() {
     energy_series_.push_back(SeriesPoint{sim::to_seconds(now), total_j()});
   }
   ++sample_index_;
-  sim_.in(cfg_.sample, [this] { tick(); });
+  sim_.in(cfg_.sample, [this, epoch] { tick(epoch); });
 }
 
 double EnergyTracker::total_j() const {

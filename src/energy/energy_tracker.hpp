@@ -50,10 +50,17 @@ class EnergyTracker {
   /// a reference; the radio must outlive it.
   void track(net::NetworkInterface& iface, RadioModel& radio);
 
-  /// Starts periodic sampling.
+  /// Starts periodic sampling. Restarting after stop() begins a fresh
+  /// sampling chain; the epoch guard below retires the old one.
   void start();
-  /// Stops sampling (totals remain queryable).
-  void stop() { running_ = false; }
+  /// Stops sampling (totals remain queryable). Bumping the epoch turns the
+  /// already-scheduled next tick into a no-op — otherwise a stop()/start()
+  /// cycle leaves two live tick chains, double-integrating energy and
+  /// emitting duplicate sample timestamps.
+  void stop() {
+    running_ = false;
+    ++epoch_;
+  }
 
   [[nodiscard]] double total_j() const;
   [[nodiscard]] double iface_j(net::InterfaceType t) const;
@@ -85,7 +92,7 @@ class EnergyTracker {
     std::vector<RatePoint> rates;
   };
 
-  void tick();
+  void tick(std::uint64_t epoch);
   [[nodiscard]] const Entry* find(net::InterfaceType t) const;
 
   sim::Simulation& sim_;
@@ -93,6 +100,7 @@ class EnergyTracker {
   trace::Counter* ctr_clamped_ = nullptr;  ///< backwards byte-counter windows
   std::vector<Entry> entries_;
   bool running_ = false;
+  std::uint64_t epoch_ = 0;  ///< invalidates stale scheduled ticks
   double platform_mj_ = 0.0;
   std::vector<SeriesPoint> energy_series_;
   std::size_t sample_index_ = 0;

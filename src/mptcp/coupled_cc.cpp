@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/hub.hpp"
+#include "check/oracle.hpp"
+
 namespace emptcp::mptcp {
 
 namespace {
@@ -46,10 +49,18 @@ std::uint64_t LiaCoupledCc::ca_increase(std::uint64_t acked_bytes) {
   if (total <= 0.0 || own <= 0.0) return 1;
   const double mss = static_cast<double>(cfg_.mss);
   const double acked = static_cast<double>(acked_bytes);
-  const double coupled = state_.alpha() * acked * mss / total;
+  const double alpha = state_.alpha();
+  const double coupled = alpha * acked * mss / total;
   const double reno = acked * mss / own;
   const auto inc = static_cast<std::uint64_t>(std::min(coupled, reno));
-  return std::max<std::uint64_t>(inc, 1);
+  const std::uint64_t result = std::max<std::uint64_t>(inc, 1);
+  if (chk_ != nullptr) {
+    if (check::Oracle* oracle = chk_->oracle) {
+      oracle->on_lia_increase({acked_bytes, cfg_.mss, cwnd(),
+                               state_.total_cwnd(), alpha, result});
+    }
+  }
+  return result;
 }
 
 }  // namespace emptcp::mptcp

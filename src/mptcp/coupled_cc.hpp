@@ -20,6 +20,10 @@
 #include "sim/time.hpp"
 #include "tcp/cc.hpp"
 
+namespace emptcp::check {
+struct Hub;
+}
+
 namespace emptcp::mptcp {
 
 class LiaCoupledCc;
@@ -50,11 +54,16 @@ class LiaCoupledCc final : public tcp::CongestionControl {
   LiaCoupledCc(Config cfg, LiaState& state)
       : tcp::CongestionControl(cfg), state_(state) {}
 
+  /// Lets the invariant oracle observe every coupled increase. The
+  /// meta-socket wires its simulation's hub in at creation.
+  void set_check_hub(check::Hub* hub) { chk_ = hub; }
+
  protected:
   std::uint64_t ca_increase(std::uint64_t acked_bytes) override;
 
  private:
   LiaState& state_;
+  check::Hub* chk_ = nullptr;
 };
 
 }  // namespace emptcp::mptcp

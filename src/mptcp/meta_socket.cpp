@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "check/hub.hpp"
+#include "check/oracle.hpp"
 #include "sim/logging.hpp"
 #include "trace/trace.hpp"
 
@@ -31,7 +33,8 @@ MptcpConnection::MptcpConnection(sim::Simulation& sim, net::Node& node,
       cfg_(std::move(cfg)),
       scheduler_(std::make_unique<MinRttScheduler>()),
       ctr_reinjected_(
-          &sim.trace().metrics().counter("mptcp.reinjected_chunks")) {}
+          &sim.trace().metrics().counter("mptcp.reinjected_chunks")),
+      chk_(&check::hub(sim)) {}
 
 MptcpConnection::~MptcpConnection() = default;
 
@@ -120,6 +123,7 @@ Subflow& MptcpConnection::create_subflow(
   tcp::CongestionControl* coupled = nullptr;
   if (cfg_.coupled_cc) {
     auto cc = std::make_unique<LiaCoupledCc>(cfg_.subflow.cc, lia_);
+    cc->set_check_hub(chk_);
     coupled = cc.get();
     sock->set_congestion_control(std::move(cc));
     lia_.add_member({static_cast<LiaCoupledCc*>(coupled),
@@ -196,6 +200,7 @@ std::optional<tcp::TcpSocket::Chunk> MptcpConnection::pull_chunk(
   if (max_len == 0) return std::nullopt;
   if (!scheduler_->eligible(sf, subflows())) return std::nullopt;
 
+  const bool fresh = reinject_.empty();
   DataChunk chunk;
   if (!reinject_.empty()) {
     DataChunk& front = reinject_.front();
@@ -217,6 +222,18 @@ std::optional<tcp::TcpSocket::Chunk> MptcpConnection::pull_chunk(
   }
 
   sf.outstanding().push_back(chunk);
+  if (check::Oracle* oracle = chk_->oracle) {
+    bool other_regular = false;
+    for (const Subflow* other : subflow_view_) {
+      if (other != &sf && other->usable() && !other->backup()) {
+        other_regular = true;
+        break;
+      }
+    }
+    oracle->on_dss_assign({this, chunk.data_seq, chunk.len, fresh,
+                           sf.usable(), sf.backup(), other_regular,
+                           sf.id()});
+  }
   EMPTCP_TRACE(sim_, sched_pick(sim_.now(),
                                 static_cast<std::uint32_t>(sf.id()),
                                 net::to_string(sf.iface()), chunk.data_seq,

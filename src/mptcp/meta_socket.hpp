@@ -33,6 +33,10 @@
 #include "tcp/buffers.hpp"
 #include "tcp/tcp_socket.hpp"
 
+namespace emptcp::check {
+struct Hub;
+}
+
 namespace emptcp::mptcp {
 
 /// Operating modes (paper §2.1).
@@ -166,6 +170,8 @@ class MptcpConnection {
   std::unique_ptr<SubflowScheduler> scheduler_;
   LiaState lia_;
   trace::Counter* ctr_reinjected_ = nullptr;  ///< reinjected data chunks
+  /// Invariant-oracle attachment point (see check/hub.hpp).
+  check::Hub* chk_ = nullptr;
   std::vector<std::unique_ptr<Subflow>> subflows_;
   /// Raw-pointer view of `subflows_`, maintained alongside it so the hot
   /// scheduling paths never materialise a fresh vector.

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "check/mutation.hpp"
+
 namespace emptcp::mptcp {
 
 bool SubflowScheduler::eligible(const Subflow& sf,
                                 const std::vector<Subflow*>& all) const {
   if (!sf.usable()) return false;
   if (!sf.backup()) return true;
+  if (check::active_mutation() == check::Mutation::kSchedulerIgnoreBackup) {
+    return true;  // injected fault: backup suppression disabled
+  }
   // Backup subflows carry data only when no regular subflow is usable.
   return std::none_of(all.begin(), all.end(), [](const Subflow* other) {
     return other->usable() && !other->backup();

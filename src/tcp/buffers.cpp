@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/mutation.hpp"
+
 namespace emptcp::tcp {
 
 namespace {
@@ -39,7 +41,12 @@ std::uint64_t IntervalReassembly::insert(std::uint64_t seq,
                                          std::uint64_t len) {
   if (len == 0) return 0;
   std::uint64_t end = seq + len;
-  if (end <= cum_) return 0;  // stale duplicate
+  if (end <= cum_) {
+    if (check::active_mutation() == check::Mutation::kReassemblyDupDeliver) {
+      return len;  // injected fault: stale duplicates "deliver" again
+    }
+    return 0;  // stale duplicate
+  }
   seq = std::max(seq, cum_);
 
   if (seq <= cum_) {

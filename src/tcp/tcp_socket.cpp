@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/hub.hpp"
+#include "check/oracle.hpp"
 #include "sim/logging.hpp"
 #include "trace/trace.hpp"
 
@@ -31,7 +33,8 @@ TcpSocket::TcpSocket(sim::Simulation& sim, net::Node& node, Config cfg)
       ctr_retransmits_(&sim.trace().metrics().counter("tcp.retransmits")),
       ctr_rtos_(&sim.trace().metrics().counter("tcp.rtos")),
       ctr_fast_recoveries_(
-          &sim.trace().metrics().counter("tcp.fast_recoveries")) {}
+          &sim.trace().metrics().counter("tcp.fast_recoveries")),
+      chk_(&check::hub(sim)) {}
 
 void TcpSocket::transition(TcpState next) {
   EMPTCP_TRACE(sim_, tcp_state(sim_.now(), key_.local_port,
@@ -340,6 +343,12 @@ void TcpSocket::process_ack(const net::Packet& pkt) {
     }
     retransmit_holes();  // fill any remaining marked holes first
 
+    if (check::Oracle* oracle = chk_->oracle) {
+      oracle->on_tcp_ack({snd_una_, snd_nxt_, bytes_in_flight(),
+                          sacked_bytes_, lost_bytes_, cc_->cwnd(),
+                          key_.local_port});
+    }
+
     if (app_acked > 0) {
       app_bytes_acked_ += app_acked;
       if (cb_.on_bytes_acked) cb_.on_bytes_acked(app_acked);
@@ -389,6 +398,10 @@ void TcpSocket::process_payload(const net::Packet& pkt) {
     if (newly > 0) {
       app_bytes_received_ += newly;
       if (cb_.on_data) cb_.on_data(newly);
+    }
+    if (check::Oracle* oracle = chk_->oracle) {
+      oracle->on_tcp_rx(app_bytes_received_, rcv_.cumulative(),
+                        key_.local_port);
     }
   }
 

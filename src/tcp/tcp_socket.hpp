@@ -33,6 +33,10 @@
 #include "tcp/cc.hpp"
 #include "tcp/rtt.hpp"
 
+namespace emptcp::check {
+struct Hub;
+}
+
 namespace emptcp::tcp {
 
 enum class TcpState {
@@ -268,6 +272,9 @@ class TcpSocket {
   trace::Counter* ctr_retransmits_ = nullptr;
   trace::Counter* ctr_rtos_ = nullptr;
   trace::Counter* ctr_fast_recoveries_ = nullptr;
+  /// Invariant-oracle attachment point (see check/hub.hpp); cached so each
+  /// hook site is one load + branch when no oracle is attached.
+  check::Hub* chk_ = nullptr;
 
   // Send side. Sequence 0 is the SYN; application data starts at 1.
   std::uint64_t snd_una_ = 0;

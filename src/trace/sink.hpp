@@ -122,26 +122,35 @@ class FlightRecorder {
   std::uint64_t total_ = 0;
 };
 
+/// Out-of-band consumer of every recorded event, invoked synchronously
+/// from push(). The invariant oracle (check::Oracle) attaches through
+/// this to watch live runs without perturbing retention or determinism.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_trace_event(const Event& e) = 0;
+};
+
 class TraceSink {
  public:
   /// The one hot-path query; instrumentation macros branch on it. True when
-  /// anything wants the record: full event retention (enabled) or the
-  /// always-on flight recorder.
+  /// anything wants the record: full event retention (enabled), the
+  /// always-on flight recorder, or an attached observer.
   [[nodiscard]] bool recording() const { return recording_; }
 
   /// Full event retention (the exported trace stream).
   [[nodiscard]] bool enabled() const { return enabled_; }
   void enable(bool on = true) {
     enabled_ = on;
-    recording_ = enabled_ || flight_on_;
+    recompute_recording();
   }
 
   /// The bounded flight-recorder ring; on by default. Turning it off (with
-  /// retention also off) reduces every instrumentation site to a cached
-  /// bool load and branch.
+  /// retention also off and no observer) reduces every instrumentation
+  /// site to a cached bool load and branch.
   void flight_enable(bool on = true) {
     flight_on_ = on;
-    recording_ = enabled_ || flight_on_;
+    recompute_recording();
   }
   [[nodiscard]] bool flight_enabled() const { return flight_on_; }
   [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
@@ -208,6 +217,16 @@ class TraceSink {
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   void clear() { events_.clear(); }
 
+  /// Installs an event observer; returns the previous one so callers can
+  /// save/restore LIFO-style. Pass nullptr to remove.
+  EventObserver* set_observer(EventObserver* obs) {
+    EventObserver* prev = observer_;
+    observer_ = obs;
+    recompute_recording();
+    return prev;
+  }
+  [[nodiscard]] EventObserver* observer() const { return observer_; }
+
   Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
 
@@ -215,11 +234,17 @@ class TraceSink {
   void push(const Event& e) {
     if (enabled_) events_.push_back(e);
     if (flight_on_) flight_.record(e);
+    if (observer_ != nullptr) observer_->on_trace_event(e);
+  }
+
+  void recompute_recording() {
+    recording_ = enabled_ || flight_on_ || observer_ != nullptr;
   }
 
   bool enabled_ = false;
   bool flight_on_ = true;
-  bool recording_ = true;  ///< enabled_ || flight_on_, cached for the gate
+  bool recording_ = true;  ///< any consumer active, cached for the gate
+  EventObserver* observer_ = nullptr;
   std::vector<Event> events_;
   FlightRecorder flight_;
   Metrics metrics_;

@@ -5,11 +5,14 @@
 
 namespace emptcp::workload {
 
-std::uint64_t SizeDist::sample(sim::Rng& rng) const {
+std::uint64_t SizeDist::sample(sim::Rng& rng, std::size_t index) const {
   double bytes;
   switch (kind) {
     case Kind::kFixed:
       return std::clamp(mean_bytes, min_bytes, max_bytes);
+    case Kind::kScheduled:
+      if (values.empty()) return std::clamp(mean_bytes, min_bytes, max_bytes);
+      return std::clamp(values[index % values.size()], min_bytes, max_bytes);
     case Kind::kLognormal:
       bytes = rng.lognormal(log_mu, log_sigma);
       break;

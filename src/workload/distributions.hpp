@@ -24,6 +24,10 @@ struct SizeDist {
     kLognormal,  ///< lognormal(log_mu, log_sigma) in bytes
     kPareto,     ///< Pareto(scale=min_bytes, shape=alpha); heavy tail
     kEmpirical,  ///< uniform pick from `values`
+    kScheduled,  ///< values[index % size], no rng draw — flow sizes become
+                 ///< a pure function of the flow index, which is what lets
+                 ///< the fuzzer's differential mode compare protocols on
+                 ///< identical workloads
   };
 
   Kind kind = Kind::kFixed;
@@ -33,9 +37,12 @@ struct SizeDist {
   double alpha = 1.2;                  ///< kPareto shape (tail heaviness)
   std::uint64_t min_bytes = 1024;
   std::uint64_t max_bytes = std::uint64_t{1} << 32;
-  std::vector<std::uint64_t> values;   ///< kEmpirical support
+  std::vector<std::uint64_t> values;   ///< kEmpirical/kScheduled support
 
-  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+  /// `index` is the flow index; only kScheduled consults it (and draws
+  /// nothing from `rng`, like kFixed).
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng,
+                                     std::size_t index = 0) const;
 };
 
 /// Flow inter-arrival model (open-loop fleets).

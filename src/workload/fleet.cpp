@@ -30,9 +30,11 @@ void ClientFleet::start(std::uint64_t seed) {
   scfg.port = app::kPort;
   scfg.request_bytes = cfg_.scenario.request_bytes;
   scfg.close_after_response = true;
-  // Connections are accepted in connect order (the request path is FIFO),
-  // so the server's connection index is the flow id; guard anyway so a
-  // stray extra connection gets an empty response instead of UB.
+  // Flows identify themselves via the app tag (flow id + 1): accept order
+  // only matches connect order on loss-free paths — a dropped SYN makes a
+  // later flow's connection arrive first and would permute the served
+  // sizes. Guard the range so a stray connection gets an empty response
+  // instead of UB.
   scfg.resolver = [this](std::size_t conn, std::size_t req) -> std::uint64_t {
     if (req != 0 || conn >= records_.size()) return 0;
     return records_[conn].bytes;
@@ -86,7 +88,7 @@ void ClientFleet::launch_flow(std::uint32_t client_index) {
   FlowRecord rec;
   rec.id = flow_id;
   rec.client = client_index;
-  rec.bytes = cfg_.flow_size.sample(w.sim.rng());
+  rec.bytes = cfg_.flow_size.sample(w.sim.rng(), flow_id);
   rec.start_s = sim::to_seconds(w.sim.now());
   records_.push_back(rec);
   energy_at_start_.push_back(w.tracker.total_j());
@@ -95,6 +97,7 @@ void ClientFleet::launch_flow(std::uint32_t client_index) {
   EMPTCP_TRACE(w.sim, flow_start(w.sim.now(), flow_id, rec.bytes));
 
   auto handle = app::make_client(w, cfg_.protocol);
+  handle->set_app_tag(flow_id + 1);
   app::ClientConnHandle* h = handle.get();
   app::ClientConnHandle::Callbacks cb;
   cb.on_established = [this, h] { h->send(cfg_.scenario.request_bytes); };
@@ -112,6 +115,7 @@ void ClientFleet::on_flow_done(std::uint32_t flow_id) {
   FlowRecord& rec = records_[flow_id];
   rec.completed = true;
   rec.end_s = sim::to_seconds(w.sim.now());
+  rec.delivered = handles_[flow_id]->bytes_received();
   // Energy attribution under overlap: the device energy spent over the
   // flow's lifetime, weighted by this flow's share of the bytes the device
   // received in that span. Exact for non-overlapping flows; a fair split
@@ -173,6 +177,12 @@ FleetMetrics ClientFleet::finish() {
           : (budget != 0 && completed_ >= budget);
   if (all_done) app::drain_tails(w, cfg_.scenario.max_drain);
   w.tracker.stop();
+
+  // Flows still in progress keep whatever arrived so far, so the records
+  // always satisfy delivered <= bytes with equality exactly on completion.
+  for (FlowRecord& r : records_) {
+    if (!r.completed) r.delivered = handles_[r.id]->bytes_received();
+  }
 
   FleetMetrics m;
   m.flows_started = started_;

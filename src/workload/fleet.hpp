@@ -58,6 +58,7 @@ struct FlowRecord {
   std::uint32_t id = 0;       ///< flow index == server connection index
   std::uint32_t client = 0;
   std::uint64_t bytes = 0;    ///< sampled (and served) response size
+  std::uint64_t delivered = 0;  ///< in-order bytes the client received
   double start_s = 0.0;
   double end_s = 0.0;
   bool completed = false;
@@ -101,6 +102,10 @@ class ClientFleet {
   [[nodiscard]] app::World& world();
   [[nodiscard]] std::uint64_t flows_started() const { return started_; }
   [[nodiscard]] std::uint64_t flows_completed() const { return completed_; }
+  /// Open loop: no further arrivals are coming (closed loop: always false;
+  /// its done-condition is the flow budget). Exposed for external drivers
+  /// that replicate run()'s termination predicate, e.g. the fuzzer.
+  [[nodiscard]] bool arrivals_done() const { return arrivals_done_; }
 
  private:
   struct Session;  ///< one closed-loop client's cycle state

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/report.hpp"
@@ -144,6 +145,21 @@ TEST_F(CampaignRunnerTest, ResumeAfterMidCampaignKillRecovers) {
   EXPECT_EQ(result.ran + result.resumed, 4u);
   // Recovery converges to the uninterrupted run, byte for byte.
   EXPECT_EQ(snapshot(dir), complete);
+}
+
+// Regression: a spec with an empty seed list (or no protocols / fleet
+// sizes) used to "succeed" instantly with zero cells and an empty ledger —
+// a silently useless campaign. It must refuse loudly before touching the
+// output directory.
+TEST_F(CampaignRunnerTest, EmptyCellGridRefusesLoudly) {
+  const fs::path dir = fresh_dir("empty");
+  CampaignSpec spec = tiny_spec();
+  spec.seeds.clear();
+  ASSERT_EQ(spec.cell_count(), 0u);
+  CampaignRunner runner(spec, dir.string());
+  EXPECT_THROW(runner.run(1), std::invalid_argument);
+  // No half-created campaign directory is left behind.
+  EXPECT_FALSE(fs::exists(dir));
 }
 
 TEST_F(CampaignRunnerTest, WorkerCountDoesNotChangeArtifacts) {

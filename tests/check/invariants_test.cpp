@@ -1,0 +1,74 @@
+// Unit tests for the pure invariant predicates (the LIA bound has its own
+// property suite in tests/mptcp/lia_property_test.cpp).
+#include "check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emptcp::check {
+namespace {
+
+TEST(CwndBoundsTest, AcceptsWindowInsideRange) {
+  EXPECT_TRUE(cwnd_bounds_ok(14'480, 100'000, 1448, 1 << 24));
+  EXPECT_TRUE(cwnd_bounds_ok(1448, 1448, 1448, 1 << 24));  // both at floor
+}
+
+TEST(CwndBoundsTest, RejectsCollapsedOrRunawayWindows) {
+  EXPECT_FALSE(cwnd_bounds_ok(1447, 100'000, 1448, 1 << 24));  // < 1 mss
+  EXPECT_FALSE(cwnd_bounds_ok(0, 100'000, 1448, 1 << 24));
+  EXPECT_FALSE(cwnd_bounds_ok((1 << 24) + 1, 100'000, 1448, 1 << 24));
+  EXPECT_FALSE(cwnd_bounds_ok(14'480, 1447, 1448, 1 << 24));  // ssthresh
+  EXPECT_FALSE(cwnd_bounds_ok(14'480, 100'000, 0, 1 << 24));  // mss 0
+}
+
+TEST(TcpTransitionTest, AcceptsThreeWayHandshakePaths) {
+  EXPECT_TRUE(tcp_transition_ok("CLOSED", "SYN_SENT"));
+  EXPECT_TRUE(tcp_transition_ok("CLOSED", "SYN_RCVD"));
+  EXPECT_TRUE(tcp_transition_ok("SYN_SENT", "ESTABLISHED"));
+  EXPECT_TRUE(tcp_transition_ok("SYN_RCVD", "ESTABLISHED"));
+}
+
+TEST(TcpTransitionTest, AcceptsBothTeardownSides) {
+  // Active close: ESTABLISHED -> FIN_WAIT -> DONE.
+  EXPECT_TRUE(tcp_transition_ok("ESTABLISHED", "FIN_WAIT"));
+  EXPECT_TRUE(tcp_transition_ok("FIN_WAIT", "DONE"));
+  // Passive close: ESTABLISHED -> CLOSE_WAIT -> LAST_ACK -> DONE.
+  EXPECT_TRUE(tcp_transition_ok("ESTABLISHED", "CLOSE_WAIT"));
+  EXPECT_TRUE(tcp_transition_ok("CLOSE_WAIT", "LAST_ACK"));
+  EXPECT_TRUE(tcp_transition_ok("LAST_ACK", "DONE"));
+}
+
+TEST(TcpTransitionTest, AnyLiveStateMayAbortToDone) {
+  for (const char* from : {"CLOSED", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+                           "FIN_WAIT", "CLOSE_WAIT", "LAST_ACK"}) {
+    EXPECT_TRUE(tcp_transition_ok(from, "DONE")) << from;
+  }
+}
+
+TEST(TcpTransitionTest, RejectsBackwardsSelfAndUnknown) {
+  EXPECT_FALSE(tcp_transition_ok("ESTABLISHED", "SYN_SENT"));
+  EXPECT_FALSE(tcp_transition_ok("DONE", "ESTABLISHED"));
+  EXPECT_FALSE(tcp_transition_ok("DONE", "DONE"));
+  EXPECT_FALSE(tcp_transition_ok("ESTABLISHED", "ESTABLISHED"));
+  EXPECT_FALSE(tcp_transition_ok("FIN_WAIT", "CLOSE_WAIT"));
+  EXPECT_FALSE(tcp_transition_ok("ESTABLISHED", "LISTEN"));  // not a name
+  EXPECT_FALSE(tcp_transition_ok(nullptr, "DONE"));
+  EXPECT_FALSE(tcp_transition_ok("CLOSED", nullptr));
+}
+
+TEST(ModeTransitionTest, AcceptsAnnouncedChanges) {
+  EXPECT_TRUE(mode_transition_ok("both", "wifi-only", false));
+  EXPECT_TRUE(mode_transition_ok("wifi-only", "both", false));
+  EXPECT_TRUE(mode_transition_ok("both", "cell-only", true));
+  EXPECT_TRUE(mode_transition_ok("cell-only", "wifi-only", true));
+}
+
+TEST(ModeTransitionTest, RejectsSelfEdgesUnknownsAndForbiddenCellOnly) {
+  EXPECT_FALSE(mode_transition_ok("both", "both", true));
+  EXPECT_FALSE(mode_transition_ok("both", "cell-only", false));
+  EXPECT_FALSE(mode_transition_ok("both", "lte-only", true));
+  EXPECT_FALSE(mode_transition_ok(nullptr, "both", true));
+  EXPECT_FALSE(mode_transition_ok("both", nullptr, true));
+}
+
+}  // namespace
+}  // namespace emptcp::check

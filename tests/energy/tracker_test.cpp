@@ -207,5 +207,33 @@ TEST(EnergyTrackerTest, StopFreezesTotals) {
   EXPECT_DOUBLE_EQ(w.tracker.total_j(), at_stop);
 }
 
+// Regression: stop() used to leave its already-scheduled next tick alive.
+// A stop()/start() cycle then ran two interleaved tick chains — energy
+// integrated nearly twice over and the series carried duplicate
+// timestamps. Stopping exactly on a window boundary makes the stale tick
+// land at the same instant as the restarted chain's first tick, the worst
+// case for the duplication.
+TEST(EnergyTrackerTest, RestartAfterStopRunsSingleSamplingChain) {
+  TrackerWorld w;
+  w.tracker.start();
+  w.net.sim.run_until(sim::seconds(1));  // tick lands on the boundary
+  w.tracker.stop();
+  w.tracker.start();
+  w.net.sim.run_until(sim::seconds(10));
+
+  const DeviceProfile s3 = DeviceProfile::galaxy_s3();
+  // One live chain integrates idle power over the 10 tracked seconds; a
+  // leaked second chain would nearly double this.
+  const double expected = (s3.wifi.idle_mw + s3.lte.idle_mw) * 10.0 / 1000.0;
+  EXPECT_NEAR(w.tracker.total_j(), expected, expected * 0.05);
+
+  const auto& series = w.tracker.energy_series();
+  ASSERT_GT(series.size(), 10u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].t_s, series[i - 1].t_s)
+        << "duplicate sample timestamp at index " << i;
+  }
+}
+
 }  // namespace
 }  // namespace emptcp::energy

@@ -1,0 +1,87 @@
+# Tier-1 smoke gate for emptcp-fuzz: the CLI contract, a clean fixed-seed
+# batch whose digest is byte-identical across worker counts, and both
+# mutation-testing catches (an injected bug must fail the run AND leave a
+# replayable repro file). Invoked by ctest with
+# -DFUZZ_TOOL=<path to emptcp-fuzz> -DWORK_DIR=<scratch dir>.
+if(NOT DEFINED FUZZ_TOOL)
+  message(FATAL_ERROR "fuzz_smoke_gate: missing -DFUZZ_TOOL")
+endif()
+if(NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "fuzz_smoke_gate: missing -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_run rc_expected out_match err_match)
+  execute_process(
+    COMMAND ${FUZZ_TOOL} ${ARGN}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${rc_expected})
+    message(FATAL_ERROR
+            "fuzz_smoke_gate: emptcp-fuzz ${ARGN} exited ${rc}, "
+            "expected ${rc_expected}\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT out_match STREQUAL "" AND NOT out MATCHES "${out_match}")
+    message(FATAL_ERROR
+            "fuzz_smoke_gate: emptcp-fuzz ${ARGN}: stdout missing "
+            "\"${out_match}\": ${out}")
+  endif()
+  if(NOT err_match STREQUAL "" AND NOT err MATCHES "${err_match}")
+    message(FATAL_ERROR
+            "fuzz_smoke_gate: emptcp-fuzz ${ARGN}: stderr missing "
+            "\"${err_match}\": ${err}")
+  endif()
+endfunction()
+
+# CLI contract: --help exits 0 with usage on stdout; malformed invocations
+# exit 2 with usage on stderr.
+expect_run(0 "usage: emptcp-fuzz" "" --help)
+expect_run(2 "" "unknown option: --bogus" --bogus)
+expect_run(2 "" "usage: emptcp-fuzz" --seeds)
+expect_run(2 "" "--seeds needs a positive count" --seeds banana)
+expect_run(2 "" "unknown --mutate name" --mutate frobnicate)
+
+# Clean fixed-seed batch, parallel: exits 0, digest on stdout.
+expect_run(0 "fnv1a64:" ""
+           --seeds 24 --base-seed 1 --recheck 4 --jobs 4
+           --digest-out ${WORK_DIR}/digest_par.txt)
+
+# Same batch sequential: the digest file must be byte-identical —
+# the determinism contract across EMPTCP_JOBS.
+expect_run(0 "fnv1a64:" ""
+           --seeds 24 --base-seed 1 --recheck 4 --jobs 1
+           --digest-out ${WORK_DIR}/digest_seq.txt)
+file(READ ${WORK_DIR}/digest_par.txt digest_par)
+file(READ ${WORK_DIR}/digest_seq.txt digest_seq)
+if(NOT digest_par STREQUAL digest_seq)
+  message(FATAL_ERROR
+          "fuzz_smoke_gate: batch digest differs across worker counts: "
+          "jobs=4 -> ${digest_par}, jobs=1 -> ${digest_seq}")
+endif()
+
+# Mutation testing: each injected bug must make the batch fail (exit 1)
+# and dump a replayable repro for a known catch seed.
+expect_run(1 "" "tcp.exactly_once_delivery"
+           --mutate reassembly-dup-deliver --seeds 10 --base-seed 1
+           --out ${WORK_DIR}/mut_reassembly)
+if(NOT EXISTS ${WORK_DIR}/mut_reassembly/repro-5.txt)
+  message(FATAL_ERROR
+          "fuzz_smoke_gate: reassembly mutation left no repro-5.txt")
+endif()
+expect_run(1 "" "sched.backup_suppressed"
+           --mutate scheduler-ignore-backup --seeds 10 --base-seed 1
+           --out ${WORK_DIR}/mut_sched)
+if(NOT EXISTS ${WORK_DIR}/mut_sched/repro-10.txt)
+  message(FATAL_ERROR
+          "fuzz_smoke_gate: scheduler mutation left no repro-10.txt")
+endif()
+
+# The repro file replays to the same violation (exit 1, same invariant).
+expect_run(1 "" "tcp.exactly_once_delivery"
+           --replay ${WORK_DIR}/mut_reassembly/repro-5.txt)
+
+message(STATUS "fuzz_smoke_gate: all fuzz smoke checks passed")

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -91,9 +92,7 @@ int main(int argc, char** argv) {
   campaign::CampaignSpec spec;
   std::string err;
   if (!campaign::load_campaign_spec(spec_path, spec, err)) {
-    std::fprintf(stderr, "emptcp-campaign: %s: %s\n", spec_path.c_str(),
-                 err.c_str());
-    return 2;
+    return usage_error(err);  // err already names the spec path
   }
 
   std::fprintf(stderr,
@@ -107,6 +106,10 @@ int main(int argc, char** argv) {
   campaign::CampaignResult result;
   try {
     result = runner.run(jobs);
+  } catch (const std::invalid_argument& e) {
+    // A degenerate grid (e.g. an empty seed list) is a spec-authoring
+    // mistake: fail loudly with usage, not with a silent empty campaign.
+    return usage_error(e.what());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emptcp-campaign: %s\n", e.what());
     return 2;
