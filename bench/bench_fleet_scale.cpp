@@ -1,0 +1,160 @@
+// Sharded-fleet scaling sweep -> BENCH_fleet_scale.json.
+//
+// Measures the conservative parallel engine's wall-clock scaling on one
+// decomposable workload: a closed-loop eMPTCP fleet partitioned into
+// cells, swept over fleet size {256, 1k, 10k, 100k} x worker shards
+// {1, 2, 4, 8}. Every combination executes the same fixed virtual window,
+// so the event count per fleet size is deterministic and identical across
+// shard counts (verified here, loudly) — only the wall clock may differ.
+//
+// The JSON layout mirrors BENCH_core.json: deterministic counts plus
+// machine-dependent rates, diffable via `emptcp-report --diff`
+// (events_per_sec under the factor-5 rate tolerance, speedups under the
+// min-factor speedup tolerance, raw seconds informational).
+//
+// EMPTCP_BENCH_QUICK=1 shrinks the virtual windows ~5x and caps the sweep
+// at 10k clients so a laptop smoke run finishes in minutes; the committed
+// baseline should come from a full run. On a single-core machine the
+// speedups hover around 1.0 — the curve is only meaningful on >= 4 cores.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/sharded_fleet.hpp"
+
+namespace {
+
+using namespace emptcp;
+using Clock = std::chrono::steady_clock;
+
+bool bench_quick() { return std::getenv("EMPTCP_BENCH_QUICK") != nullptr; }
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SweepPoint {
+  std::size_t clients;
+  std::size_t clients_per_cell;
+  double warm_s;    ///< virtual warm-up (connection churn, slab growth)
+  double window_s;  ///< measured virtual window
+};
+
+struct ShardRun {
+  std::size_t shards = 0;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+};
+
+workload::FleetConfig sweep_config(const SweepPoint& pt, std::size_t shards) {
+  workload::FleetConfig cfg;
+  cfg.scenario.wifi.down_mbps = 90.0;
+  cfg.scenario.cell.down_mbps = 40.0;
+  cfg.scenario.record_series = false;
+  cfg.protocol = app::Protocol::kEmptcp;
+  cfg.mode = workload::FleetConfig::Mode::kClosed;
+  cfg.clients = pt.clients;
+  cfg.flows_per_client = 0;  // endless: pure steady-state multiplexing
+  cfg.flow_size.kind = workload::SizeDist::Kind::kFixed;
+  cfg.flow_size.mean_bytes = 64ull * 1024 * 1024;
+  cfg.sharding.clients_per_cell = pt.clients_per_cell;
+  cfg.sharding.shards = shards;
+  return cfg;
+}
+
+/// One (fleet size, shard count) measurement: build, warm up, then run the
+/// fixed virtual window on the wall clock.
+ShardRun measure(const SweepPoint& pt, std::size_t shards) {
+  workload::ShardedFleet fleet(sweep_config(pt, shards));
+  fleet.start(1);
+  fleet.run_until(pt.warm_s);
+  const std::uint64_t before = fleet.engine().events_executed();
+  const auto start = Clock::now();
+  fleet.run_until(pt.warm_s + pt.window_s);
+  ShardRun r;
+  r.shards = shards;
+  r.seconds = seconds_since(start);
+  r.events = fleet.engine().events_executed() - before;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench_quick();
+  const double scale = quick ? 0.2 : 1.0;
+  std::vector<SweepPoint> sweep = {
+      {256, 32, 0.5 * scale, 2.0 * scale},
+      {1'000, 125, 0.5 * scale, 2.0 * scale},
+      {10'000, 625, 0.25 * scale, 1.0 * scale},
+      {100'000, 1'000, 0.1 * scale, 0.25 * scale},
+  };
+  if (quick) sweep.pop_back();  // 100k stays a full-run measurement
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  const char* path = std::getenv("EMPTCP_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_fleet_scale.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fleet_scale: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"emptcp-bench-fleet-scale-v1\",\n");
+  std::fprintf(f, "  \"machine_cores\": %u",
+               std::thread::hardware_concurrency());
+
+  for (const SweepPoint& pt : sweep) {
+    std::vector<ShardRun> runs;
+    for (const std::size_t shards : shard_counts) {
+      runs.push_back(measure(pt, shards));
+      std::printf(
+          "fleet %zu x shards %zu: %.3fs wall, %.2fM events/s\n", pt.clients,
+          shards, runs.back().seconds,
+          static_cast<double>(runs.back().events) / runs.back().seconds / 1e6);
+      std::fflush(stdout);
+      // The determinism contract, enforced where a violation would
+      // otherwise masquerade as a scaling result: every shard count must
+      // execute exactly the same events over the same virtual window.
+      if (runs.back().events != runs.front().events) {
+        std::fprintf(stderr,
+                     "bench_fleet_scale: NON-DETERMINISTIC event count at "
+                     "fleet %zu: shards=1 ran %llu events, shards=%zu ran "
+                     "%llu\n",
+                     pt.clients,
+                     static_cast<unsigned long long>(runs.front().events),
+                     shards,
+                     static_cast<unsigned long long>(runs.back().events));
+        std::fclose(f);
+        return 1;
+      }
+    }
+    const std::size_t cells =
+        (pt.clients + pt.clients_per_cell - 1) / pt.clients_per_cell;
+    std::fprintf(f, ",\n  \"fleet_%zu\": {\n", pt.clients);
+    std::fprintf(f, "    \"clients\": %zu,\n", pt.clients);
+    std::fprintf(f, "    \"cells\": %zu,\n", cells);
+    std::fprintf(f, "    \"window_s\": %.3f,\n", pt.window_s);
+    std::fprintf(f, "    \"events\": %llu",
+                 static_cast<unsigned long long>(runs.front().events));
+    for (const ShardRun& r : runs) {
+      std::fprintf(f, ",\n    \"seconds_%zushard\": %.6f", r.shards,
+                   r.seconds);
+      std::fprintf(f, ",\n    \"events_per_sec_%zushard\": %.0f", r.shards,
+                   static_cast<double>(r.events) / r.seconds);
+    }
+    for (const ShardRun& r : runs) {
+      if (r.shards == 1) continue;
+      std::fprintf(f, ",\n    \"speedup_%zushards\": %.4f", r.shards,
+                   runs.front().seconds / r.seconds);
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("bench_fleet_scale: wrote %s\n", path);
+  return 0;
+}

@@ -31,6 +31,7 @@
 #include "tcp/buffers.hpp"
 #include "trace/trace.hpp"
 #include "workload/fleet.hpp"
+#include "workload/sharded_fleet.hpp"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: replace the global allocator for this binary only.
@@ -253,6 +254,22 @@ struct CoreResult {
   std::uint64_t fleet_events = 0;
   double fleet_seconds = 0.0;
   double fleet_allocs_per_event = 0.0;
+  // Sharded 10k-client fleet (16 cells on the conservative parallel
+  // engine) over a fixed virtual window: the event count is deterministic
+  // and identical at 1 and 4 shards; only the wall clock may differ. The
+  // speedup is ~1.0 on a single-core machine and only meaningful on >= 4
+  // cores.
+  std::uint64_t sharded_clients = 0;
+  std::uint64_t sharded_cells = 0;
+  std::uint64_t sharded_events = 0;
+  double sharded_seconds_1shard = 0.0;
+  double sharded_seconds_4shards = 0.0;
+  // 100k-client sharded fleet: the scale target. Completing the fixed
+  // window at all is the headline; the rate is the trend to watch.
+  std::uint64_t huge_clients = 0;
+  std::uint64_t huge_cells = 0;
+  std::uint64_t huge_events = 0;
+  double huge_seconds = 0.0;
   // Wall-time per harness section (self-profiling of the bench itself).
   analysis::Profiler harness;
 };
@@ -398,6 +415,73 @@ void measure_fleet(CoreResult& out) {
       static_cast<double>(allocs) / static_cast<double>(out.fleet_events);
 }
 
+/// One sharded-fleet run over a fixed virtual window; returns the wall
+/// seconds and reports the events executed inside the window.
+double run_sharded_window(std::size_t clients, std::size_t per_cell,
+                          std::size_t shards, double warm_s, double window_s,
+                          std::uint64_t& events_out) {
+  workload::FleetConfig cfg;
+  cfg.scenario.wifi.down_mbps = 90.0;
+  cfg.scenario.cell.down_mbps = 40.0;
+  cfg.scenario.record_series = false;
+  cfg.protocol = app::Protocol::kEmptcp;
+  cfg.mode = workload::FleetConfig::Mode::kClosed;
+  cfg.clients = clients;
+  cfg.flows_per_client = 0;  // endless: nothing completes mid-measurement
+  cfg.flow_size.kind = workload::SizeDist::Kind::kFixed;
+  cfg.flow_size.mean_bytes = 64ull * 1024 * 1024;
+  cfg.sharding.clients_per_cell = per_cell;
+  cfg.sharding.shards = shards;
+  workload::ShardedFleet fleet(cfg);
+  fleet.start(1);
+  fleet.run_until(warm_s);
+  const std::uint64_t before = fleet.engine().events_executed();
+  const auto start = Clock::now();
+  fleet.run_until(warm_s + window_s);
+  const double seconds = seconds_since(start);
+  events_out = fleet.engine().events_executed() - before;
+  return seconds;
+}
+
+// 10k clients in 16 shard-engine cells, measured at 1 and 4 worker
+// shards over the same virtual window. Identical event counts are a hard
+// requirement — a mismatch is a determinism bug, not noise.
+void measure_sharded_fleet(CoreResult& out) {
+  const auto timer = out.harness.time("fleet_10k");
+  const double warm_s = bench_quick() ? 0.1 : 0.25;
+  const double window_s = bench_quick() ? 0.2 : 1.0;
+  out.sharded_clients = 10'000;
+  out.sharded_cells = 16;
+  std::uint64_t events1 = 0;
+  std::uint64_t events4 = 0;
+  out.sharded_seconds_1shard =
+      run_sharded_window(10'000, 625, 1, warm_s, window_s, events1);
+  out.sharded_seconds_4shards =
+      run_sharded_window(10'000, 625, 4, warm_s, window_s, events4);
+  if (events1 != events4) {
+    std::fprintf(stderr,
+                 "bench_micro: NON-DETERMINISTIC sharded fleet: %llu events "
+                 "at 1 shard vs %llu at 4\n",
+                 static_cast<unsigned long long>(events1),
+                 static_cast<unsigned long long>(events4));
+    std::exit(1);
+  }
+  out.sharded_events = events1;
+}
+
+// 100k clients in 100 cells: the scale target from the roadmap. One shard
+// count (jobs-derived would hide machine variation; pin 4) over a short
+// fixed window — completing it at all is the point.
+void measure_fleet_100k(CoreResult& out) {
+  const auto timer = out.harness.time("fleet_100k");
+  const double warm_s = bench_quick() ? 0.02 : 0.1;
+  const double window_s = bench_quick() ? 0.05 : 0.25;
+  out.huge_clients = 100'000;
+  out.huge_cells = 100;
+  out.huge_seconds = run_sharded_window(100'000, 1'000, 4, warm_s, window_s,
+                                        out.huge_events);
+}
+
 void measure_trace_gates(CoreResult& out) {
   const auto timer = out.harness.time("trace_gates");
   measure_gate(false, out.trace_gate_ops, out.trace_gate_seconds,
@@ -473,6 +557,38 @@ void write_json(const CoreResult& r) {
   std::fprintf(f, "    \"allocs_per_event\": %.6f\n",
                r.fleet_allocs_per_event);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet_10k\": {\n");
+  std::fprintf(f, "    \"clients\": %llu,\n",
+               static_cast<unsigned long long>(r.sharded_clients));
+  std::fprintf(f, "    \"cells\": %llu,\n",
+               static_cast<unsigned long long>(r.sharded_cells));
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.sharded_events));
+  std::fprintf(f, "    \"seconds_1shard\": %.6f,\n",
+               r.sharded_seconds_1shard);
+  std::fprintf(f, "    \"seconds_4shards\": %.6f,\n",
+               r.sharded_seconds_4shards);
+  std::fprintf(f, "    \"events_per_sec_1shard\": %.0f,\n",
+               static_cast<double>(r.sharded_events) /
+                   r.sharded_seconds_1shard);
+  std::fprintf(f, "    \"events_per_sec_4shards\": %.0f,\n",
+               static_cast<double>(r.sharded_events) /
+                   r.sharded_seconds_4shards);
+  std::fprintf(f, "    \"speedup_4shards\": %.4f\n",
+               r.sharded_seconds_1shard / r.sharded_seconds_4shards);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet_100k\": {\n");
+  std::fprintf(f, "    \"clients\": %llu,\n",
+               static_cast<unsigned long long>(r.huge_clients));
+  std::fprintf(f, "    \"cells\": %llu,\n",
+               static_cast<unsigned long long>(r.huge_cells));
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.huge_events));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.huge_seconds);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+               static_cast<double>(r.huge_events) / r.huge_seconds);
+  std::fprintf(f, "    \"completed\": 1\n");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"self_profile\": {\n");
   std::fprintf(f, "    \"e2e_events_executed\": %llu,\n",
                static_cast<unsigned long long>(
@@ -499,12 +615,20 @@ void run_core_harness() {
   measure_packet_path(r);
   measure_end_to_end(r);
   measure_fleet(r);
+  measure_sharded_fleet(r);
+  measure_fleet_100k(r);
   measure_trace_gates(r);
   std::printf(
       "fleet: %llu clients, %.2fM events/s, %.6f allocs/event\n",
       static_cast<unsigned long long>(r.fleet_clients),
       static_cast<double>(r.fleet_events) / r.fleet_seconds / 1e6,
       r.fleet_allocs_per_event);
+  std::printf(
+      "fleet_10k (sharded, 16 cells): %.3fs @1 shard, %.3fs @4 shards "
+      "(speedup %.2fx); fleet_100k (100 cells): %.3fs, %.2fM events/s\n",
+      r.sharded_seconds_1shard, r.sharded_seconds_4shards,
+      r.sharded_seconds_1shard / r.sharded_seconds_4shards, r.huge_seconds,
+      static_cast<double>(r.huge_events) / r.huge_seconds / 1e6);
   std::printf(
       "core: scheduler %.2fM events/s (%.4f allocs/event), "
       "packet path %.2fM packets/s (%.4f allocs/packet), "

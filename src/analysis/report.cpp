@@ -311,6 +311,10 @@ std::vector<ToleranceRule> default_bench_tolerances() {
       // only a ~5x regression in the slower direction fails the gate.
       {"*per_sec*", Mode::kMinFactor, 5.0},
       {"*ns_per*", Mode::kMaxFactor, 5.0},
+      // Parallel-shard speedups depend on the core count of the machine
+      // that measured them (a 1-core baseline sits at ~1.0); only a large
+      // collapse in the slower direction is a regression signal.
+      {"*speedup*", Mode::kMinFactor, 5.0},
       // Everything else (raw counts, wall-clock seconds, metadata) is
       // informational only.
       {"*", Mode::kIgnore, 0.0},

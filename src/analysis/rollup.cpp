@@ -95,17 +95,22 @@ void RollupBuilder::add_event(const FlatJson& e) {
   } else if (kind == "radio_state") {
     ++r_.radio_transitions;
   } else if (kind == "energy_sample") {
-    // Per-interface integrator: EnergyTracker samples on a fixed cadence
-    // from t=0, each reporting the mean power over the window that *ends*
-    // at the sample time.
+    // Per-interface integrator: every EnergyTracker samples on a fixed
+    // cadence from t=0, each sample reporting the mean power over the
+    // window that *ends* at the sample time. A sharded fleet merges one
+    // co-timed sample per cell per window under the same interface name;
+    // each integrates over the shared timestep, so the co-timed powers
+    // sum instead of the followers collapsing into zero-width gaps.
     const std::string iface = json_str(e, "iface");
     const double t_s = json_num(e, "t_ns", 0.0) * 1e-9;
-    double& prev = slot_for(prev_sample_t_, iface);
-    const double dt = t_s - prev;
-    prev = t_s;
+    SampleStep& prev = slot_for(prev_sample_t_, iface);
+    if (t_s > prev.t) {
+      prev.step = t_s - prev.t;
+      prev.t = t_s;
+    }
     const double power_mw = json_num(e, "power_mw", 0.0);
-    if (dt > 0.0) {
-      r_.integrated_energy_j += power_mw * 1e-3 * dt;
+    if (prev.step > 0.0) {
+      r_.integrated_energy_j += power_mw * 1e-3 * prev.step;
     }
     power_.add(t_s, power_mw);
   } else if (kind == "flow_start") {

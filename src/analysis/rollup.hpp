@@ -119,7 +119,15 @@ class RollupBuilder {
  private:
   RunRollup r_;  ///< event-derived counters accumulate here
   std::vector<std::pair<std::string, double>> metrics_;
-  std::vector<std::pair<std::string, double>> prev_sample_t_;
+  /// Per-interface integrator state. Sharded fleets emit one co-timed
+  /// sample per cell per window under the same interface name, so each
+  /// sample integrates over the current timestep (cached in `step` for
+  /// the co-timed followers) rather than the gap to the previous event.
+  struct SampleStep {
+    double t = 0.0;     ///< latest distinct sample time seen
+    double step = 0.0;  ///< width of the window ending at `t`
+  };
+  std::vector<std::pair<std::string, SampleStep>> prev_sample_t_;
   WindowedAggregator power_{10.0};
 };
 

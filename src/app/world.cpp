@@ -20,9 +20,14 @@ sim::Duration wan_delay(sim::Duration rtt, sim::Duration access) {
 }  // namespace
 
 net::InterfaceType classify_client_addr(net::Addr a) {
-  if (a == kWifiAddr) return net::InterfaceType::kWifi;
-  if (a == kCellAddr) return net::InterfaceType::kLte;
-  return net::InterfaceType::kEthernet;
+  switch (a % kAddrStride) {
+    case kWifiAddr:
+      return net::InterfaceType::kWifi;
+    case kCellAddr:
+      return net::InterfaceType::kLte;
+    default:
+      return net::InterfaceType::kEthernet;
+  }
 }
 
 mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
@@ -33,8 +38,9 @@ mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
   return c;
 }
 
-World::World(const ScenarioConfig& cfg, std::uint64_t seed)
+World::World(const ScenarioConfig& cfg, std::uint64_t seed, Addressing addr)
     : scfg(cfg),
+      addrs(addr),
       sim(seed),
       client(sim, "client"),
       server(sim, "server"),
@@ -50,14 +56,14 @@ World::World(const ScenarioConfig& cfg, std::uint64_t seed)
   // -time events (handshakes scheduled at t=0) are captured too.
   if (cfg.trace) sim.trace().enable();
   wifi_if = &client.add_interface(
-      {net::InterfaceType::kWifi, kWifiAddr, "client-wifi"});
+      {net::InterfaceType::kWifi, addrs.wifi, "client-wifi"});
   // The cellular interface is typed kLte regardless of cell_tech: the
   // eMPTCP components key their cellular lookups on kLte, and the tech
   // only changes the energy parameters (cell_radio above).
   cell_if = &client.add_interface(
-      {net::InterfaceType::kLte, kCellAddr, "client-cell"});
+      {net::InterfaceType::kLte, addrs.cell, "client-cell"});
   srv_if = &server.add_interface(
-      {net::InterfaceType::kEthernet, kServerAddr, "server-eth"});
+      {net::InterfaceType::kEthernet, addrs.server, "server-eth"});
 
   auto mk = [this](double mbps, sim::Duration delay, double loss,
                    std::size_t queue, const char* name) {
@@ -101,8 +107,8 @@ World::World(const ScenarioConfig& cfg, std::uint64_t seed)
   cell_wan_up->set_receiver(
       [this](const net::Packet& p) { srv_if->deliver(p); });
 
-  srv_if->add_route(kWifiAddr, *wifi_wan_down);
-  srv_if->add_route(kCellAddr, *cell_wan_down);
+  srv_if->add_route(addrs.wifi, *wifi_wan_down);
+  srv_if->add_route(addrs.cell, *cell_wan_down);
   wifi_wan_down->chain_to(*wifi_acc_down);
   wifi_acc_down->set_receiver(
       [this](const net::Packet& p) { wifi_if->deliver(p); });
@@ -138,7 +144,8 @@ void World::start_dynamics() {
   }
 }
 
-core::EnergyInfoBase& World::eib() {
+const core::EnergyInfoBase& World::eib() {
+  if (shared_eib_) return *shared_eib_;
   if (!eib_) {
     eib_ = core::EnergyInfoBase::generate(
         scfg.device.model(scfg.cell_tech));
@@ -231,7 +238,8 @@ std::vector<std::pair<double, double>> bandwidth_trace(
 /// Standard MPTCP / single-path TCP / MDP client.
 class MetaHandle final : public ClientConnHandle {
  public:
-  MetaHandle(World& w, Protocol p) : w_(w), proto_(p) {
+  MetaHandle(World& w, Protocol p, net::Addr server)
+      : w_(w), proto_(p), server_(server) {
     const bool coupled = p == Protocol::kMptcp || p == Protocol::kMdp;
     meta_ = std::make_unique<mptcp::MptcpConnection>(
         w.sim, w.client, make_mptcp_cfg(w.scfg, coupled));
@@ -248,7 +256,7 @@ class MetaHandle final : public ClientConnHandle {
     mptcp::MptcpConnection::Callbacks mcb;
     mcb.on_established = [this] {
       if (proto_ == Protocol::kMptcp || proto_ == Protocol::kMdp) {
-        meta_->add_subflow(kCellAddr);
+        meta_->add_subflow(w_.addrs.cell);
       }
       if (cb_.on_established) cb_.on_established();
     };
@@ -274,8 +282,8 @@ class MetaHandle final : public ClientConnHandle {
   void set_app_tag(std::uint32_t tag) override { meta_->set_app_tag(tag); }
   void connect() override {
     const net::Addr local =
-        proto_ == Protocol::kTcpLte ? kCellAddr : kWifiAddr;
-    meta_->connect(local, kServerAddr, kPort);
+        proto_ == Protocol::kTcpLte ? w_.addrs.cell : w_.addrs.wifi;
+    meta_->connect(local, server_, kPort);
   }
   void send(std::uint64_t bytes) override { meta_->send(bytes); }
   void shutdown_write() override { meta_->shutdown_write(); }
@@ -286,6 +294,7 @@ class MetaHandle final : public ClientConnHandle {
  private:
   World& w_;
   Protocol proto_;
+  net::Addr server_;
   Callbacks cb_;
   std::unique_ptr<mptcp::MptcpConnection> meta_;
   std::optional<baseline::MdpScheduler> mdp_;
@@ -294,7 +303,7 @@ class MetaHandle final : public ClientConnHandle {
 
 class EmptcpHandle final : public ClientConnHandle {
  public:
-  explicit EmptcpHandle(World& w) {
+  EmptcpHandle(World& w, net::Addr server) : w_(w), server_(server) {
     core::EmptcpConfig cfg = w.scfg.emptcp;
     cfg.mptcp = make_mptcp_cfg(w.scfg, /*coupled=*/true);
     conn_ = std::make_unique<core::EmptcpConnection>(
@@ -313,7 +322,7 @@ class EmptcpHandle final : public ClientConnHandle {
     conn_->mptcp().set_app_tag(tag);
   }
   void connect() override {
-    conn_->connect(kWifiAddr, kCellAddr, kServerAddr, kPort);
+    conn_->connect(w_.addrs.wifi, w_.addrs.cell, server_, kPort);
   }
   void send(std::uint64_t bytes) override { conn_->send(bytes); }
   void shutdown_write() override { conn_->shutdown_write(); }
@@ -325,12 +334,14 @@ class EmptcpHandle final : public ClientConnHandle {
   }
 
  private:
+  World& w_;
+  net::Addr server_;
   std::unique_ptr<core::EmptcpConnection> conn_;
 };
 
 class WifiFirstHandle final : public ClientConnHandle {
  public:
-  explicit WifiFirstHandle(World& w) {
+  WifiFirstHandle(World& w, net::Addr server) : w_(w), server_(server) {
     conn_ = std::make_unique<baseline::WifiFirstConnection>(
         w.sim, w.client, make_mptcp_cfg(w.scfg, /*coupled=*/true));
   }
@@ -347,7 +358,7 @@ class WifiFirstHandle final : public ClientConnHandle {
     conn_->mptcp().set_app_tag(tag);
   }
   void connect() override {
-    conn_->connect(kWifiAddr, kCellAddr, kServerAddr, kPort);
+    conn_->connect(w_.addrs.wifi, w_.addrs.cell, server_, kPort);
   }
   void send(std::uint64_t bytes) override { conn_->send(bytes); }
   void shutdown_write() override { conn_->shutdown_write(); }
@@ -356,6 +367,8 @@ class WifiFirstHandle final : public ClientConnHandle {
   }
 
  private:
+  World& w_;
+  net::Addr server_;
   std::unique_ptr<baseline::WifiFirstConnection> conn_;
 };
 
@@ -378,13 +391,18 @@ stats::Series to_series(
 }  // namespace
 
 std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p) {
+  return make_client(w, p, w.addrs.server);
+}
+
+std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p,
+                                              net::Addr server) {
   switch (p) {
     case Protocol::kEmptcp:
-      return std::make_unique<EmptcpHandle>(w);
+      return std::make_unique<EmptcpHandle>(w, server);
     case Protocol::kWifiFirst:
-      return std::make_unique<WifiFirstHandle>(w);
+      return std::make_unique<WifiFirstHandle>(w, server);
     default:
-      return std::make_unique<MetaHandle>(w, p);
+      return std::make_unique<MetaHandle>(w, p, server);
   }
 }
 

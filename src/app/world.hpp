@@ -40,8 +40,27 @@ inline constexpr net::Addr kCellAddr = 2;
 inline constexpr net::Addr kServerAddr = 10;
 inline constexpr net::Port kPort = 80;
 
+/// Address-space stride between cells of a sharded fleet: cell i owns
+/// [i*kAddrStride, (i+1)*kAddrStride), with the classic offsets (wifi +1,
+/// cell +2, server +10) inside each block. Cell 0 is therefore exactly the
+/// legacy single-cell layout, and classify_client_addr reduces to a modulo.
+inline constexpr net::Addr kAddrStride = 16;
+
+/// The addresses one World instance uses; defaults to the legacy layout.
+struct Addressing {
+  net::Addr wifi = kWifiAddr;
+  net::Addr cell = kCellAddr;
+  net::Addr server = kServerAddr;
+};
+
+/// Addressing of the i-th cell of a sharded fleet.
+[[nodiscard]] inline Addressing cell_addressing(std::size_t cell) {
+  const auto base = static_cast<net::Addr>(cell) * kAddrStride;
+  return Addressing{base + kWifiAddr, base + kCellAddr, base + kServerAddr};
+}
+
 /// Maps a client address to the interface type it belongs to; used as the
-/// MPTCP peer classifier on both ends.
+/// MPTCP peer classifier on both ends. Works for any cell's address block.
 net::InterfaceType classify_client_addr(net::Addr a);
 
 /// The scenario's MPTCP knobs with the coupling flag and peer classifier
@@ -51,7 +70,7 @@ mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
 
 /// The per-run world: fresh simulation, topology, radios and tracker.
 struct World {
-  World(const ScenarioConfig& cfg, std::uint64_t seed);
+  World(const ScenarioConfig& cfg, std::uint64_t seed, Addressing addr = {});
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -60,11 +79,19 @@ struct World {
   /// stations, the walking route). Call once, after construction.
   void start_dynamics();
 
-  /// Lazily-built shared eMPTCP state (EIB + device-wide predictor).
-  core::EnergyInfoBase& eib();
+  /// Shared eMPTCP state: the EIB (lazily generated, or adopted via
+  /// share_eib) and the device-wide predictor.
+  const core::EnergyInfoBase& eib();
   core::BandwidthPredictor& predictor();
 
+  /// Adopts an externally generated EIB instead of generating one —
+  /// generation is the expensive part and lookups are const, so a sharded
+  /// fleet builds it once and shares it across every cell. Must be called
+  /// before the first eib() use; `shared` must outlive the world.
+  void share_eib(const core::EnergyInfoBase& shared) { shared_eib_ = &shared; }
+
   const ScenarioConfig& scfg;
+  const Addressing addrs;
   sim::Simulation sim;
   net::Node client;
   net::Node server;
@@ -85,11 +112,18 @@ struct World {
 
  private:
   std::optional<core::EnergyInfoBase> eib_;
+  const core::EnergyInfoBase* shared_eib_ = nullptr;
   std::unique_ptr<core::BandwidthPredictor> predictor_;
 };
 
-/// Builds the protocol-appropriate client connection inside `w`.
+/// Builds the protocol-appropriate client connection inside `w`, targeting
+/// the world's own server.
 std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p);
+
+/// Same, but targeting `server` — another cell's file server in a sharded
+/// fleet, reached over the cross-shard backbone.
+std::unique_ptr<ClientConnHandle> make_client(World& w, Protocol p,
+                                              net::Addr server);
 
 /// Shared run collection: everything derivable from the world plus the
 /// caller-supplied completion state and byte count (multi-connection runs

@@ -11,6 +11,7 @@
 #include "runtime/replication.hpp"
 #include "stats/csv.hpp"
 #include "stats/trace_export.hpp"
+#include "workload/sharded_fleet.hpp"
 
 namespace emptcp::campaign {
 namespace {
@@ -104,8 +105,11 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
   cfg.clients = cell.fleet_size;
   cfg.scenario.trace = true;
 
-  workload::ClientFleet fleet(cfg);
-  const workload::FleetMetrics m = fleet.run(cell.derived_seed);
+  // Dispatches on cell structure: clients_per_cell == 0 runs the classic
+  // single-World ClientFleet, anything else the sharded engine. Either
+  // way the artifacts are a pure function of (cfg, seed) — the shard
+  // count never leaks into them.
+  const workload::FleetMetrics m = workload::run_fleet(cfg, cell.derived_seed);
 
   const std::string jsonl =
       stats::trace_to_jsonl(m.run.trace_events, m.run.trace_metrics);
@@ -123,6 +127,10 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
       std::string("fleet/") +
       (cfg.mode == workload::FleetConfig::Mode::kClosed ? "closed" : "open") +
       "/c" + std::to_string(cell.fleet_size);
+  const bool sharded = cfg.sharding.clients_per_cell != 0;
+  if (sharded) {
+    manifest.workload += "/cells" + std::to_string(cfg.cell_count());
+  }
   manifest.trace_file = trace_file;
   manifest.trace_events = m.run.trace_events.size();
   manifest.trace_digest = analysis::fnv1a64_hex(jsonl);
@@ -135,6 +143,19 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
       "fleet.mode",
       quoted(cfg.mode == workload::FleetConfig::Mode::kClosed ? "closed"
                                                               : "open"));
+  if (sharded) {
+    // The topology (cells, cross-traffic pattern) is part of the cell's
+    // identity; the worker-shard count deliberately is NOT — artifacts
+    // must be byte-identical for any shards value, so recording it would
+    // break ledger verification across machines.
+    manifest.params.emplace_back("fleet.cells",
+                                 std::to_string(cfg.cell_count()));
+    manifest.params.emplace_back(
+        "fleet.clients_per_cell",
+        std::to_string(cfg.sharding.clients_per_cell));
+    manifest.params.emplace_back("fleet.cross_every",
+                                 std::to_string(cfg.sharding.cross_every));
+  }
   // Rendered as a string: a 64-bit hash is not exactly representable as a
   // JSON double.
   manifest.params.emplace_back("fleet.derived_seed",

@@ -295,6 +295,37 @@ bool apply_key(CampaignSpec& spec, const std::string& key,
     spec.workload.arrival.times_s.push_back(as_num(v));
     return true;
   }
+  if (key == "sharding.clients_per_cell") {
+    spec.workload.sharding.clients_per_cell =
+        static_cast<std::size_t>(as_num(v));
+    return true;
+  }
+  if (key == "sharding.shards") {
+    spec.workload.sharding.shards = static_cast<std::size_t>(as_num(v));
+    return true;
+  }
+  if (key == "sharding.cross_every") {
+    spec.workload.sharding.cross_every = static_cast<std::size_t>(as_num(v));
+    return true;
+  }
+  if (key == "sharding.backbone_mbps") {
+    if (as_num(v) <= 0.0) {
+      err = key + ": backbone rate must be > 0";
+      return false;
+    }
+    spec.workload.sharding.backbone_mbps = as_num(v);
+    return true;
+  }
+  if (key == "sharding.backbone_delay_ms") {
+    if (as_num(v) <= 0.0) {
+      err = key +
+            ": backbone delay must be > 0 (zero propagation collapses the "
+            "conservative lookahead window)";
+      return false;
+    }
+    spec.workload.sharding.backbone_delay = sim::from_seconds(as_num(v) * 1e-3);
+    return true;
+  }
   if (starts_with(key, "scenario.")) {
     if (!apply_scenario_key(spec.workload.scenario, key.substr(9), v)) {
       err = "unknown scenario key: " + key;

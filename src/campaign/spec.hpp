@@ -36,8 +36,11 @@ struct CampaignSpec {
   std::vector<app::Protocol> protocols;
   std::vector<std::size_t> fleet_sizes;
   std::vector<std::uint64_t> seeds;
-  /// Workload template: scenario + mode + distributions. The runner
-  /// overrides `protocol` and `clients` per cell and forces trace on.
+  /// Workload template: scenario + mode + distributions + sharding
+  /// (`sharding.clients_per_cell` > 0 runs each cell's fleet on the
+  /// conservative shard engine; `sharding.shards` picks the worker count
+  /// without changing a single output byte). The runner overrides
+  /// `protocol` and `clients` per cell and forces trace on.
   workload::FleetConfig workload;
 
   [[nodiscard]] std::size_t cell_count() const {

@@ -1,0 +1,50 @@
+#include "net/shard_link.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+namespace emptcp::net {
+
+// Packets cross the place boundary as raw bytes. Packet is not formally
+// trivially copyable (SackList's copy ops only copy the live prefix, a
+// deliberate optimisation), but it owns no heap memory and every member is
+// trivially destructible, so a byte copy reproduces a valid object — the
+// assert guards the property the byte copy actually relies on.
+static_assert(std::is_trivially_destructible_v<Packet>,
+              "Packet must stay heap-free to cross shard edges as bytes");
+
+void CrossShardLink::Port::on_cross_message(sim::Time /*t*/, const void* data,
+                                            std::size_t size) {
+  Packet pkt;
+  std::memcpy(static_cast<void*>(&pkt), data, std::min(size, sizeof(Packet)));
+  if (receiver_) receiver_(pkt);
+}
+
+namespace {
+
+Link::Config zero_prop(Link::Config cfg) {
+  cfg.prop_delay = 0;
+  return cfg;
+}
+
+}  // namespace
+
+CrossShardLink::CrossShardLink(sim::Simulation& src_sim,
+                               sim::ShardEngine& engine, std::size_t src_place,
+                               std::size_t dst_place, Port& port,
+                               Link::Config cfg)
+    : src_sim_(src_sim),
+      engine_(engine),
+      edge_(engine.add_edge(src_place, dst_place, cfg.prop_delay, port,
+                            sizeof(Packet))),
+      link_(src_sim, zero_prop(std::move(cfg))) {
+  link_.set_receiver([this](const Packet& pkt) {
+    // Fires at transmission-finish time s; the boundary's propagation is
+    // the edge's (currently effective) lookahead.
+    const sim::Time t =
+        src_sim_.now() + engine_.partition().edge(edge_).lookahead;
+    engine_.post(edge_, t, &pkt, sizeof(Packet));
+  });
+}
+
+}  // namespace emptcp::net

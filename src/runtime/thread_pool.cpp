@@ -45,6 +45,78 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+EpochGroup::EpochGroup(ThreadPool& pool, std::size_t parties,
+                       std::function<void(std::size_t)> fn)
+    : fn_(std::move(fn)),
+      parties_(std::min(std::max<std::size_t>(parties, 1),
+                        std::max<std::size_t>(pool.worker_count(), 1))) {
+  for (std::size_t p = 0; p < parties_; ++p) {
+    pool.submit([this, p] { party_loop(p); });
+  }
+  // Wait for every party to park before returning: run() may be called
+  // immediately, and a party still in the pool queue must not miss the
+  // first generation bump.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return parked_ == parties_; });
+}
+
+EpochGroup::~EpochGroup() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  epoch_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return parked_ == 0; });
+}
+
+void EpochGroup::run() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    first_error_ = nullptr;
+    remaining_ = parties_;
+    ++generation_;
+  }
+  epoch_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void EpochGroup::party_loop(std::size_t party) {
+  std::uint64_t seen = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++parked_;
+  }
+  done_cv_.notify_all();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      epoch_cv_.wait(
+          lock, [this, seen] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        --parked_;
+        if (parked_ == 0) done_cv_.notify_all();
+        return;
+      }
+      seen = generation_;
+    }
+    std::exception_ptr err;
+    try {
+      fn_(party);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --remaining_;
+      if (remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

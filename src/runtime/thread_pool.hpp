@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -51,6 +52,56 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+};
+
+/// Phase-synchronised work on a ThreadPool: N long-lived parties, each
+/// re-running its callback once per epoch.
+///
+/// The shard engine's barrier loop runs thousands of short epochs; paying
+/// submit()'s queue mutation and closure allocation N times per epoch would
+/// dominate the fine-grained ones. An EpochGroup submits each party task to
+/// the pool exactly once; the tasks then park on a generation counter and
+/// every run() call is one notify + one wait on that counter — no
+/// per-epoch enqueue at all.
+///
+/// run() blocks until every party has finished the epoch, which gives the
+/// caller a full barrier: party writes in epoch k happen-before the
+/// caller's reads after run() returns, and those happen-before party reads
+/// in epoch k+1. Exceptions thrown by a party are captured and the first
+/// one is rethrown from run() after the barrier completes.
+class EpochGroup {
+ public:
+  /// Occupies `parties` workers of `pool` (clamped to its worker count;
+  /// at least 1). `fn(party)` runs once per party per run() call.
+  EpochGroup(ThreadPool& pool, std::size_t parties,
+             std::function<void(std::size_t)> fn);
+
+  EpochGroup(const EpochGroup&) = delete;
+  EpochGroup& operator=(const EpochGroup&) = delete;
+
+  /// Releases the parked party tasks back to the pool.
+  ~EpochGroup();
+
+  /// Runs one epoch: every party executes fn(party) concurrently; returns
+  /// when all have finished. Rethrows the first party exception.
+  void run();
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  void party_loop(std::size_t party);
+
+  std::function<void(std::size_t)> fn_;
+  std::size_t parties_;
+
+  std::mutex mu_;
+  std::condition_variable epoch_cv_;  ///< parties wait for a new generation
+  std::condition_variable done_cv_;   ///< run() waits for all parties
+  std::uint64_t generation_ = 0;      ///< bumped by run() to start an epoch
+  std::size_t remaining_ = 0;         ///< parties still inside this epoch
+  bool shutdown_ = false;
+  std::size_t parked_ = 0;  ///< parties alive inside party_loop
+  std::exception_ptr first_error_;
 };
 
 }  // namespace emptcp::runtime

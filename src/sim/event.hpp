@@ -79,6 +79,14 @@ class Scheduler {
   /// are popped and discarded).
   [[nodiscard]] std::size_t pending_events() const { return live_count_; }
 
+  /// Timestamp of the earliest queued entry, kTimeNever when the queue is
+  /// empty. A cancelled entry still at the top reports its (stale) time —
+  /// a conservative lower bound, which is all the shard engine's epoch
+  /// planner needs.
+  [[nodiscard]] Time next_event_time() const {
+    return queue_.empty() ? kTimeNever : queue_.top().t;
+  }
+
   /// Hard cap on executed events per run_until call, as a runaway guard.
   void set_event_limit(std::size_t limit) { event_limit_ = limit; }
 

@@ -1,0 +1,62 @@
+#include "sim/partition.hpp"
+
+#include <stdexcept>
+
+namespace emptcp::sim {
+
+std::size_t Partition::add_place(std::string name) {
+  names_.push_back(std::move(name));
+  matrix_.assign(names_.size() * names_.size(), kTimeNever);
+  recompute();
+  return names_.size() - 1;
+}
+
+std::size_t Partition::add_edge(std::size_t src, std::size_t dst,
+                                Duration lookahead) {
+  if (src >= names_.size() || dst >= names_.size()) {
+    throw std::out_of_range("Partition::add_edge: unknown place id");
+  }
+  if (lookahead <= 0) {
+    throw std::invalid_argument(
+        "Partition::add_edge: edge " + names_[src] + " -> " + names_[dst] +
+        " has zero/negative lookahead (" + std::to_string(lookahead) +
+        " ns); a conservative engine cannot make progress across a "
+        "zero-delay boundary — give the link a positive propagation delay "
+        "or co-locate the endpoints in one place");
+  }
+  edges_.push_back(Edge{src, dst, lookahead});
+  if (lookahead < cell(src, dst)) cell(src, dst) = lookahead;
+  if (lookahead < min_) min_ = lookahead;
+  return edges_.size() - 1;
+}
+
+void Partition::update_edge_lookahead(std::size_t edge_id,
+                                      Duration lookahead) {
+  Edge& e = edges_.at(edge_id);
+  if (lookahead <= 0) {
+    throw std::invalid_argument(
+        "Partition::update_edge_lookahead: edge " + names_[e.src] + " -> " +
+        names_[e.dst] + " updated to zero/negative lookahead (" +
+        std::to_string(lookahead) + " ns)");
+  }
+  e.lookahead = lookahead;
+  recompute();
+}
+
+Duration Partition::lookahead(std::size_t src, std::size_t dst) const {
+  if (src >= names_.size() || dst >= names_.size()) {
+    throw std::out_of_range("Partition::lookahead: unknown place id");
+  }
+  return matrix_[src * names_.size() + dst];
+}
+
+void Partition::recompute() {
+  for (Duration& d : matrix_) d = kTimeNever;
+  min_ = kTimeNever;
+  for (const Edge& e : edges_) {
+    if (e.lookahead < cell(e.src, e.dst)) cell(e.src, e.dst) = e.lookahead;
+    if (e.lookahead < min_) min_ = e.lookahead;
+  }
+}
+
+}  // namespace emptcp::sim

@@ -1,0 +1,86 @@
+// Partition: the static map from simulation places to shards, plus the
+// lookahead matrix a conservative parallel engine synchronises on.
+//
+// A "place" is one sequential event region — a Simulation that owns some
+// subset of the modeled nodes (in the fleet engine: one cell of clients
+// with its AP, links and server). Places are coupled only by directed
+// edges, each declaring the minimum virtual latency any cross-place
+// message sent over it experiences (for a link, its propagation delay —
+// transmission and queueing only add to it, so rate changes can never
+// shrink the bound). That minimum is the classic PDES lookahead: while a
+// place executes the window [T, T + min-lookahead), no message from any
+// peer can arrive inside the window, so all places can run the window
+// concurrently without violating timestamp order.
+//
+// Zero (or negative) lookahead would collapse the window to nothing and
+// deadlock a conservative engine, so add_edge/update_edge_lookahead reject
+// it loudly instead of limping into a livelock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace emptcp::sim {
+
+class Partition {
+ public:
+  struct Edge {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    Duration lookahead = 0;  ///< minimum latency of messages on this edge
+  };
+
+  /// Registers a place; returns its dense id (0, 1, 2, ...).
+  std::size_t add_place(std::string name);
+
+  /// Registers a directed edge with its minimum message latency. Throws
+  /// std::invalid_argument on lookahead <= 0 and std::out_of_range on
+  /// unknown place ids.
+  std::size_t add_edge(std::size_t src, std::size_t dst, Duration lookahead);
+
+  /// Tightens or relaxes an edge's bound (a topology change altered the
+  /// link's propagation delay). Throws like add_edge. The matrix and the
+  /// global minimum are recomputed immediately.
+  void update_edge_lookahead(std::size_t edge_id, Duration lookahead);
+
+  [[nodiscard]] std::size_t place_count() const { return names_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const std::string& place_name(std::size_t place) const {
+    return names_.at(place);
+  }
+  [[nodiscard]] const Edge& edge(std::size_t edge_id) const {
+    return edges_.at(edge_id);
+  }
+
+  /// Minimum lookahead over all src->dst edges; kTimeNever when the pair
+  /// is not directly coupled.
+  [[nodiscard]] Duration lookahead(std::size_t src, std::size_t dst) const;
+
+  /// The global synchronisation window: minimum lookahead over every edge,
+  /// kTimeNever when the partition has no edges (fully independent places).
+  [[nodiscard]] Duration min_lookahead() const { return min_; }
+
+  /// Static place -> shard assignment (round robin). Any mapping is
+  /// correct — it only balances load — but it must not influence results,
+  /// so it is a pure function of (place, shard_count).
+  [[nodiscard]] static std::size_t owner(std::size_t place,
+                                         std::size_t shard_count) {
+    return shard_count == 0 ? 0 : place % shard_count;
+  }
+
+ private:
+  void recompute();
+  [[nodiscard]] Duration& cell(std::size_t src, std::size_t dst) {
+    return matrix_[src * names_.size() + dst];
+  }
+
+  std::vector<std::string> names_;
+  std::vector<Edge> edges_;
+  std::vector<Duration> matrix_;  ///< place_count^2 pairwise minima
+  Duration min_ = kTimeNever;
+};
+
+}  // namespace emptcp::sim

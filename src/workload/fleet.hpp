@@ -36,6 +36,23 @@ class ClientConnHandle;
 
 namespace emptcp::workload {
 
+/// How a fleet is partitioned across ShardEngine places (workload::
+/// ShardedFleet). Results are a pure function of the *cell* structure
+/// (clients_per_cell, cross_every, backbone parameters); `shards` only
+/// maps cells onto worker threads and never changes any output byte.
+struct ShardingConfig {
+  /// Clients hosted per cell; 0 = unsharded (single-World ClientFleet).
+  std::size_t clients_per_cell = 0;
+  /// Worker threads executing the cells (0 = EMPTCP_JOBS-derived default).
+  std::size_t shards = 1;
+  /// Every cross_every-th flow of cell i fetches from cell (i+1)%C's
+  /// server over the backbone; 0 = all traffic stays cell-local.
+  std::size_t cross_every = 0;
+  /// Backbone ring links coupling adjacent cells.
+  double backbone_mbps = 1000.0;
+  sim::Duration backbone_delay = sim::milliseconds(10);
+};
+
 struct FleetConfig {
   app::ScenarioConfig scenario;
   app::Protocol protocol = app::Protocol::kEmptcp;
@@ -48,9 +65,17 @@ struct FleetConfig {
   SizeDist flow_size;
   ThinkTime think;                  ///< closed loop only
   ArrivalProcess arrival;           ///< open loop only
+  ShardingConfig sharding;          ///< cell partitioning (ShardedFleet)
 
   [[nodiscard]] std::size_t total_flows() const {
     return flows_per_client == 0 ? 0 : clients * flows_per_client;
+  }
+  /// Number of cells the sharded engine would partition this fleet into.
+  [[nodiscard]] std::size_t cell_count() const {
+    if (sharding.clients_per_cell == 0) return 1;
+    const std::size_t c =
+        (clients + sharding.clients_per_cell - 1) / sharding.clients_per_cell;
+    return c == 0 ? 1 : c;
   }
 };
 

@@ -37,6 +37,25 @@ CampaignSpec tiny_spec() {
   return spec;
 }
 
+CampaignSpec sharded_spec(std::size_t shards) {
+  CampaignSpec spec;
+  std::string err;
+  const bool ok = parse_campaign_spec(
+      "name = sh\n"
+      "protocols = emptcp\n"
+      "fleet_sizes = 8\n"
+      "seeds = 1\n"
+      "flows_per_client = 1\n"
+      "size.kind = fixed\n"
+      "size.mean_bytes = 50000\n"
+      "sharding.clients_per_cell = 2\n"
+      "sharding.cross_every = 2\n",
+      spec, err);
+  EXPECT_TRUE(ok) << err;
+  spec.workload.sharding.shards = shards;
+  return spec;
+}
+
 std::string slurp(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
   EXPECT_TRUE(in.good()) << p;
@@ -160,6 +179,36 @@ TEST_F(CampaignRunnerTest, EmptyCellGridRefusesLoudly) {
   EXPECT_THROW(runner.run(1), std::invalid_argument);
   // No half-created campaign directory is left behind.
   EXPECT_FALSE(fs::exists(dir));
+}
+
+TEST_F(CampaignRunnerTest, ShardedCellsProduceShardCountIndependentArtifacts) {
+  const fs::path d1 = fresh_dir("sh1");
+  const fs::path d4 = fresh_dir("sh4");
+  CampaignRunner one(sharded_spec(1), d1.string());
+  CampaignRunner four(sharded_spec(4), d4.string());
+  ASSERT_EQ(one.run(1).ran, 1u);
+  ASSERT_EQ(four.run(1).ran, 1u);
+  // Traces, manifests and the ledger are all byte-identical: the shard
+  // count changes wall-clock time only, never an output byte.
+  EXPECT_EQ(snapshot(d1), snapshot(d4));
+
+  // The manifest names the cell topology — but never the shard count,
+  // which would break artifact verification across machines.
+  const std::string manifest = slurp(d1 / "sh-emptcp-f8-s1.manifest.json");
+  EXPECT_NE(manifest.find("/cells4"), std::string::npos);
+  EXPECT_NE(manifest.find("fleet.cells"), std::string::npos);
+  EXPECT_NE(manifest.find("fleet.clients_per_cell"), std::string::npos);
+  EXPECT_NE(manifest.find("fleet.cross_every"), std::string::npos);
+  EXPECT_EQ(manifest.find("shards"), std::string::npos);
+
+  // Sharded cells analyze like any other campaign artifact.
+  std::vector<analysis::AnalyzedRun> runs;
+  std::string err;
+  ASSERT_TRUE(analysis::load_analyzed_runs({d1.string()}, runs, err)) << err;
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs[0].digest_ok);
+  EXPECT_EQ(runs[0].rollup.flows_started, 8u);
+  EXPECT_EQ(runs[0].rollup.flows_completed, 8u);
 }
 
 TEST_F(CampaignRunnerTest, WorkerCountDoesNotChangeArtifacts) {

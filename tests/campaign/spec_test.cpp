@@ -85,6 +85,41 @@ TEST(CampaignSpecTest, RejectsUnknownAndInvalid) {
       "protocols = emptcp\nfleet_sizes = 0\nseeds = 1\n", spec, err));
 }
 
+TEST(CampaignSpecTest, ParsesAndValidatesShardingKeys) {
+  const char* text =
+      "name = sh\n"
+      "protocols = emptcp\n"
+      "fleet_sizes = 8\n"
+      "seeds = 1\n"
+      "sharding.clients_per_cell = 2\n"
+      "sharding.shards = 4\n"
+      "sharding.cross_every = 2\n"
+      "sharding.backbone_mbps = 400\n"
+      "sharding.backbone_delay_ms = 5\n";
+  CampaignSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_campaign_spec(text, spec, err)) << err;
+  EXPECT_EQ(spec.workload.sharding.clients_per_cell, 2u);
+  EXPECT_EQ(spec.workload.sharding.shards, 4u);
+  EXPECT_EQ(spec.workload.sharding.cross_every, 2u);
+  EXPECT_DOUBLE_EQ(spec.workload.sharding.backbone_mbps, 400.0);
+  EXPECT_EQ(spec.workload.sharding.backbone_delay, sim::milliseconds(5));
+  EXPECT_EQ(spec.workload.cell_count(), 4u);
+
+  // Zero backbone delay would collapse the conservative lookahead window;
+  // the parser refuses before any fleet gets built.
+  EXPECT_FALSE(parse_campaign_spec(
+      "name = sh\nprotocols = emptcp\nfleet_sizes = 8\nseeds = 1\n"
+      "sharding.backbone_delay_ms = 0\n",
+      spec, err));
+  EXPECT_NE(err.find("backbone_delay_ms"), std::string::npos);
+  EXPECT_FALSE(parse_campaign_spec(
+      "name = sh\nprotocols = emptcp\nfleet_sizes = 8\nseeds = 1\n"
+      "sharding.backbone_mbps = -1\n",
+      spec, err));
+  EXPECT_NE(err.find("backbone_mbps"), std::string::npos);
+}
+
 TEST(CampaignSpecTest, SeedDerivationIsStableAndDecorrelated) {
   const std::uint64_t s1 =
       derive_cell_seed("camp", app::Protocol::kEmptcp, 4, 1);

@@ -1,0 +1,95 @@
+// Partition: the place/shard map and the lookahead matrix the conservative
+// engine synchronises on. The invariants here are load-bearing for
+// correctness (a zero window deadlocks the engine) and for determinism
+// (owner() must be a pure function of place and shard count).
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace emptcp::sim {
+namespace {
+
+TEST(PartitionTest, PlacesGetDenseIdsAndNames) {
+  Partition p;
+  EXPECT_EQ(p.add_place("a"), 0u);
+  EXPECT_EQ(p.add_place("b"), 1u);
+  EXPECT_EQ(p.place_count(), 2u);
+  EXPECT_EQ(p.place_name(0), "a");
+  EXPECT_EQ(p.place_name(1), "b");
+}
+
+TEST(PartitionTest, LookaheadMatrixTracksPairwiseMinima) {
+  Partition p;
+  p.add_place("a");
+  p.add_place("b");
+  p.add_place("c");
+  p.add_edge(0, 1, milliseconds(10));
+  p.add_edge(0, 1, milliseconds(4));  // parallel edge tightens the pair
+  p.add_edge(1, 2, milliseconds(7));
+
+  EXPECT_EQ(p.lookahead(0, 1), milliseconds(4));
+  EXPECT_EQ(p.lookahead(1, 2), milliseconds(7));
+  EXPECT_EQ(p.lookahead(1, 0), kTimeNever);  // directed: no reverse edge
+  EXPECT_EQ(p.lookahead(0, 2), kTimeNever);  // no transitive coupling
+  EXPECT_EQ(p.min_lookahead(), milliseconds(4));
+}
+
+TEST(PartitionTest, NoEdgesMeansUnboundedWindow) {
+  Partition p;
+  p.add_place("a");
+  p.add_place("b");
+  EXPECT_EQ(p.min_lookahead(), kTimeNever);
+  EXPECT_EQ(p.lookahead(0, 1), kTimeNever);
+}
+
+TEST(PartitionTest, ZeroOrNegativeLookaheadIsRejectedLoudly) {
+  Partition p;
+  p.add_place("a");
+  p.add_place("b");
+  EXPECT_THROW(p.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(p.add_edge(0, 1, -milliseconds(1)), std::invalid_argument);
+  const std::size_t e = p.add_edge(0, 1, milliseconds(5));
+  EXPECT_THROW(p.update_edge_lookahead(e, 0), std::invalid_argument);
+  // A rejected update must leave the matrix untouched.
+  EXPECT_EQ(p.lookahead(0, 1), milliseconds(5));
+  EXPECT_EQ(p.min_lookahead(), milliseconds(5));
+}
+
+TEST(PartitionTest, UnknownPlaceIdsAreRejected) {
+  Partition p;
+  p.add_place("a");
+  EXPECT_THROW(p.add_edge(0, 1, milliseconds(1)), std::out_of_range);
+  EXPECT_THROW(p.add_edge(7, 0, milliseconds(1)), std::out_of_range);
+}
+
+TEST(PartitionTest, UpdateRecomputesMatrixAndGlobalMinimum) {
+  Partition p;
+  p.add_place("a");
+  p.add_place("b");
+  const std::size_t e01 = p.add_edge(0, 1, milliseconds(3));
+  p.add_edge(1, 0, milliseconds(8));
+
+  // Raising the tightest edge must re-derive the minimum from scratch,
+  // not keep the stale incremental value.
+  p.update_edge_lookahead(e01, milliseconds(20));
+  EXPECT_EQ(p.lookahead(0, 1), milliseconds(20));
+  EXPECT_EQ(p.min_lookahead(), milliseconds(8));
+
+  p.update_edge_lookahead(e01, milliseconds(2));
+  EXPECT_EQ(p.min_lookahead(), milliseconds(2));
+  EXPECT_EQ(p.edge(e01).lookahead, milliseconds(2));
+}
+
+TEST(PartitionTest, OwnerIsPureRoundRobin) {
+  for (std::size_t place = 0; place < 16; ++place) {
+    EXPECT_EQ(Partition::owner(place, 1), 0u);
+    EXPECT_EQ(Partition::owner(place, 4), place % 4);
+  }
+  // shard_count 0 must not divide by zero.
+  EXPECT_EQ(Partition::owner(3, 0), 0u);
+}
+
+}  // namespace
+}  // namespace emptcp::sim

@@ -31,7 +31,8 @@ namespace {
 using namespace emptcp;
 
 constexpr const char kUsage[] =
-    "usage: emptcp-campaign [--out DIR] [--jobs N] [--no-report] SPEC\n"
+    "usage: emptcp-campaign [--out DIR] [--jobs N] [--shards N]\n"
+    "                       [--no-report] SPEC\n"
     "       emptcp-campaign --help\n"
     "\n"
     "Runs the protocol x fleet-size x seed grid described by SPEC (JSON\n"
@@ -39,7 +40,12 @@ constexpr const char kUsage[] =
     "into DIR (default: campaign-out). Completed cells are recorded in\n"
     "DIR/campaign.ledger; re-running the same spec resumes, re-running\n"
     "only missing or corrupt cells. Unless --no-report is given, the\n"
-    "emptcp-report rendering over all cells is printed to stdout.\n";
+    "emptcp-report rendering over all cells is printed to stdout.\n"
+    "\n"
+    "--shards N overrides the spec's sharding.shards worker count for\n"
+    "sharded fleets (sharding.clients_per_cell > 0); 0 derives it from\n"
+    "EMPTCP_JOBS / the core count. Artifacts are byte-identical for any\n"
+    "value — the override only changes wall-clock time.\n";
 
 int usage_error(const std::string& complaint) {
   if (!complaint.empty()) {
@@ -65,6 +71,8 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::size_t jobs = 0;  // 0 = pool default (cores, capped by EMPTCP_JOBS)
   bool report = true;
+  bool shards_given = false;
+  std::size_t shards = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       if (i + 1 >= args.size()) return usage_error("--out needs a directory");
@@ -77,6 +85,15 @@ int main(int argc, char** argv) {
         return usage_error("bad --jobs value: " + args[i]);
       }
       jobs = static_cast<std::size_t>(v);
+    } else if (args[i] == "--shards") {
+      if (i + 1 >= args.size()) return usage_error("--shards needs a count");
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(args[++i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0') {
+        return usage_error("bad --shards value: " + args[i]);
+      }
+      shards_given = true;
+      shards = static_cast<std::size_t>(v);  // 0 = jobs-derived
     } else if (args[i] == "--no-report") {
       report = false;
     } else if (!args[i].empty() && args[i][0] == '-') {
@@ -94,6 +111,13 @@ int main(int argc, char** argv) {
   if (!campaign::load_campaign_spec(spec_path, spec, err)) {
     return usage_error(err);  // err already names the spec path
   }
+  if (shards_given) {
+    if (spec.workload.sharding.clients_per_cell == 0) {
+      return usage_error("--shards given but the spec is not sharded (set "
+                         "sharding.clients_per_cell)");
+    }
+    spec.workload.sharding.shards = shards;
+  }
 
   std::fprintf(stderr,
                "emptcp-campaign: %s: %zu protocol(s) x %zu fleet size(s) x "
@@ -101,6 +125,13 @@ int main(int argc, char** argv) {
                spec.name.c_str(), spec.protocols.size(),
                spec.fleet_sizes.size(), spec.seeds.size(), spec.cell_count(),
                out_dir.c_str());
+  if (spec.workload.sharding.clients_per_cell != 0) {
+    std::fprintf(stderr,
+                 "emptcp-campaign: sharded fleets: %zu clients/cell, "
+                 "shards=%zu (0 = jobs-derived)\n",
+                 spec.workload.sharding.clients_per_cell,
+                 spec.workload.sharding.shards);
+  }
 
   campaign::CampaignRunner runner(std::move(spec), out_dir);
   campaign::CampaignResult result;
