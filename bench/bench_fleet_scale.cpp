@@ -19,10 +19,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/perf_report.hpp"
+#include "runtime/telemetry.hpp"
+#include "sim/shard_engine.hpp"
+#include "stats/csv.hpp"
 #include "workload/sharded_fleet.hpp"
 
 namespace {
@@ -47,7 +52,14 @@ struct ShardRun {
   std::size_t shards = 0;
   std::uint64_t events = 0;
   double seconds = 0.0;
+  sim::ShardEnginePerf perf;  ///< always-on epoch aggregates
 };
+
+/// EMPTCP_PERF_DIR, or nullptr when unset/empty.
+const char* perf_dir() {
+  const char* dir = std::getenv("EMPTCP_PERF_DIR");
+  return dir != nullptr && *dir != '\0' ? dir : nullptr;
+}
 
 workload::FleetConfig sweep_config(const SweepPoint& pt, std::size_t shards) {
   workload::FleetConfig cfg;
@@ -68,6 +80,9 @@ workload::FleetConfig sweep_config(const SweepPoint& pt, std::size_t shards) {
 /// One (fleet size, shard count) measurement: build, warm up, then run the
 /// fixed virtual window on the wall clock.
 ShardRun measure(const SweepPoint& pt, std::size_t shards) {
+  // One measurement per span/counter window: with telemetry on, the
+  // buffers are cleared so each exported trace covers exactly this run.
+  if (runtime::Telemetry::enabled()) runtime::Telemetry::instance().clear();
   workload::ShardedFleet fleet(sweep_config(pt, shards));
   fleet.start(1);
   fleet.run_until(pt.warm_s);
@@ -78,12 +93,49 @@ ShardRun measure(const SweepPoint& pt, std::size_t shards) {
   r.shards = shards;
   r.seconds = seconds_since(start);
   r.events = fleet.engine().events_executed() - before;
+  r.perf = fleet.engine().perf();
+
+  if (const char* dir = perf_dir()) {
+    const std::string base = std::string(dir) + "/fleet_" +
+                             std::to_string(pt.clients) + "_" +
+                             std::to_string(shards) + "shards";
+    analysis::PerfDoc doc = analysis::make_perf_doc(r.perf);
+    doc.label = "fleet_" + std::to_string(pt.clients) + " shards=" +
+                std::to_string(shards);
+    analysis::fill_spans(doc);
+    if (!stats::write_file(base + ".perf.json",
+                           analysis::perf_doc_to_json(doc))) {
+      std::fprintf(stderr, "bench_fleet_scale: cannot write %s.perf.json\n",
+                   base.c_str());
+    }
+    if (!stats::write_file(
+            base + ".trace.json",
+            runtime::Telemetry::instance().to_chrome_json())) {
+      std::fprintf(stderr, "bench_fleet_scale: cannot write %s.trace.json\n",
+                   base.c_str());
+    }
+  }
   return r;
 }
 
 }  // namespace
 
 int main() {
+  // EMPTCP_PERF_DIR opts into the span profiler; per-measurement Chrome
+  // traces and perf docs land there. BENCH_fleet_scale.json itself never
+  // contains wall-clock telemetry beyond the existing rate keys.
+  if (const char* dir = perf_dir()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "bench_fleet_scale: cannot create %s: %s\n", dir,
+                   ec.message().c_str());
+      return 1;
+    }
+    runtime::Telemetry::instance().enable(true);
+    std::printf("bench_fleet_scale: telemetry on -> %s\n", dir);
+  }
+
   const bool quick = bench_quick();
   const double scale = quick ? 0.2 : 1.0;
   std::vector<SweepPoint> sweep = {
@@ -119,7 +171,8 @@ int main() {
       // The determinism contract, enforced where a violation would
       // otherwise masquerade as a scaling result: every shard count must
       // execute exactly the same events over the same virtual window.
-      if (runs.back().events != runs.front().events) {
+      if (runs.back().events != runs.front().events ||
+          runs.back().perf.epochs != runs.front().perf.epochs) {
         std::fprintf(stderr,
                      "bench_fleet_scale: NON-DETERMINISTIC event count at "
                      "fleet %zu: shards=1 ran %llu events, shards=%zu ran "
@@ -140,6 +193,18 @@ int main() {
     std::fprintf(f, "    \"window_s\": %.3f,\n", pt.window_s);
     std::fprintf(f, "    \"events\": %llu",
                  static_cast<unsigned long long>(runs.front().events));
+    // Epoch aggregates are virtual-state: pure functions of (config,
+    // seed), identical for every shard count (checked below like the
+    // event count). Committed so regressions in epoch batching show up
+    // in the diff.
+    const sim::ShardEnginePerf& ep = runs.front().perf;
+    std::fprintf(f, ",\n    \"epochs\": %llu",
+                 static_cast<unsigned long long>(ep.epochs));
+    std::fprintf(f, ",\n    \"events_per_epoch_mean\": %.4f",
+                 ep.events_per_epoch.mean());
+    std::fprintf(f, ",\n    \"imbalance_pct_p90\": %llu",
+                 static_cast<unsigned long long>(
+                     ep.imbalance_pct.quantile_upper(0.90)));
     for (const ShardRun& r : runs) {
       std::fprintf(f, ",\n    \"seconds_%zushard\": %.6f", r.shards,
                    r.seconds);

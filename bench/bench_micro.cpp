@@ -21,6 +21,7 @@
 #include <new>
 
 #include "analysis/profile.hpp"
+#include "runtime/telemetry.hpp"
 #include "app/scenario.hpp"
 #include "app/world.hpp"
 #include "core/energy_info_base.hpp"
@@ -248,6 +249,13 @@ struct CoreResult {
   std::uint64_t flight_gate_ops = 0;
   double flight_gate_seconds = 0.0;
   double flight_gate_allocs_per_op = 0.0;
+  // Disabled EMPTCP_SPAN cost: the span profiler's cached-gate (one
+  // relaxed atomic load + branch), paid at every span site when telemetry
+  // is off. Must stay allocation-free and in the same cost class as the
+  // disabled trace gate.
+  std::uint64_t span_gate_ops = 0;
+  double span_gate_seconds = 0.0;
+  double span_gate_allocs_per_op = 0.0;
   // 256-client fleet steady state: event rate and allocations/event with
   // hundreds of concurrent connections multiplexed on one node.
   std::uint64_t fleet_clients = 0;
@@ -482,12 +490,38 @@ void measure_fleet_100k(CoreResult& out) {
                                         out.huge_events);
 }
 
+/// Disabled span-profiler gate at an instrumentation site. Telemetry must
+/// be off (the default): each EMPTCP_SPAN then costs one relaxed atomic
+/// load, a branch, and a trivially-destructed empty guard.
+void measure_span_gate(CoreResult& out) {
+  const std::uint64_t kOps = bench_quick() ? 5'000'000 : 50'000'000;
+  std::uint64_t x = 0;
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    EMPTCP_SPAN("bench.gate");
+    benchmark::DoNotOptimize(x += i);
+  }
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    EMPTCP_SPAN("bench.gate");
+    benchmark::DoNotOptimize(x += i);
+  }
+  out.span_gate_seconds = seconds_since(start);
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.span_gate_ops = kOps;
+  out.span_gate_allocs_per_op =
+      static_cast<double>(allocs) / static_cast<double>(kOps);
+}
+
 void measure_trace_gates(CoreResult& out) {
   const auto timer = out.harness.time("trace_gates");
   measure_gate(false, out.trace_gate_ops, out.trace_gate_seconds,
                out.trace_gate_allocs_per_op);
   measure_gate(true, out.flight_gate_ops, out.flight_gate_seconds,
                out.flight_gate_allocs_per_op);
+  measure_span_gate(out);
 }
 
 void write_json(const CoreResult& r) {
@@ -545,6 +579,16 @@ void write_json(const CoreResult& r) {
                    static_cast<double>(r.flight_gate_ops));
   std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
                r.flight_gate_allocs_per_op);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"span_disabled\": {\n");
+  std::fprintf(f, "    \"ops\": %llu,\n",
+               static_cast<unsigned long long>(r.span_gate_ops));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.span_gate_seconds);
+  std::fprintf(f, "    \"ns_per_op\": %.4f,\n",
+               r.span_gate_seconds * 1e9 /
+                   static_cast<double>(r.span_gate_ops));
+  std::fprintf(f, "    \"allocs_per_op\": %.6f\n",
+               r.span_gate_allocs_per_op);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fleet_256\": {\n");
   std::fprintf(f, "    \"clients\": %llu,\n",
@@ -635,7 +679,7 @@ void run_core_harness() {
       "%lluMB download in %.3fs wall (%.2fM sim events/s, slab %llu, "
       "pool %llu), "
       "trace gate off %.2f ns/op / flight-on %.2f ns/op "
-      "(%.6f / %.6f allocs/op)\n",
+      "(%.6f / %.6f allocs/op), span gate off %.2f ns/op\n",
       static_cast<double>(r.sched_events) / r.sched_seconds / 1e6,
       r.sched_allocs_per_event,
       static_cast<double>(r.pkt_packets) / r.pkt_seconds / 1e6,
@@ -648,7 +692,8 @@ void run_core_harness() {
       static_cast<unsigned long long>(r.e2e_profile.packet_pool_slots),
       r.trace_gate_seconds * 1e9 / static_cast<double>(r.trace_gate_ops),
       r.flight_gate_seconds * 1e9 / static_cast<double>(r.flight_gate_ops),
-      r.trace_gate_allocs_per_op, r.flight_gate_allocs_per_op);
+      r.trace_gate_allocs_per_op, r.flight_gate_allocs_per_op,
+      r.span_gate_seconds * 1e9 / static_cast<double>(r.span_gate_ops));
   write_json(r);
 }
 

@@ -1,0 +1,112 @@
+// Perf artifacts: the wall-clock/telemetry side channel, kept strictly
+// apart from the deterministic report pipeline.
+//
+// A PerfDoc captures one run's engine telemetry (epoch histograms,
+// per-place utilization, per-party barrier accounting) plus the process
+// span aggregate, serialized as `<label>.perf.json` under EMPTCP_PERF_DIR
+// — never into a campaign/bench artifact directory, whose contents are
+// byte-compared by the determinism gates. `emptcp-report perf` renders
+// these files as the per-shard utilization and top-span tables;
+// validate_chrome_trace() checks the companion `*.trace.json` Chrome
+// trace-event export (what Perfetto loads) structurally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace emptcp::sim {
+struct ShardEnginePerf;
+}  // namespace emptcp::sim
+
+namespace emptcp::analysis {
+
+/// Summary of one runtime::LogBuckets histogram — what perf.json stores
+/// (full bucket arrays would be noise at this resolution).
+struct PerfDist {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+PerfDist summarize(const runtime::LogBuckets& h);
+
+struct PerfDoc {
+  std::string label;
+
+  // Engine epoch telemetry (deterministic aggregates).
+  std::uint64_t epochs = 0;
+  std::uint64_t busy_epochs = 0;
+  std::uint64_t cross_messages = 0;
+  double min_lookahead_ns = 0.0;
+  /// Mean virtual advance per epoch over the lookahead window. >= 1 by
+  /// construction; values well above 1 mean idle stretches were skipped
+  /// in single epochs (good), values pinned at 1 mean every window was
+  /// dense.
+  double lookahead_utilization = 0.0;
+  PerfDist events_per_epoch;
+  PerfDist advance_ns_per_epoch;
+  PerfDist cross_per_epoch;
+  PerfDist imbalance_pct;
+
+  struct Place {
+    std::string name;
+    std::uint64_t events = 0;
+    std::uint64_t busy_epochs = 0;
+    std::uint64_t cross_tx = 0;  ///< packets posted outbound (0 if none)
+    double work_s = 0.0;         ///< wall; 0 unless telemetry was on
+  };
+  std::vector<Place> places;
+
+  struct Party {
+    double busy_s = 0.0;
+    double wait_s = 0.0;
+  };
+  std::vector<Party> parties;
+
+  struct Span {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+    double max_ms = 0.0;
+  };
+  std::vector<Span> spans;
+  std::uint64_t spans_dropped = 0;
+};
+
+/// Engine telemetry -> doc (label, cross_tx and spans left for callers).
+PerfDoc make_perf_doc(const sim::ShardEnginePerf& perf);
+
+/// Copies the process-wide span aggregate from runtime::Telemetry into
+/// `doc` (top `max_spans` by total time). Call at a quiescent point.
+void fill_spans(PerfDoc& doc, std::size_t max_spans = 32);
+
+[[nodiscard]] std::string perf_doc_to_json(const PerfDoc& doc);
+
+/// Parses a perf.json previously written by perf_doc_to_json. Returns
+/// false (with `err` set) on schema mismatch.
+bool perf_doc_from_flat(const FlatJson& flat, PerfDoc& doc,
+                        std::string* err = nullptr);
+
+/// Renders the `emptcp-report perf` tables over one or more docs:
+/// per-place (shard) utilization, per-party barrier summary, epoch
+/// distributions and the top-N span table. Deterministic given the docs.
+[[nodiscard]] std::string render_perf_report(const std::vector<PerfDoc>& docs,
+                                             std::size_t top_spans = 10);
+
+/// Structural validation of a Chrome trace-event JSON document: a
+/// {"traceEvents": [...]} object whose entries carry a known phase
+/// ("X" complete events with ts/dur/name/pid/tid, "C" counters with a
+/// numeric args value, "M" metadata). On success reports the number of
+/// trace events through `events`.
+bool validate_chrome_trace(std::string_view text, std::size_t& events,
+                           std::string& err);
+
+}  // namespace emptcp::analysis

@@ -14,6 +14,9 @@
 #include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+
+#include "runtime/telemetry.hpp"
 
 namespace emptcp::analysis {
 
@@ -30,22 +33,34 @@ class Profiler {
   };
 
   /// Find-or-create; references stay valid for the profiler's lifetime
-  /// (deque storage, same idiom as the metrics registry).
+  /// (deque storage, same idiom as the metrics registry). Lookup is a
+  /// hash-map hit — component() sits on instrumentation paths that fire
+  /// per measurement loop, where the old linear name scan grew with the
+  /// number of registered components.
   Component& component(std::string_view name) {
-    for (Component& c : components_) {
-      if (c.name == name) return c;
-    }
+    const auto it = index_.find(name);
+    if (it != index_.end()) return components_[it->second];
     components_.emplace_back();
     components_.back().name = std::string(name);
+    // Key views into the deque-owned name: stable for the profiler's
+    // lifetime, so no second string allocation per component.
+    index_.emplace(std::string_view(components_.back().name),
+                   components_.size() - 1);
     return components_.back();
   }
 
   /// RAII wall-time accumulator: adds elapsed seconds and `ops` to the
-  /// component on destruction.
+  /// component on destruction. Also opens a runtime::ScopedSpan under the
+  /// component's name, folding the flat counters into the span layer:
+  /// when telemetry is enabled every Profiler::time site appears in the
+  /// exported Chrome trace for free (and costs one gate check otherwise).
   class ScopedTimer {
    public:
     explicit ScopedTimer(Component& c, std::uint64_t ops = 1)
-        : c_(c), ops_(ops), start_(std::chrono::steady_clock::now()) {}
+        : c_(c),
+          ops_(ops),
+          span_(c.name.c_str()),
+          start_(std::chrono::steady_clock::now()) {}
     ScopedTimer(const ScopedTimer&) = delete;
     ScopedTimer& operator=(const ScopedTimer&) = delete;
     ~ScopedTimer() {
@@ -61,6 +76,7 @@ class Profiler {
    private:
     Component& c_;
     std::uint64_t ops_;
+    runtime::ScopedSpan span_;  ///< closes after the accumulate above
     std::chrono::steady_clock::time_point start_;
   };
 
@@ -80,6 +96,7 @@ class Profiler {
 
  private:
   std::deque<Component> components_;
+  std::unordered_map<std::string_view, std::size_t> index_;
 };
 
 }  // namespace emptcp::analysis

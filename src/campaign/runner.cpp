@@ -1,14 +1,22 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "analysis/manifest.hpp"
+#include "analysis/perf_report.hpp"
 #include "runtime/replication.hpp"
+#include "runtime/telemetry.hpp"
 #include "stats/csv.hpp"
 #include "stats/trace_export.hpp"
 #include "workload/sharded_fleet.hpp"
@@ -58,6 +66,17 @@ const std::string* ledger_digest(
 
 std::string quoted(const std::string& s) { return "\"" + s + "\""; }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// EMPTCP_PERF_DIR, or nullptr when unset/empty.
+const char* perf_dir() {
+  const char* dir = std::getenv("EMPTCP_PERF_DIR");
+  return dir != nullptr && *dir != '\0' ? dir : nullptr;
+}
+
 }  // namespace
 
 std::uint64_t derive_cell_seed(const std::string& campaign_name,
@@ -77,6 +96,81 @@ CampaignRunner::CampaignRunner(CampaignSpec spec, std::string out_dir)
 
 std::string CampaignRunner::ledger_path() const {
   return out_dir_ + "/campaign.ledger";
+}
+
+std::string CampaignRunner::heartbeat_path() const {
+  return out_dir_ + "/heartbeat.jsonl";
+}
+
+void CampaignRunner::append_heartbeat(double wall_s) {
+  Progress p;
+  {
+    const std::lock_guard<std::mutex> lock(progress_mu_);
+    p = progress_;
+  }
+  const std::size_t remaining = p.total - std::min(p.done, p.total);
+  // ETA from completed-cell wall time: remaining cells at the mean cell
+  // cost, divided across the pool. 0 until the first cell lands.
+  const double mean_cell =
+      p.ran > 0 ? p.cell_wall_s / static_cast<double>(p.ran) : 0.0;
+  const double eta_s =
+      p.workers > 0
+          ? static_cast<double>(remaining) * mean_cell /
+                static_cast<double>(p.workers)
+          : 0.0;
+  // Per-worker simulator throughput over completed cells.
+  const double events_per_sec =
+      p.cell_wall_s > 0.0
+          ? static_cast<double>(p.events_done) / p.cell_wall_s
+          : 0.0;
+
+  std::string line = "{\"schema\": \"emptcp-heartbeat-v1\"";
+  line += ", \"wall_s\": " + stats::fmt_double(wall_s);
+  line += ", \"cells_total\": " + std::to_string(p.total);
+  line += ", \"cells_done\": " + std::to_string(p.done);
+  line += ", \"cells_running\": [";
+  for (std::size_t i = 0; i < p.running.size(); ++i) {
+    if (i != 0) line += ", ";
+    line += "\"" + p.running[i] + "\"";
+  }
+  line += "]";
+  line += ", \"events_per_sec\": " + stats::fmt_double(events_per_sec);
+  line += ", \"eta_s\": " + stats::fmt_double(eta_s);
+  line += "}\n";
+
+  std::ofstream out(heartbeat_path(), std::ios::binary | std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "campaign: warning: cannot append %s\n",
+                 heartbeat_path().c_str());
+    return;
+  }
+  out << line;
+  out.flush();
+}
+
+void CampaignRunner::export_campaign_telemetry() const {
+  // Campaign-level telemetry artifacts (quiescent: the pool is gone, so
+  // every per-thread span buffer is stable): the full Chrome trace for
+  // Perfetto plus the aggregated span table as a PerfDoc.
+  if (!runtime::Telemetry::enabled()) return;
+  const char* dir = perf_dir();
+  if (dir == nullptr) return;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string base = std::string(dir) + "/campaign-" + spec_.name;
+  runtime::Telemetry& t = runtime::Telemetry::instance();
+  if (!stats::write_file(base + ".trace.json", t.to_chrome_json())) {
+    std::fprintf(stderr, "campaign: warning: cannot write %s.trace.json\n",
+                 base.c_str());
+  }
+  analysis::PerfDoc doc;
+  doc.label = "campaign " + spec_.name;
+  analysis::fill_spans(doc);
+  if (!stats::write_file(base + ".perf.json",
+                         analysis::perf_doc_to_json(doc))) {
+    std::fprintf(stderr, "campaign: warning: cannot write %s.perf.json\n",
+                 base.c_str());
+  }
 }
 
 std::vector<CampaignCell> CampaignRunner::cells() const {
@@ -100,6 +194,12 @@ std::vector<CampaignCell> CampaignRunner::cells() const {
 }
 
 std::string CampaignRunner::run_cell(const CampaignCell& cell) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(progress_mu_);
+    progress_.running.push_back(cell.label);
+  }
+
   workload::FleetConfig cfg = spec_.workload;
   cfg.protocol = cell.protocol;
   cfg.clients = cell.fleet_size;
@@ -109,7 +209,17 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
   // single-World ClientFleet, anything else the sharded engine. Either
   // way the artifacts are a pure function of (cfg, seed) — the shard
   // count never leaks into them.
-  const workload::FleetMetrics m = workload::run_fleet(cfg, cell.derived_seed);
+  workload::FleetMetrics m;
+  {
+    // One span per cell (interned: the label must outlive this frame —
+    // the campaign trace is exported after all cells finish).
+    std::optional<runtime::ScopedSpan> span;
+    if (runtime::Telemetry::enabled()) {
+      span.emplace(
+          runtime::Telemetry::instance().intern("cell " + cell.label));
+    }
+    m = workload::run_fleet(cfg, cell.derived_seed);
+  }
 
   const std::string jsonl =
       stats::trace_to_jsonl(m.run.trace_events, m.run.trace_metrics);
@@ -169,6 +279,33 @@ std::string CampaignRunner::run_cell(const CampaignCell& cell) {
                          analysis::manifest_to_json(manifest))) {
     throw std::runtime_error("campaign: cannot write " + manifest_path);
   }
+
+  // Perf sidecar: engine telemetry goes to EMPTCP_PERF_DIR, never into
+  // out_dir_ — resume verification and the determinism gates byte-compare
+  // the campaign directory, and perf data is wall-clock noise.
+  if (m.perf) {
+    if (const char* dir = perf_dir()) {
+      analysis::PerfDoc doc = *m.perf;
+      doc.label = cell.label;
+      const std::string path =
+          std::string(dir) + "/" + cell.label + ".perf.json";
+      if (!stats::write_file(path, analysis::perf_doc_to_json(doc))) {
+        std::fprintf(stderr, "campaign: warning: cannot write %s\n",
+                     path.c_str());
+      }
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(progress_mu_);
+    ++progress_.done;
+    ++progress_.ran;
+    progress_.events_done += m.run.profile.events_executed;
+    progress_.cell_wall_s += seconds_since(t0);
+    auto it = std::find(progress_.running.begin(), progress_.running.end(),
+                        cell.label);
+    if (it != progress_.running.end()) progress_.running.erase(it);
+  }
   return manifest.trace_digest;
 }
 
@@ -224,29 +361,77 @@ CampaignResult CampaignRunner::run(std::size_t workers) {
     }
   }
 
+  {
+    const std::lock_guard<std::mutex> lock(progress_mu_);
+    progress_ = Progress();
+    progress_.total = grid.size();
+    progress_.done = grid.size() - pending.size();  // resumed cells
+    progress_.workers =
+        workers == 0 ? runtime::default_worker_count() : workers;
+  }
+
+  // Heartbeat thread: wakes every heartbeat_s_ and appends a status line.
+  // The cv (not sleep) makes shutdown immediate, and the guard makes it
+  // exception-safe around the pool run below.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread hb_thread;
+  const auto hb_t0 = std::chrono::steady_clock::now();
+  const auto stop_heartbeat = [&]() noexcept {
+    if (!hb_thread.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    hb_thread.join();
+  };
+  if (heartbeat_s_ > 0.0) {
+    hb_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      while (!hb_cv.wait_for(lock,
+                             std::chrono::duration<double>(heartbeat_s_),
+                             [&] { return hb_stop; })) {
+        lock.unlock();
+        append_heartbeat(seconds_since(hb_t0));
+        lock.lock();
+      }
+    });
+  }
+
   // Run what's left on the pool. Each finished cell appends to the ledger
   // immediately (flushed), so a kill mid-campaign loses at most the cells
   // in flight.
-  if (!pending.empty()) {
-    const std::vector<std::uint64_t> one{0};
-    auto ran = runtime::run_replications(
-        pending, one,
-        [this](const CampaignCell& cell, std::uint64_t) {
-          std::string digest = run_cell(cell);
-          {
-            const std::lock_guard<std::mutex> lock(ledger_mu_);
-            std::ofstream out(ledger_path(),
-                              std::ios::binary | std::ios::app);
-            out << cell.label << ' ' << digest << '\n';
-            out.flush();
-          }
-          return digest;
-        },
-        workers);
-    for (std::size_t k = 0; k < pending.size(); ++k) {
-      digests[pending_index[k]] = std::move(ran[k][0]);
+  try {
+    if (!pending.empty()) {
+      const std::vector<std::uint64_t> one{0};
+      auto ran = runtime::run_replications(
+          pending, one,
+          [this](const CampaignCell& cell, std::uint64_t) {
+            std::string digest = run_cell(cell);
+            {
+              const std::lock_guard<std::mutex> lock(ledger_mu_);
+              std::ofstream out(ledger_path(),
+                                std::ios::binary | std::ios::app);
+              out << cell.label << ' ' << digest << '\n';
+              out.flush();
+            }
+            return digest;
+          },
+          workers);
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        digests[pending_index[k]] = std::move(ran[k][0]);
+      }
     }
+  } catch (...) {
+    stop_heartbeat();
+    throw;
   }
+  stop_heartbeat();
+  // One final line regardless of timing, so an enabled heartbeat always
+  // ends with a done == total record (what the gate asserts on).
+  if (heartbeat_s_ > 0.0) append_heartbeat(seconds_since(hb_t0));
 
   // Rewrite the ledger sorted: the final file is a pure function of the
   // grid, independent of completion order and worker count.
@@ -261,6 +446,8 @@ CampaignResult CampaignRunner::run(std::size_t workers) {
   if (!stats::write_file(ledger_path(), ledger_text)) {
     throw std::runtime_error("campaign: cannot write " + ledger_path());
   }
+
+  export_campaign_telemetry();
 
   CampaignResult result;
   result.cells.reserve(grid.size());

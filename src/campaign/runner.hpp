@@ -68,16 +68,40 @@ class CampaignRunner {
   /// (0 = all cores, respecting EMPTCP_JOBS). Throws on IO failure.
   CampaignResult run(std::size_t workers = 0);
 
+  /// Live progress: while run() executes, append one status line to
+  /// `<out_dir>/heartbeat.jsonl` every `seconds` (wall clock), plus one
+  /// final line after the grid completes. 0 disables (the default — the
+  /// heartbeat file is wall-clock data, so it is opt-in and lives outside
+  /// the deterministic artifact set the ledger covers).
+  void set_heartbeat(double seconds) { heartbeat_s_ = seconds; }
+  [[nodiscard]] std::string heartbeat_path() const;
+
   [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& out_dir() const { return out_dir_; }
   [[nodiscard]] std::string ledger_path() const;
 
  private:
   std::string run_cell(const CampaignCell& cell);  ///< returns trace digest
+  void append_heartbeat(double wall_s);
+  void export_campaign_telemetry() const;
 
   CampaignSpec spec_;
   std::string out_dir_;
   std::mutex ledger_mu_;
+
+  double heartbeat_s_ = 0.0;
+  /// Shared between pool workers (run_cell) and the heartbeat thread.
+  struct Progress {
+    std::size_t total = 0;
+    std::size_t done = 0;  ///< completed this run + resumed
+    std::vector<std::string> running;
+    std::size_t ran = 0;            ///< completed this invocation only
+    std::uint64_t events_done = 0;  ///< simulator events, completed cells
+    double cell_wall_s = 0.0;       ///< summed per-cell wall time
+    std::size_t workers = 1;
+  };
+  std::mutex progress_mu_;
+  Progress progress_;
 };
 
 }  // namespace emptcp::campaign

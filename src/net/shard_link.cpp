@@ -43,6 +43,7 @@ CrossShardLink::CrossShardLink(sim::Simulation& src_sim,
     // the edge's (currently effective) lookahead.
     const sim::Time t =
         src_sim_.now() + engine_.partition().edge(edge_).lookahead;
+    ++posted_;
     engine_.post(edge_, t, &pkt, sizeof(Packet));
   });
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "net/link.hpp"
@@ -74,10 +75,18 @@ class CrossShardLink {
 
   [[nodiscard]] std::size_t edge_id() const { return edge_; }
 
+  /// Packets this link has posted across the place boundary. A plain
+  /// accessor, deliberately NOT a trace metric: per-link counts depend on
+  /// the partition, so recording them into the merged trace would leak
+  /// the cell topology into deterministic artifacts. Telemetry-side
+  /// consumers (perf.json) read it directly instead.
+  [[nodiscard]] std::uint64_t packets_posted() const { return posted_; }
+
  private:
   sim::Simulation& src_sim_;
   sim::ShardEngine& engine_;
   std::size_t edge_;
+  std::uint64_t posted_ = 0;
   Link link_;
 };
 

@@ -1,0 +1,295 @@
+// Runtime telemetry: a thread-safe hierarchical span profiler with
+// Chrome-trace export, plus the log-bucketed histograms the shard engine's
+// epoch metrics aggregate into.
+//
+// Design goals, mirroring trace/trace.hpp's instrumentation gate:
+//   1. Near-zero cost when disabled. EMPTCP_SPAN compiles to a relaxed
+//      load of one global atomic bool plus a branch; no clock read, no
+//      allocation, no registration. bench_micro measures this path
+//      (`span_disabled` in BENCH_core.json) and the CI diff gate holds it.
+//   2. Wall-clock stays out of deterministic artifacts. Spans and counter
+//      samples measure the *simulator*, not the simulation: they are
+//      exported only to EMPTCP_PERF_DIR-style side files (perf.json,
+//      *.trace.json) and never feed traces, manifests, reports, ledgers
+//      or rollups. Tests enforce byte-identity of the deterministic
+//      artifacts with telemetry on vs off at any shard count.
+//   3. Thread safety without hot-path locks. Each OS thread owns a
+//      fixed-capacity ring of span records (registered once, on first
+//      use); overflow bumps a dropped-span counter — never silent.
+//      Export/aggregate/clear take the registry lock and must run at
+//      quiescent points (no epoch in flight), which every call site has
+//      naturally: after EpochGroup barriers or between runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emptcp::runtime {
+
+/// Power-of-two log-bucketed histogram for nonnegative integer samples
+/// (events per epoch, nanoseconds advanced, imbalance percentages).
+/// Bucket 0 holds zeros; bucket i >= 1 holds values with bit_width i,
+/// i.e. [2^(i-1), 2^i - 1]. Pure integer state — safe to keep in
+/// deterministic code paths (the *samples* decide determinism, not the
+/// container).
+class LogBuckets {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t v) {
+    ++counts_[v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v))];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LogBuckets& o) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ != 0) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Inclusive upper bound of the bucket containing the q-th quantile
+  /// sample (q in [0, 1]), clamped to the observed max. A log-bucket
+  /// histogram answers "p99 is at most X" — exact enough to spot skew.
+  [[nodiscard]] std::uint64_t quantile_upper(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (cum >= rank) {
+        if (i == 0) return 0;
+        const std::uint64_t upper =
+            i >= 64 ? ~0ull : (std::uint64_t{1} << i) - 1;
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// One completed span. `name` must outlive the telemetry session: pass a
+/// string literal or a Telemetry::intern'd pointer.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since Telemetry::enable()'s anchor
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;  ///< nesting depth on the recording thread
+};
+
+/// One counter sample, rendered as a Chrome "C" (counter-track) event.
+struct CounterSample {
+  const char* name = nullptr;
+  std::uint64_t t_ns = 0;
+  double value = 0.0;
+};
+
+/// Per-thread ring storage for spans and counter samples. Single-writer
+/// (the owning thread); readers go through Telemetry at quiescent points.
+/// Storage is allocated lazily on the first push, so threads that never
+/// record (telemetry disabled) cost one pointer of thread-local state.
+class SpanBuffer {
+ public:
+  static constexpr std::size_t kSpanCapacity = 1u << 16;
+  static constexpr std::size_t kCounterCapacity = 1u << 14;
+
+  explicit SpanBuffer(std::uint32_t tid) : tid_(tid) {}
+
+  void push_span(const SpanRecord& r) {
+    if (spans_.size() < kSpanCapacity) {
+      spans_.push_back(r);
+    } else {
+      // True ring: overwrite the oldest, count the loss — never silent.
+      spans_[static_cast<std::size_t>(span_total_) % kSpanCapacity] = r;
+      ++spans_dropped_;
+    }
+    ++span_total_;
+  }
+
+  void push_counter(const CounterSample& s) {
+    if (counters_.size() < kCounterCapacity) {
+      counters_.push_back(s);
+    } else {
+      counters_[static_cast<std::size_t>(counter_total_) % kCounterCapacity] =
+          s;
+      ++counters_dropped_;
+    }
+    ++counter_total_;
+  }
+
+  /// Live nesting depth bookkeeping for ScopedSpan.
+  std::uint32_t enter() { return depth_ < 0 ? 0u : static_cast<std::uint32_t>(depth_++); }
+  void exit() {
+    if (depth_ > 0) --depth_;
+  }
+
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Retained spans, oldest first (undoes the ring rotation).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::uint64_t span_total() const { return span_total_; }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+  [[nodiscard]] std::uint64_t counters_dropped() const {
+    return counters_dropped_;
+  }
+
+  void clear();
+
+ private:
+  std::uint32_t tid_ = 0;
+  int depth_ = 0;
+  std::string label_;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterSample> counters_;
+  std::uint64_t span_total_ = 0;
+  std::uint64_t counter_total_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+  std::uint64_t counters_dropped_ = 0;
+};
+
+namespace detail {
+/// The one hot-path gate. Relaxed is correct: a site that misses a recent
+/// enable() records slightly late; it can never corrupt state.
+extern std::atomic<bool> g_telemetry_on;
+}  // namespace detail
+
+class Telemetry {
+ public:
+  static Telemetry& instance();
+
+  /// The hot-path query — EMPTCP_SPAN branches on it.
+  [[nodiscard]] static bool enabled() {
+    return detail::g_telemetry_on.load(std::memory_order_relaxed);
+  }
+
+  /// Turning on (re-)anchors the time base at "now", so exported
+  /// timestamps start near zero for each session.
+  void enable(bool on = true);
+
+  /// Nanoseconds since the enable() anchor (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// The calling thread's buffer (registered on first use). The returned
+  /// reference stays valid for the process lifetime.
+  SpanBuffer& local_buffer();
+
+  /// Names the calling thread in exports ("party-0", "worker-3", ...).
+  void set_thread_label(std::string label);
+
+  /// Records one counter sample on the calling thread (gated by the
+  /// caller; cheap enough to call per epoch, not per event).
+  void counter(const char* name, double value);
+
+  /// Interns a dynamically-built span name; the returned pointer is
+  /// stable for the process lifetime (spans may be exported long after
+  /// the object that built the name died).
+  const char* intern(std::string_view name);
+
+  /// Per-name totals across all threads, sorted by total time descending
+  /// (ties by name). Call at a quiescent point.
+  struct SpanTotal {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  [[nodiscard]] std::vector<SpanTotal> aggregate() const;
+
+  /// Spans lost to ring overflow across all threads.
+  [[nodiscard]] std::uint64_t spans_dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}): one thread_name
+  /// metadata record per registered thread, "X" complete events for
+  /// spans, "C" counter events. Loadable in Perfetto / chrome://tracing.
+  /// Call at a quiescent point.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Drops all recorded spans/samples and dropped-counts; keeps thread
+  /// registrations, labels and interned names. Call at a quiescent point
+  /// (no span may be live across a clear).
+  void clear();
+
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  Telemetry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpanBuffer>> buffers_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+  std::chrono::steady_clock::time_point anchor_{};
+};
+
+/// RAII span. Disabled path: one relaxed atomic load and a branch; the
+/// begin/end bookkeeping lives out of line in telemetry.cpp.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (Telemetry::enabled()) begin(name);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (buf_ != nullptr) end();
+  }
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  SpanBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+#define EMPTCP_SPAN_CAT2(a, b) a##b
+#define EMPTCP_SPAN_CAT(a, b) EMPTCP_SPAN_CAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope. `name` must be
+/// a string literal or an interned pointer.
+#define EMPTCP_SPAN(name) \
+  ::emptcp::runtime::ScopedSpan EMPTCP_SPAN_CAT(emptcp_span_, __LINE__)(name)
+
+}  // namespace emptcp::runtime

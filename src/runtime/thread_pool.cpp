@@ -1,9 +1,23 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "runtime/telemetry.hpp"
 
 namespace emptcp::runtime {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+}  // namespace
 
 std::size_t default_worker_count() {
   std::size_t hw = std::thread::hardware_concurrency();
@@ -19,7 +33,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = default_worker_count();
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -50,6 +64,7 @@ EpochGroup::EpochGroup(ThreadPool& pool, std::size_t parties,
     : fn_(std::move(fn)),
       parties_(std::min(std::max<std::size_t>(parties, 1),
                         std::max<std::size_t>(pool.worker_count(), 1))) {
+  stats_.resize(parties_);
   for (std::size_t p = 0; p < parties_; ++p) {
     pool.submit([this, p] { party_loop(p); });
   }
@@ -85,13 +100,29 @@ void EpochGroup::run() {
 
 void EpochGroup::party_loop(std::size_t party) {
   std::uint64_t seen = 0;
+  bool labeled = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++parked_;
   }
   done_cv_.notify_all();
   for (;;) {
+    // Wall-clock accounting, gated exactly like every other telemetry
+    // site: off, this loop does no clock reads and records nothing.
+    // stats_[party] is written only by this party; the group mutex around
+    // remaining_ gives readers-at-the-barrier the happens-before edge.
+    const bool wall = Telemetry::enabled();
+    WallClock::time_point wait_start{};
+    if (wall) {
+      if (!labeled) {
+        Telemetry::instance().set_thread_label("party-" +
+                                               std::to_string(party));
+        labeled = true;
+      }
+      wait_start = WallClock::now();
+    }
     {
+      EMPTCP_SPAN("barrier.wait");
       std::unique_lock<std::mutex> lock(mu_);
       epoch_cv_.wait(
           lock, [this, seen] { return shutdown_ || generation_ != seen; });
@@ -102,11 +133,18 @@ void EpochGroup::party_loop(std::size_t party) {
       }
       seen = generation_;
     }
+    if (wall) stats_[party].wait_s += seconds_since(wait_start);
     std::exception_ptr err;
+    const WallClock::time_point busy_start =
+        wall ? WallClock::now() : WallClock::time_point{};
     try {
       fn_(party);
     } catch (...) {
       err = std::current_exception();
+    }
+    if (wall) {
+      stats_[party].busy_s += seconds_since(busy_start);
+      ++stats_[party].epochs;
     }
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -117,7 +155,8 @@ void EpochGroup::party_loop(std::size_t party) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  bool labeled = false;
   for (;;) {
     std::function<void()> task;
     {
@@ -127,6 +166,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+    }
+    if (!labeled && Telemetry::enabled()) {
+      Telemetry::instance().set_thread_label("worker-" +
+                                             std::to_string(index));
+      labeled = true;
     }
     task();
     {

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -43,7 +44,7 @@ class ThreadPool {
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -88,6 +89,20 @@ class EpochGroup {
 
   [[nodiscard]] std::size_t parties() const { return parties_; }
 
+  /// Per-party wall-clock accounting, populated only while
+  /// runtime::Telemetry is enabled (all-zero otherwise). busy_s is time
+  /// inside fn(); wait_s is time parked between epochs — at a barrier or
+  /// waiting for the driver to plan the next window. Read only between
+  /// run() calls (the barrier provides the happens-before edge).
+  struct PartyStats {
+    double busy_s = 0.0;
+    double wait_s = 0.0;
+    std::uint64_t epochs = 0;
+  };
+  [[nodiscard]] const std::vector<PartyStats>& party_stats() const {
+    return stats_;
+  }
+
  private:
   void party_loop(std::size_t party);
 
@@ -102,6 +117,7 @@ class EpochGroup {
   bool shutdown_ = false;
   std::size_t parked_ = 0;  ///< parties alive inside party_loop
   std::exception_ptr first_error_;
+  std::vector<PartyStats> stats_;  ///< each entry written by its own party
 };
 
 }  // namespace emptcp::runtime

@@ -1,6 +1,7 @@
 #include "sim/shard_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <new>
 #include <stdexcept>
@@ -212,6 +213,7 @@ std::size_t ShardEngine::run_until(Time stop,
     }
     const Duration window = partition_.min_lookahead();
     bound_ = std::min(sat_add(earliest, window), sat_add(stop, 1));
+    const Time prev_now = now_;
     phase_ = Phase::kExec;
     group_->run();
     if (!edges_.empty()) {
@@ -221,16 +223,73 @@ std::size_t ShardEngine::run_until(Time stop,
     apply_pending_lookaheads();
     now_ = bound_ - 1;
     ++epochs_;
+    account_epoch(prev_now);
   }
   return static_cast<std::size_t>(events_executed() - before);
 }
 
+void ShardEngine::account_epoch(Time prev_now) {
+  // Deterministic aggregates first: integer arithmetic over virtual
+  // state, always on (one pass over places alongside the earliest-scan).
+  std::uint64_t total = 0;
+  std::uint64_t busiest = 0;
+  for (PlaceState& p : places_) {
+    const std::uint64_t ev = p.sim->scheduler().events_executed();
+    const std::uint64_t d = ev - p.last_events;
+    p.last_events = ev;
+    if (d != 0) {
+      p.events_total += d;
+      ++p.busy_epochs;
+      total += d;
+      if (d > busiest) busiest = d;
+    }
+  }
+  ev_per_epoch_.add(total);
+  adv_ns_per_epoch_.add(
+      now_ > prev_now ? static_cast<std::uint64_t>(now_ - prev_now) : 0);
+  const std::uint64_t cross = cross_messages();
+  const std::uint64_t cross_delta = cross - prev_cross_;
+  cross_per_epoch_.add(cross_delta);
+  prev_cross_ = cross;
+  std::uint64_t imbalance = 0;
+  if (total != 0) {
+    ++busy_epochs_;
+    imbalance = busiest * places_.size() * 100 / total;
+    imbalance_pct_.add(imbalance);
+  }
+  // Wall-clock counter tracks (Chrome "C" events), driver thread only.
+  if (runtime::Telemetry::enabled()) {
+    runtime::Telemetry& t = runtime::Telemetry::instance();
+    t.counter("epoch.events", static_cast<double>(total));
+    t.counter("epoch.cross_messages", static_cast<double>(cross_delta));
+    t.counter("epoch.imbalance_pct", static_cast<double>(imbalance));
+  }
+}
+
 void ShardEngine::run_phase(std::size_t party) {
   const std::size_t parties = group_->parties();
+  const bool wall = runtime::Telemetry::enabled();
   for (std::size_t i = party; i < places_.size(); i += parties) {
     if (phase_ == Phase::kExec) {
-      exec_place(places_[i]);
+      PlaceState& place = places_[i];
+      if (!wall) {
+        exec_place(place);
+        continue;
+      }
+      // Per-place span + work accounting. The span name is interned once
+      // (cold path) because exports may outlive the engine.
+      if (place.span_name == nullptr) {
+        place.span_name = runtime::Telemetry::instance().intern(
+            "exec " + partition_.place_name(i));
+      }
+      runtime::ScopedSpan span(place.span_name);
+      const auto t0 = std::chrono::steady_clock::now();
+      exec_place(place);
+      place.work_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     } else {
+      EMPTCP_SPAN("epoch.drain");
       drain_place(i);
     }
   }
@@ -303,6 +362,34 @@ std::uint64_t ShardEngine::events_executed() const {
     total += p.sim->scheduler().events_executed();
   }
   return total;
+}
+
+ShardEnginePerf ShardEngine::perf() const {
+  ShardEnginePerf perf;
+  perf.epochs = epochs_;
+  perf.busy_epochs = busy_epochs_;
+  perf.min_lookahead = partition_.edge_count() > 0 ? partition_.min_lookahead() : 0;
+  perf.cross_messages = cross_messages();
+  perf.events_per_epoch = ev_per_epoch_;
+  perf.advance_ns_per_epoch = adv_ns_per_epoch_;
+  perf.cross_per_epoch = cross_per_epoch_;
+  perf.imbalance_pct = imbalance_pct_;
+  perf.places.reserve(places_.size());
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    const PlaceState& p = places_[i];
+    ShardEnginePerf::Place out;
+    out.name = partition_.place_name(i);
+    out.events = p.events_total;
+    out.busy_epochs = p.busy_epochs;
+    out.work_s = p.work_s;
+    perf.places.push_back(std::move(out));
+  }
+  if (group_) {
+    for (const runtime::EpochGroup::PartyStats& s : group_->party_stats()) {
+      perf.parties.push_back(ShardEnginePerf::Party{s.busy_s, s.wait_s});
+    }
+  }
+  return perf;
 }
 
 }  // namespace emptcp::sim

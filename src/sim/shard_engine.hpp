@@ -40,11 +40,49 @@
 #include <string>
 #include <vector>
 
+#include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 
 namespace emptcp::sim {
+
+/// Epoch/shard telemetry snapshot, taken between run_until calls.
+///
+/// Two strictly separated kinds of data live here:
+///   * virtual-state aggregates (epochs, events/epoch, advance/epoch,
+///     cross messages/epoch, imbalance, per-place event totals) — pure
+///     functions of (config, seed), identical for any shard count, always
+///     maintained (integer arithmetic riding the existing per-epoch scan);
+///   * wall-clock figures (per-place work_s, per-party busy/wait) —
+///     populated only while runtime::Telemetry is enabled, and never
+///     allowed to feed any deterministic artifact.
+struct ShardEnginePerf {
+  std::uint64_t epochs = 0;
+  std::uint64_t busy_epochs = 0;  ///< epochs that executed >= 1 event
+  Duration min_lookahead = 0;     ///< current window bound
+  std::uint64_t cross_messages = 0;
+  runtime::LogBuckets events_per_epoch;     ///< summed over places
+  runtime::LogBuckets advance_ns_per_epoch; ///< virtual ns per epoch
+  runtime::LogBuckets cross_per_epoch;      ///< messages posted per epoch
+  /// Busiest place's share per busy epoch, as percent of the per-place
+  /// mean (100 = perfectly balanced; places x 100 = one place did it all).
+  runtime::LogBuckets imbalance_pct;
+
+  struct Place {
+    std::string name;
+    std::uint64_t events = 0;       ///< executed since the run started
+    std::uint64_t busy_epochs = 0;  ///< epochs with >= 1 event here
+    double work_s = 0.0;            ///< wall; 0 unless telemetry enabled
+  };
+  std::vector<Place> places;
+
+  struct Party {
+    double busy_s = 0.0;  ///< wall inside exec/drain phases
+    double wait_s = 0.0;  ///< wall parked at the barrier
+  };
+  std::vector<Party> parties;  ///< empty until the first epoch ran
+};
 
 /// Destination endpoint of a cross-place edge. on_cross_message runs as a
 /// scheduled event inside the destination place at exactly the message's
@@ -149,6 +187,10 @@ class ShardEngine {
   /// Events executed across all places since their creation.
   [[nodiscard]] std::uint64_t events_executed() const;
 
+  /// Telemetry snapshot; call between run_until calls (the caller owns
+  /// all places there, per the threading contract above).
+  [[nodiscard]] ShardEnginePerf perf() const;
+
  private:
   enum class Phase : std::uint8_t { kExec, kDrain };
 
@@ -169,6 +211,14 @@ class ShardEngine {
     Simulation* sim = nullptr;
     detail::InboxSlab inbox;
     std::vector<std::size_t> in_edges;
+    // Epoch accounting. The event fields are deterministic (virtual
+    // state); work_s/span_name are wall-clock side state, touched only
+    // when telemetry is enabled.
+    std::uint64_t last_events = 0;  ///< events_executed at last barrier
+    std::uint64_t events_total = 0;
+    std::uint64_t busy_epochs = 0;
+    double work_s = 0.0;
+    const char* span_name = nullptr;  ///< interned "exec <place>" label
   };
 
   void ensure_started();
@@ -176,6 +226,7 @@ class ShardEngine {
   void exec_place(PlaceState& place);
   void drain_place(std::size_t place_index);
   void apply_pending_lookaheads();
+  void account_epoch(Time prev_now);
 
   Partition partition_;
   std::vector<PlaceState> places_;
@@ -189,6 +240,14 @@ class ShardEngine {
   Phase phase_ = Phase::kExec;
   std::uint64_t epochs_ = 0;
   bool started_ = false;
+
+  // Deterministic epoch aggregates (see ShardEnginePerf).
+  std::uint64_t busy_epochs_ = 0;
+  std::uint64_t prev_cross_ = 0;  ///< cross_messages() at last barrier
+  runtime::LogBuckets ev_per_epoch_;
+  runtime::LogBuckets adv_ns_per_epoch_;
+  runtime::LogBuckets cross_per_epoch_;
+  runtime::LogBuckets imbalance_pct_;
 
   /// Per-place scratch for the drain sort, index-aligned with places_.
   struct DrainItem {

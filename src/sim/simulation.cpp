@@ -9,6 +9,16 @@ void Simulation::dump_flight_recorder(const char* why) const {
   if (fr.total() == 0) return;
   std::fprintf(stderr, "emptcp: %s at t=%s; %s", why,
                format_time(now()).c_str(), fr.dump().c_str());
+  // Optional file copy (EMPTCP_FLIGHT_DIR): parallel campaigns interleave
+  // stderr, so forensics also land in a per-(process, thread, sequence)
+  // file that nothing else can clobber.
+  const std::string path = trace::dump_flight_to_file(
+      fr, "sim", std::string("emptcp: ") + why + " at t=" +
+                     format_time(now()));
+  if (!path.empty()) {
+    std::fprintf(stderr, "emptcp: flight recorder written to %s\n",
+                 path.c_str());
+  }
   std::fflush(stderr);
 }
 

@@ -1,12 +1,71 @@
 #include "trace/sink.hpp"
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace emptcp::trace {
 namespace {
 thread_local TraceSink* t_current_sink = nullptr;
+
+/// Per-process ordinal of the calling thread, assigned on first use —
+/// cheap worker identity for dump paths (thread::id has no stable text).
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Keeps [A-Za-z0-9_-], maps everything else (slashes, dots, spaces,
+/// gtest's '/' parameterized-test separators) to '-'.
+std::string sanitize(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out += ok ? c : '-';
+  }
+  if (out.empty()) out = "dump";
+  return out;
+}
+
 }  // namespace
+
+std::string dump_flight_to_file(const FlightRecorder& fr,
+                                std::string_view context,
+                                std::string_view why) {
+  const char* dir = std::getenv("EMPTCP_FLIGHT_DIR");
+  if (dir == nullptr || *dir == '\0' || fr.total() == 0) return "";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open decides
+  static std::atomic<std::uint64_t> seq{0};
+#ifdef _WIN32
+  const auto pid = static_cast<unsigned long>(_getpid());
+#else
+  const auto pid = static_cast<unsigned long>(::getpid());
+#endif
+  const std::string path =
+      std::string(dir) + "/" + sanitize(context) + "-p" +
+      std::to_string(pid) + "-w" + std::to_string(thread_ordinal()) + "-" +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+      ".flight.txt";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return "";
+  out << why << "\n" << fr.dump();
+  out.flush();
+  return out ? path : "";
+}
 
 TraceSink* current_sink() { return t_current_sink; }
 

@@ -250,6 +250,18 @@ class TraceSink {
   Metrics metrics_;
 };
 
+/// When EMPTCP_FLIGHT_DIR is set, writes `why` + the recorder's dump()
+/// into that directory (created if missing) and returns the path written;
+/// returns "" when the variable is unset, the recorder is empty, or the
+/// write failed. The file name embeds the sanitized `context` (test or
+/// cell name), the process id, a per-process thread ordinal and an atomic
+/// sequence number — collision-free by construction when tests or
+/// campaign cells run concurrently under EMPTCP_JOBS > 1, where a
+/// name-only scheme would interleave or overwrite dumps.
+std::string dump_flight_to_file(const FlightRecorder& fr,
+                                std::string_view context,
+                                std::string_view why);
+
 /// Thread-local "most recently constructed, still alive" sink, maintained
 /// by sim::Simulation. Lets out-of-band observers — the gtest failure
 /// listener, signal-style panic paths — find the flight recorder of the

@@ -22,9 +22,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "analysis/histogram.hpp"
+#include "analysis/perf_report.hpp"
 #include "app/scenario.hpp"
 #include "workload/distributions.hpp"
 
@@ -103,6 +105,10 @@ struct FleetMetrics {
   std::uint64_t flows_completed = 0;
   analysis::LogHistogram fct_hist;      ///< completed-flow FCT (seconds)
   analysis::LogHistogram epb_hist;      ///< completed-flow energy (µJ/bit)
+  /// Engine telemetry sidecar (sharded runs with runtime::Telemetry
+  /// enabled only). Wall-clock data: never serialized into deterministic
+  /// artifacts — campaign/bench writers route it to EMPTCP_PERF_DIR.
+  std::optional<analysis::PerfDoc> perf;
 };
 
 class ClientFleet {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/manifest.hpp"
+#include "analysis/perf_report.hpp"
 #include "app/bulk_download.hpp"
 #include "app/client_handle.hpp"
 #include "app/world.hpp"
@@ -432,6 +433,22 @@ FleetMetrics ShardedFleet::merge(bool all_done) {
         static_cast<double>(cell_rx) * 8.0 / 1e6 / run.download_time_s;
   }
   run.profile.events_executed = engine_->events_executed();
+
+  // Telemetry sidecar (wall-clock; never merged into trace artifacts).
+  // Per-place cross_tx comes from the cell's outbound backbone halves —
+  // a plain accessor, deliberately not a trace metric (per-link counts
+  // depend on the partition and would leak topology into artifacts).
+  if (runtime::Telemetry::enabled()) {
+    m.perf = analysis::make_perf_doc(engine_->perf());
+    for (std::size_t i = 0;
+         i < cells_.size() && i < m.perf->places.size(); ++i) {
+      const Cell& c = *cells_[i];
+      std::uint64_t tx = 0;
+      if (c.up) tx += c.up->packets_posted();
+      if (c.down) tx += c.down->packets_posted();
+      m.perf->places[c.place].cross_tx = tx;
+    }
+  }
 
   if (cfg_.scenario.trace) {
     // Merged trace: concatenate in cell order, then stable-sort by virtual

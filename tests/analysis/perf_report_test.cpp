@@ -1,0 +1,138 @@
+// PerfDoc serialization round-trip, report rendering, LogBuckets
+// summaries, and the structural Chrome-trace validator.
+#include "analysis/perf_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/json.hpp"
+
+namespace emptcp::analysis {
+namespace {
+
+PerfDoc sample_doc() {
+  PerfDoc doc;
+  doc.label = "unit-f64-s1";
+  doc.epochs = 100;
+  doc.busy_epochs = 90;
+  doc.cross_messages = 42;
+  doc.min_lookahead_ns = 1e7;
+  doc.lookahead_utilization = 1.5;
+  runtime::LogBuckets ev;
+  for (int i = 0; i < 100; ++i) ev.add(static_cast<std::uint64_t>(i));
+  doc.events_per_epoch = summarize(ev);
+  doc.advance_ns_per_epoch = summarize(ev);
+  doc.cross_per_epoch = summarize(ev);
+  doc.imbalance_pct = summarize(ev);
+  doc.places.push_back({"cell0", 1000, 90, 21, 0.5});
+  doc.places.push_back({"cell1", 900, 85, 21, 0.4});
+  doc.parties.push_back({0.8, 0.1});
+  doc.spans.push_back({"exec cell0", 90, 0.5, 12.25});
+  doc.spans_dropped = 3;
+  return doc;
+}
+
+TEST(PerfReportTest, SummarizeReportsQuantileUpperBounds) {
+  runtime::LogBuckets h;
+  for (int i = 0; i < 100; ++i) h.add(10);
+  h.add(5000);
+  const PerfDist d = summarize(h);
+  EXPECT_EQ(d.count, 101u);
+  EXPECT_EQ(d.p50, 15u);  // bucket [8, 15]
+  EXPECT_EQ(d.p90, 15u);
+  EXPECT_EQ(d.max, 5000u);
+  EXPECT_NEAR(d.mean, (100.0 * 10 + 5000) / 101.0, 1e-9);
+}
+
+TEST(PerfReportTest, JsonRoundTripPreservesEverything) {
+  const PerfDoc doc = sample_doc();
+  const std::string json = perf_doc_to_json(doc);
+
+  std::string err;
+  const auto flat = parse_json_flat(json, &err);
+  ASSERT_TRUE(flat) << err;
+  PerfDoc back;
+  ASSERT_TRUE(perf_doc_from_flat(*flat, back, &err)) << err;
+
+  EXPECT_EQ(back.label, doc.label);
+  EXPECT_EQ(back.epochs, doc.epochs);
+  EXPECT_EQ(back.busy_epochs, doc.busy_epochs);
+  EXPECT_EQ(back.cross_messages, doc.cross_messages);
+  EXPECT_DOUBLE_EQ(back.min_lookahead_ns, doc.min_lookahead_ns);
+  EXPECT_DOUBLE_EQ(back.lookahead_utilization, doc.lookahead_utilization);
+  EXPECT_EQ(back.events_per_epoch.count, doc.events_per_epoch.count);
+  EXPECT_EQ(back.events_per_epoch.p99, doc.events_per_epoch.p99);
+  EXPECT_DOUBLE_EQ(back.events_per_epoch.mean, doc.events_per_epoch.mean);
+  ASSERT_EQ(back.places.size(), 2u);
+  EXPECT_EQ(back.places[0].name, "cell0");
+  EXPECT_EQ(back.places[0].events, 1000u);
+  EXPECT_EQ(back.places[1].cross_tx, 21u);
+  EXPECT_DOUBLE_EQ(back.places[1].work_s, 0.4);
+  ASSERT_EQ(back.parties.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.parties[0].busy_s, 0.8);
+  EXPECT_DOUBLE_EQ(back.parties[0].wait_s, 0.1);
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].name, "exec cell0");
+  EXPECT_EQ(back.spans[0].count, 90u);
+  EXPECT_DOUBLE_EQ(back.spans[0].max_ms, 12.25);
+  EXPECT_EQ(back.spans_dropped, 3u);
+}
+
+TEST(PerfReportTest, FromFlatRejectsWrongSchema) {
+  std::string err;
+  const auto flat = parse_json_flat(R"({"schema": "something-else"})", &err);
+  ASSERT_TRUE(flat);
+  PerfDoc doc;
+  EXPECT_FALSE(perf_doc_from_flat(*flat, doc, &err));
+  EXPECT_NE(err.find("emptcp-perf-v1"), std::string::npos);
+}
+
+TEST(PerfReportTest, RenderIncludesTablesAndIsDeterministic) {
+  const std::vector<PerfDoc> docs{sample_doc()};
+  const std::string a = render_perf_report(docs);
+  const std::string b = render_perf_report(docs);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("== perf: unit-f64-s1 =="), std::string::npos);
+  EXPECT_NE(a.find("events/epoch"), std::string::npos);
+  EXPECT_NE(a.find("cell0"), std::string::npos);
+  EXPECT_NE(a.find("parties"), std::string::npos);
+  EXPECT_NE(a.find("exec cell0"), std::string::npos);
+  EXPECT_NE(a.find("spans dropped: 3"), std::string::npos);
+}
+
+TEST(PerfReportTest, ValidateChromeTraceAcceptsWellFormed) {
+  const std::string good = R"({"traceEvents": [
+    {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "x"}},
+    {"name": "s", "cat": "emptcp", "ph": "X", "ts": 1.5, "dur": 2.0,
+     "pid": 1, "tid": 2, "args": {"depth": 0}},
+    {"name": "c", "ph": "C", "ts": 3.0, "pid": 1, "tid": 2,
+     "args": {"value": 7.0}}
+  ], "displayTimeUnit": "ms"})";
+  std::size_t events = 0;
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(good, events, err)) << err;
+  EXPECT_EQ(events, 3u);
+}
+
+TEST(PerfReportTest, ValidateChromeTraceRejectsBadRecords) {
+  std::size_t events = 0;
+  std::string err;
+  // Unknown phase.
+  EXPECT_FALSE(validate_chrome_trace(
+      R"({"traceEvents": [{"name": "a", "ph": "Q", "ts": 1}]})", events,
+      err));
+  EXPECT_NE(err.find("unknown phase"), std::string::npos);
+  // X record missing dur.
+  EXPECT_FALSE(validate_chrome_trace(
+      R"({"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 1, "pid": 1, "tid": 1}]})",
+      events, err));
+  // No events at all.
+  EXPECT_FALSE(validate_chrome_trace(R"({"traceEvents": []})", events, err));
+  // Malformed JSON.
+  EXPECT_FALSE(validate_chrome_trace("{not json", events, err));
+}
+
+}  // namespace
+}  // namespace emptcp::analysis

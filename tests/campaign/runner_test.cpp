@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/json.hpp"
 #include "analysis/report.hpp"
 #include "analysis/report_io.hpp"
 #include "analysis/rollup.hpp"
@@ -209,6 +210,43 @@ TEST_F(CampaignRunnerTest, ShardedCellsProduceShardCountIndependentArtifacts) {
   EXPECT_TRUE(runs[0].digest_ok);
   EXPECT_EQ(runs[0].rollup.flows_started, 8u);
   EXPECT_EQ(runs[0].rollup.flows_completed, 8u);
+}
+
+TEST_F(CampaignRunnerTest, HeartbeatReportsProgressWithoutTouchingArtifacts) {
+  const fs::path plain_dir = fresh_dir("hb_off");
+  const fs::path hb_dir = fresh_dir("hb_on");
+  CampaignRunner plain(tiny_spec(), plain_dir.string());
+  CampaignRunner hb(tiny_spec(), hb_dir.string());
+  hb.set_heartbeat(0.001);  // tick fast enough to fire mid-campaign
+  ASSERT_EQ(plain.run(1).ran, 4u);
+  ASSERT_EQ(hb.run(2).ran, 4u);
+
+  // The heartbeat sidecar exists and its final line reports completion.
+  const fs::path hb_file = hb.heartbeat_path();
+  ASSERT_TRUE(fs::exists(hb_file)) << hb_file;
+  const std::string jsonl = slurp(hb_file);
+  ASSERT_FALSE(jsonl.empty());
+  std::size_t end = jsonl.find_last_not_of('\n');
+  ASSERT_NE(end, std::string::npos);
+  const std::size_t start = jsonl.rfind('\n', end);
+  const std::string last = jsonl.substr(
+      start == std::string::npos ? 0 : start + 1,
+      end - (start == std::string::npos ? 0 : start + 1) + 1);
+  std::string err;
+  const auto flat = analysis::parse_json_flat(last, &err);
+  ASSERT_TRUE(flat) << err << " in: " << last;
+  EXPECT_EQ(analysis::json_str(*flat, "schema", ""), "emptcp-heartbeat-v1");
+  EXPECT_DOUBLE_EQ(analysis::json_num(*flat, "cells_total", -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(analysis::json_num(*flat, "cells_done", -1.0), 4.0);
+  EXPECT_GE(analysis::json_num(*flat, "wall_s", -1.0), 0.0);
+
+  // Every deterministic artifact is byte-identical to the quiet run; the
+  // wall-clock sidecar is the only extra file.
+  auto quiet = snapshot(plain_dir);
+  auto noisy = snapshot(hb_dir);
+  EXPECT_EQ(noisy.count("heartbeat.jsonl"), 1u);
+  noisy.erase("heartbeat.jsonl");
+  EXPECT_EQ(quiet, noisy);
 }
 
 TEST_F(CampaignRunnerTest, WorkerCountDoesNotChangeArtifacts) {

@@ -1,0 +1,193 @@
+// ShardEngine epoch telemetry: the always-on aggregates (epochs, events
+// per epoch, virtual advance, cross messages, imbalance) are pure
+// functions of (partition structure, workload) — identical across shard
+// counts and unaffected by the wall-clock profiler being on or off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+#include "sim/shard_engine.hpp"
+#include "sim/simulation.hpp"
+
+namespace emptcp::sim {
+namespace {
+
+struct CountingSink : CrossSink {
+  int received = 0;
+  void on_cross_message(Time, const void*, std::size_t) override {
+    ++received;
+  }
+};
+
+/// Two places exchanging periodic work plus one cross message; returns
+/// the engine's perf snapshot after a fixed virtual window.
+ShardEnginePerf run_pair(std::size_t shards, std::uint64_t* events_out,
+                         CountingSink* sink_out = nullptr) {
+  Simulation a(1);
+  Simulation b(2);
+  ShardEngine eng(shards);
+  const std::size_t pa = eng.add_place(a, "a");
+  const std::size_t pb = eng.add_place(b, "b");
+  CountingSink sink;
+  const std::size_t e =
+      eng.add_edge(pa, pb, milliseconds(10), sink, sizeof(int));
+
+  // Periodic self-rescheduling work on both places, denser on a.
+  struct Tick {
+    Simulation* sim;
+    Duration period;
+    void arm() {
+      sim->in(period, [this] { arm(); });
+    }
+  };
+  Tick ta{&a, milliseconds(1)};
+  Tick tb{&b, milliseconds(3)};
+  a.at(kTimeZero, [&] { ta.arm(); });
+  b.at(kTimeZero, [&] { tb.arm(); });
+  a.at(milliseconds(5), [&] {
+    const int v = 7;
+    eng.post(e, a.now() + milliseconds(10), &v, sizeof(v));
+  });
+
+  eng.run_until(seconds(1));
+  if (events_out != nullptr) *events_out = eng.events_executed();
+  if (sink_out != nullptr) sink_out->received = sink.received;
+  return eng.perf();
+}
+
+/// The deterministic slice of a perf snapshot, comparable across runs.
+struct DeterministicView {
+  std::uint64_t epochs, busy_epochs, cross;
+  std::uint64_t ev_count, ev_sum, adv_sum, imb_count;
+  std::vector<std::uint64_t> place_events;
+};
+
+DeterministicView view(const ShardEnginePerf& p) {
+  DeterministicView v;
+  v.epochs = p.epochs;
+  v.busy_epochs = p.busy_epochs;
+  v.cross = p.cross_messages;
+  v.ev_count = p.events_per_epoch.count();
+  v.ev_sum = p.events_per_epoch.sum();
+  v.adv_sum = p.advance_ns_per_epoch.sum();
+  v.imb_count = p.imbalance_pct.count();
+  for (const auto& pl : p.places) v.place_events.push_back(pl.events);
+  return v;
+}
+
+class EnginePerfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime::Telemetry::instance().enable(false);
+    runtime::Telemetry::instance().clear();
+  }
+  void TearDown() override {
+    runtime::Telemetry::instance().enable(false);
+    runtime::Telemetry::instance().clear();
+  }
+};
+
+TEST_F(EnginePerfTest, AccountingMatchesEngineTotals) {
+  std::uint64_t events = 0;
+  const ShardEnginePerf perf = run_pair(1, &events);
+
+  // Histogram sample counts equal the epoch count.
+  EXPECT_GT(perf.epochs, 0u);
+  EXPECT_EQ(perf.events_per_epoch.count(), perf.epochs);
+  EXPECT_EQ(perf.advance_ns_per_epoch.count(), perf.epochs);
+  EXPECT_EQ(perf.cross_per_epoch.count(), perf.epochs);
+  // Imbalance is only defined for busy epochs.
+  EXPECT_EQ(perf.imbalance_pct.count(), perf.busy_epochs);
+  EXPECT_LE(perf.busy_epochs, perf.epochs);
+  EXPECT_GT(perf.busy_epochs, 0u);
+
+  // Per-place event totals sum to the engine's total; per-epoch event
+  // samples sum to the same thing.
+  ASSERT_EQ(perf.places.size(), 2u);
+  EXPECT_EQ(perf.places[0].events + perf.places[1].events, events);
+  EXPECT_EQ(perf.events_per_epoch.sum(), events);
+  EXPECT_EQ(perf.cross_per_epoch.sum(), perf.cross_messages);
+  EXPECT_EQ(perf.cross_messages, 1u);
+  // The virtual advance over all epochs covers the run window exactly.
+  EXPECT_EQ(perf.advance_ns_per_epoch.sum(),
+            static_cast<std::uint64_t>(seconds(1)));
+  EXPECT_EQ(perf.min_lookahead, milliseconds(10));
+  // work_s stays zero with the wall-clock profiler off.
+  EXPECT_EQ(perf.places[0].work_s, 0.0);
+  EXPECT_EQ(perf.places[1].work_s, 0.0);
+}
+
+TEST_F(EnginePerfTest, DeterministicAcrossShardCounts) {
+  std::uint64_t e1 = 0;
+  std::uint64_t e2 = 0;
+  const DeterministicView v1 = view(run_pair(1, &e1));
+  const DeterministicView v2 = view(run_pair(2, &e2));
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(v1.epochs, v2.epochs);
+  EXPECT_EQ(v1.busy_epochs, v2.busy_epochs);
+  EXPECT_EQ(v1.cross, v2.cross);
+  EXPECT_EQ(v1.ev_count, v2.ev_count);
+  EXPECT_EQ(v1.ev_sum, v2.ev_sum);
+  EXPECT_EQ(v1.adv_sum, v2.adv_sum);
+  EXPECT_EQ(v1.imb_count, v2.imb_count);
+  EXPECT_EQ(v1.place_events, v2.place_events);
+}
+
+TEST_F(EnginePerfTest, TelemetryOnDoesNotChangeVirtualState) {
+  std::uint64_t off_events = 0;
+  const DeterministicView off = view(run_pair(2, &off_events));
+
+  runtime::Telemetry::instance().enable(true);
+  std::uint64_t on_events = 0;
+  const ShardEnginePerf on_perf = run_pair(2, &on_events);
+  runtime::Telemetry::instance().enable(false);
+
+  EXPECT_EQ(off_events, on_events);
+  const DeterministicView on = view(on_perf);
+  EXPECT_EQ(off.epochs, on.epochs);
+  EXPECT_EQ(off.ev_sum, on.ev_sum);
+  EXPECT_EQ(off.adv_sum, on.adv_sum);
+  EXPECT_EQ(off.place_events, on.place_events);
+  // With the profiler on, wall-clock fields fill in.
+  double work = 0.0;
+  for (const auto& pl : on_perf.places) work += pl.work_s;
+  EXPECT_GT(work, 0.0);
+  // ...and the engine's counter samples landed in the telemetry layer.
+  bool saw_epoch_counter = false;
+  const auto counters =
+      runtime::Telemetry::instance().local_buffer().counters();
+  for (const auto& c : counters) {
+    if (std::strcmp(c.name, "epoch.events") == 0) saw_epoch_counter = true;
+  }
+  EXPECT_TRUE(saw_epoch_counter);
+}
+
+TEST_F(EnginePerfTest, ImbalanceIsBalancedForSymmetricLoad) {
+  Simulation a(1);
+  Simulation b(2);
+  ShardEngine eng(1);
+  eng.add_place(a, "a");
+  eng.add_place(b, "b");
+  struct Tick {
+    Simulation* sim;
+    void arm() {
+      sim->in(milliseconds(1), [this] { arm(); });
+    }
+  };
+  Tick ta{&a};
+  Tick tb{&b};
+  a.at(kTimeZero, [&] { ta.arm(); });
+  b.at(kTimeZero, [&] { tb.arm(); });
+  eng.run_until(milliseconds(100));
+  const ShardEnginePerf perf = eng.perf();
+  // Identical per-place load: the busiest place's share equals the mean.
+  EXPECT_GT(perf.imbalance_pct.count(), 0u);
+  EXPECT_LE(perf.imbalance_pct.max(), 128u);  // ~100, log-bucket resolution
+  // No edges: min_lookahead reports 0 rather than a bogus sentinel.
+  EXPECT_EQ(perf.min_lookahead, 0);
+}
+
+}  // namespace
+}  // namespace emptcp::sim

@@ -22,6 +22,21 @@ class FlightRecorderDumper : public ::testing::EmptyTestEventListener {
     dumped_ = true;  // once per test: later failures add no new context
     std::fprintf(stderr, "[  FLIGHT  ] %s",
                  sink->flight().dump().c_str());
+    // Under EMPTCP_FLIGHT_DIR also write a file dump whose name embeds
+    // process/thread/sequence ids — sharded ctest runs (EMPTCP_JOBS > 1)
+    // execute the same binary concurrently, and test-name-only paths
+    // would collide.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    const std::string context =
+        info == nullptr ? "test"
+                        : std::string(info->test_suite_name()) + "." +
+                              info->name();
+    const std::string path = emptcp::trace::dump_flight_to_file(
+        sink->flight(), context, "test failure: " + context);
+    if (!path.empty()) {
+      std::fprintf(stderr, "[  FLIGHT  ] written to %s\n", path.c_str());
+    }
     std::fflush(stderr);
   }
 

@@ -1,0 +1,132 @@
+# Tier-1 telemetry gate: run the committed sharded campaign spec twice —
+# once plain, once with the span profiler on (EMPTCP_PERF_DIR), a live
+# heartbeat and EMPTCP_JOBS=2 — and enforce the observability contract
+# end to end through the CLIs:
+#   1. wall-clock telemetry never changes a deterministic artifact byte
+#      (the campaign directories differ only by heartbeat.jsonl);
+#   2. the heartbeat JSONL ends with a cells_done == cells_total record;
+#   3. the exported Chrome trace validates structurally and the perf
+#      sidecars render through `emptcp-report perf`;
+#   4. `emptcp-report perf` honours the exit-code contract (2 on usage
+#      errors and missing directories).
+# Invoked by ctest with:
+#   -DCAMPAIGN_TOOL=<path to emptcp-campaign>
+#   -DREPORT_TOOL=<path to emptcp-report>
+#   -DSPEC=<examples/campaigns/sharded_smoke.spec>
+#   -DOUT_DIR=<scratch directory; _plain/_telem/_perf suffixes are added>
+foreach(var CAMPAIGN_TOOL REPORT_TOOL SPEC OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "telemetry_gate: missing -D${var}")
+  endif()
+endforeach()
+
+set(plain_dir ${OUT_DIR}_plain)
+set(telem_dir ${OUT_DIR}_telem)
+set(perf_dir ${OUT_DIR}_perf)
+file(REMOVE_RECURSE ${plain_dir} ${telem_dir} ${perf_dir})
+
+# Baseline: telemetry off, no heartbeat.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env --unset=EMPTCP_PERF_DIR
+          ${CAMPAIGN_TOOL} --out ${plain_dir} ${SPEC}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE plain_log)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_gate: plain run failed (${rc}): ${plain_log}")
+endif()
+
+# Instrumented: profiler on, heartbeat on, parallel workers.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env EMPTCP_PERF_DIR=${perf_dir} EMPTCP_JOBS=2
+          ${CAMPAIGN_TOOL} --out ${telem_dir} --heartbeat 0.01 ${SPEC}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE telem_log)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_gate: instrumented run failed (${rc}): "
+                      "${telem_log}")
+endif()
+if(NOT telem_log MATCHES "telemetry on")
+  message(FATAL_ERROR "telemetry_gate: EMPTCP_PERF_DIR did not switch the "
+                      "profiler on: ${telem_log}")
+endif()
+
+# 1. Byte-identity: every deterministic artifact matches; the heartbeat
+# sidecar is the only file the instrumented run may add.
+file(GLOB plain_files RELATIVE ${plain_dir} ${plain_dir}/*)
+file(GLOB telem_files RELATIVE ${telem_dir} ${telem_dir}/*)
+list(REMOVE_ITEM telem_files heartbeat.jsonl)
+if(NOT plain_files STREQUAL telem_files)
+  message(FATAL_ERROR "telemetry_gate: artifact sets differ beyond the "
+                      "heartbeat: [${plain_files}] vs [${telem_files}]")
+endif()
+foreach(name ${plain_files})
+  file(READ ${plain_dir}/${name} plain_bytes)
+  file(READ ${telem_dir}/${name} telem_bytes)
+  if(NOT plain_bytes STREQUAL telem_bytes)
+    message(FATAL_ERROR "telemetry_gate: ${name} differs with telemetry on — "
+                        "wall-clock data leaked into a deterministic artifact")
+  endif()
+endforeach()
+
+# 2. Heartbeat: present, and its final record reports completion.
+if(NOT EXISTS ${telem_dir}/heartbeat.jsonl)
+  message(FATAL_ERROR "telemetry_gate: --heartbeat produced no heartbeat.jsonl")
+endif()
+file(STRINGS ${telem_dir}/heartbeat.jsonl hb_lines)
+list(POP_BACK hb_lines hb_last)
+if(NOT hb_last MATCHES "\"schema\": \"emptcp-heartbeat-v1\"")
+  message(FATAL_ERROR "telemetry_gate: heartbeat line lacks the schema tag: "
+                      "${hb_last}")
+endif()
+if(NOT hb_last MATCHES "\"cells_total\": 1, \"cells_done\": 1")
+  message(FATAL_ERROR "telemetry_gate: final heartbeat does not report "
+                      "done == total: ${hb_last}")
+endif()
+
+# 3. Perf artifacts: the Chrome trace validates and the sidecars render.
+set(trace_json ${perf_dir}/campaign-sharded-smoke.trace.json)
+if(NOT EXISTS ${trace_json})
+  message(FATAL_ERROR "telemetry_gate: missing campaign trace ${trace_json}")
+endif()
+execute_process(
+  COMMAND ${REPORT_TOOL} perf ${perf_dir} --trace-json ${trace_json}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE perf_report
+  ERROR_VARIABLE perf_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_gate: emptcp-report perf failed (${rc}): "
+                      "${perf_err}")
+endif()
+if(NOT perf_report MATCHES "chrome trace OK")
+  message(FATAL_ERROR "telemetry_gate: trace validation line missing from:\n"
+                      "${perf_report}")
+endif()
+if(NOT perf_report MATCHES "== perf: campaign sharded-smoke ==")
+  message(FATAL_ERROR "telemetry_gate: campaign perf doc not rendered:\n"
+                      "${perf_report}")
+endif()
+if(NOT perf_report MATCHES "events/epoch")
+  message(FATAL_ERROR "telemetry_gate: epoch distributions missing from:\n"
+                      "${perf_report}")
+endif()
+
+# 4. Exit-code contract: usage errors and missing inputs exit 2.
+execute_process(COMMAND ${REPORT_TOOL} perf
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_VARIABLE usage_err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "telemetry_gate: bare 'perf' should exit 2, got ${rc}")
+endif()
+if(NOT usage_err MATCHES "usage")
+  message(FATAL_ERROR "telemetry_gate: usage text missing on stderr: "
+                      "${usage_err}")
+endif()
+execute_process(COMMAND ${REPORT_TOOL} perf ${OUT_DIR}_no_such_dir
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "telemetry_gate: missing dir should exit 2, got ${rc}")
+endif()
+
+message(STATUS "telemetry_gate: byte-identical artifacts, complete "
+               "heartbeat, valid Chrome trace, perf report rendered")

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -72,6 +75,35 @@ TEST(FlightRecorderTest, SinkFeedsRingWithoutRetention) {
   sink.cwnd(sim::Time{2}, 1, 20, 10);
   EXPECT_EQ(sink.size(), 1u);
   EXPECT_EQ(sink.flight().total(), 1u);  // ring off: unchanged
+}
+
+TEST(FlightRecorderTest, DumpFilePathsNeverCollide) {
+  namespace fs = std::filesystem;
+  FlightRecorder fr;
+  fr.record(make_event(1));
+
+  // Unset: dumping is a no-op that reports "nothing written".
+  ::unsetenv("EMPTCP_FLIGHT_DIR");
+  EXPECT_EQ(dump_flight_to_file(fr, "ctx", "why"), "");
+
+  const fs::path dir = fs::path(::testing::TempDir()) / "flight_dump_unique";
+  fs::remove_all(dir);
+  ::setenv("EMPTCP_FLIGHT_DIR", dir.string().c_str(), 1);
+  // Same recorder, same context, repeated dumps — as happens when several
+  // EMPTCP_JOBS workers hit failures in the same-named test or cell — must
+  // land in distinct files, never overwrite each other.
+  std::set<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    const std::string p = dump_flight_to_file(fr, "same/context", "boom");
+    ASSERT_FALSE(p.empty());
+    EXPECT_TRUE(fs::exists(p)) << p;
+    EXPECT_TRUE(paths.insert(p).second) << "collision: " << p;
+    // The context is sanitized into the name (no path separators survive).
+    EXPECT_NE(fs::path(p).filename().string().find("same-context"),
+              std::string::npos);
+  }
+  ::unsetenv("EMPTCP_FLIGHT_DIR");
+  fs::remove_all(dir);
 }
 
 TEST(FlightRecorderTest, CurrentSinkFollowsSimulationLifetime) {

@@ -18,6 +18,7 @@
 
 #include "app/world.hpp"
 #include "check/oracle.hpp"
+#include "runtime/telemetry.hpp"
 #include "stats/trace_export.hpp"
 
 namespace emptcp::workload {
@@ -194,6 +195,43 @@ TEST(ShardedFleetTest, RunFleetDispatchesOnCellStructure) {
     }
   }
   EXPECT_TRUE(saw_cells);
+}
+
+TEST(ShardedFleetTest, TelemetryOnNeverChangesAnOutputByte) {
+  // Baseline with the wall-clock profiler off: no perf sidecar data.
+  FleetMetrics m_off;
+  const std::string off = run_and_serialize(2, &m_off);
+  EXPECT_FALSE(m_off.perf.has_value());
+
+  runtime::Telemetry::instance().enable(true);
+  FleetMetrics m_on2;
+  FleetMetrics m_on4;
+  const std::string on2 = run_and_serialize(2, &m_on2);
+  const std::string on4 = run_and_serialize(4, &m_on4);
+  runtime::Telemetry::instance().enable(false);
+  runtime::Telemetry::instance().clear();
+
+  // The profiler observes; it must never perturb a deterministic artifact,
+  // at any shard count.
+  EXPECT_EQ(off, on2);
+  EXPECT_EQ(off, on4);
+
+  // With the profiler on, the engine snapshot rides along out-of-band.
+  ASSERT_TRUE(m_on2.perf.has_value());
+  const analysis::PerfDoc& doc = *m_on2.perf;
+  EXPECT_GT(doc.epochs, 0u);
+  ASSERT_EQ(doc.places.size(), 4u);
+  std::uint64_t events = 0;
+  std::uint64_t cross_tx = 0;
+  double work = 0.0;
+  for (const auto& p : doc.places) {
+    events += p.events;
+    cross_tx += p.cross_tx;
+    work += p.work_s;
+  }
+  EXPECT_EQ(events, m_on2.run.profile.events_executed);
+  EXPECT_GT(cross_tx, 0u);  // cross_every=2 forces backbone traffic
+  EXPECT_GT(work, 0.0);     // wall-clock exec time was measured
 }
 
 TEST(ShardedFleetTest, SingleCellFleetNeedsNoBackbone) {

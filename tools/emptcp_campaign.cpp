@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "analysis/report_io.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace {
 
@@ -32,7 +34,7 @@ using namespace emptcp;
 
 constexpr const char kUsage[] =
     "usage: emptcp-campaign [--out DIR] [--jobs N] [--shards N]\n"
-    "                       [--no-report] SPEC\n"
+    "                       [--heartbeat SECS] [--no-report] SPEC\n"
     "       emptcp-campaign --help\n"
     "\n"
     "Runs the protocol x fleet-size x seed grid described by SPEC (JSON\n"
@@ -45,7 +47,17 @@ constexpr const char kUsage[] =
     "--shards N overrides the spec's sharding.shards worker count for\n"
     "sharded fleets (sharding.clients_per_cell > 0); 0 derives it from\n"
     "EMPTCP_JOBS / the core count. Artifacts are byte-identical for any\n"
-    "value — the override only changes wall-clock time.\n";
+    "value — the override only changes wall-clock time.\n"
+    "\n"
+    "--heartbeat SECS appends a live status line (cells done/running,\n"
+    "events/s, ETA) to DIR/heartbeat.jsonl every SECS seconds, plus one\n"
+    "final line when the grid completes.\n"
+    "\n"
+    "With EMPTCP_PERF_DIR set, the runtime span profiler is enabled and\n"
+    "per-cell `<label>.perf.json` plus campaign-level `.trace.json`\n"
+    "(Chrome trace-event JSON, loadable in Perfetto) and `.perf.json`\n"
+    "files are written there — never into DIR, whose contents stay a pure\n"
+    "function of (spec, seeds). Render them with `emptcp-report perf`.\n";
 
 int usage_error(const std::string& complaint) {
   if (!complaint.empty()) {
@@ -73,6 +85,7 @@ int main(int argc, char** argv) {
   bool report = true;
   bool shards_given = false;
   std::size_t shards = 0;
+  double heartbeat_s = 0.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       if (i + 1 >= args.size()) return usage_error("--out needs a directory");
@@ -94,6 +107,16 @@ int main(int argc, char** argv) {
       }
       shards_given = true;
       shards = static_cast<std::size_t>(v);  // 0 = jobs-derived
+    } else if (args[i] == "--heartbeat") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--heartbeat needs a seconds value");
+      }
+      char* end = nullptr;
+      const double v = std::strtod(args[++i].c_str(), &end);
+      if (end == args[i].c_str() || *end != '\0' || !(v > 0.0)) {
+        return usage_error("bad --heartbeat value: " + args[i]);
+      }
+      heartbeat_s = v;
     } else if (args[i] == "--no-report") {
       report = false;
     } else if (!args[i].empty() && args[i][0] == '-') {
@@ -133,7 +156,24 @@ int main(int argc, char** argv) {
                  spec.workload.sharding.shards);
   }
 
+  // EMPTCP_PERF_DIR opts into the span profiler: telemetry artifacts land
+  // there, keeping the campaign directory byte-identical to a run with
+  // profiling off (the determinism gates compare it whole).
+  if (const char* perf_dir = std::getenv("EMPTCP_PERF_DIR");
+      perf_dir != nullptr && *perf_dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(perf_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "emptcp-campaign: cannot create %s: %s\n",
+                   perf_dir, ec.message().c_str());
+      return 2;
+    }
+    runtime::Telemetry::instance().enable(true);
+    std::fprintf(stderr, "emptcp-campaign: telemetry on -> %s\n", perf_dir);
+  }
+
   campaign::CampaignRunner runner(std::move(spec), out_dir);
+  runner.set_heartbeat(heartbeat_s);
   campaign::CampaignResult result;
   try {
     result = runner.run(jobs);
