@@ -22,6 +22,7 @@
 
 #include "analysis/profile.hpp"
 #include "runtime/telemetry.hpp"
+#include "app/fast_path.hpp"
 #include "app/scenario.hpp"
 #include "app/world.hpp"
 #include "core/energy_info_base.hpp"
@@ -262,6 +263,14 @@ struct CoreResult {
   std::uint64_t fleet_events = 0;
   double fleet_seconds = 0.0;
   double fleet_allocs_per_event = 0.0;
+  // The same 256-client fleet under hybrid fidelity over the same virtual
+  // window: steady-state flows advance in 100ms macro-steps instead of
+  // per-packet events. speedup_vs_packet (wall clock for the same virtual
+  // window) is the headline and is diff-gated >= 3x.
+  std::uint64_t hybrid_events = 0;
+  double hybrid_seconds = 0.0;
+  std::uint64_t hybrid_fluid_bytes = 0;
+  std::uint64_t hybrid_fluid_entries = 0;
   // Sharded 10k-client fleet (16 cells on the conservative parallel
   // engine) over a fixed virtual window: the event count is deterministic
   // and identical at 1 and 4 shards; only the wall clock may differ. The
@@ -421,6 +430,45 @@ void measure_fleet(CoreResult& out) {
   out.fleet_events = sim.scheduler().events_executed() - events_before;
   out.fleet_allocs_per_event =
       static_cast<double>(allocs) / static_cast<double>(out.fleet_events);
+}
+
+// The identical fleet and virtual window as measure_fleet, at hybrid
+// fidelity: endless congestion-avoidance transfers are the macro-step
+// fast path's home turf, so the wall-clock ratio against the packet run
+// is the honest speedup figure (same workload, same virtual time).
+void measure_fleet_hybrid(CoreResult& out) {
+  const auto timer = out.harness.time("fleet_256_hybrid");
+  workload::FleetConfig cfg;
+  cfg.scenario.wifi.down_mbps = 90.0;
+  cfg.scenario.cell.down_mbps = 40.0;
+  cfg.scenario.record_series = false;
+  cfg.scenario.fidelity = sim::Fidelity::kHybrid;
+  cfg.protocol = app::Protocol::kEmptcp;
+  cfg.mode = workload::FleetConfig::Mode::kClosed;
+  cfg.clients = 256;
+  cfg.flows_per_client = 0;
+  cfg.flow_size.kind = workload::SizeDist::Kind::kFixed;
+  cfg.flow_size.mean_bytes = 64ull * 1024 * 1024;
+  workload::ClientFleet fleet(cfg);
+  fleet.start(1);
+  // The warmup is longer than the packet fleet's quick warmup on purpose:
+  // the governor needs a few 100ms quanta per flow (measure, stabilize,
+  // drain) before the fleet is mostly fluid, and warming up in hybrid
+  // mode is nearly free in wall clock. The measured window length still
+  // matches the packet run's, so the wall-clock ratio is apples-to-apples
+  // steady state against steady state.
+  const double warm_s = bench_quick() ? 3.0 : 4.0;
+  fleet.run_until(warm_s);
+  sim::Simulation& sim = fleet.world().sim;
+  const app::FastPath& fp = *fleet.world().fast_path;
+  const std::uint64_t events_before = sim.scheduler().events_executed();
+  const std::uint64_t fluid_before = fp.fluid_bytes();
+  const auto start = Clock::now();
+  fleet.run_until(warm_s + (bench_quick() ? 1.0 : 2.0));
+  out.hybrid_seconds = seconds_since(start);
+  out.hybrid_events = sim.scheduler().events_executed() - events_before;
+  out.hybrid_fluid_bytes = fp.fluid_bytes() - fluid_before;
+  out.hybrid_fluid_entries = fp.fluid_entries();
 }
 
 /// One sharded-fleet run over a fixed virtual window; returns the wall
@@ -601,6 +649,24 @@ void write_json(const CoreResult& r) {
   std::fprintf(f, "    \"allocs_per_event\": %.6f\n",
                r.fleet_allocs_per_event);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fleet_256_hybrid\": {\n");
+  std::fprintf(f, "    \"clients\": %llu,\n",
+               static_cast<unsigned long long>(r.fleet_clients));
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(r.hybrid_events));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", r.hybrid_seconds);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+               static_cast<double>(r.hybrid_events) / r.hybrid_seconds);
+  std::fprintf(f, "    \"fluid_bytes\": %llu,\n",
+               static_cast<unsigned long long>(r.hybrid_fluid_bytes));
+  std::fprintf(f, "    \"fluid_entries\": %llu,\n",
+               static_cast<unsigned long long>(r.hybrid_fluid_entries));
+  std::fprintf(f, "    \"event_reduction_vs_packet\": %.4f,\n",
+               static_cast<double>(r.fleet_events) /
+                   static_cast<double>(r.hybrid_events));
+  std::fprintf(f, "    \"speedup_vs_packet\": %.4f\n",
+               r.fleet_seconds / r.hybrid_seconds);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fleet_10k\": {\n");
   std::fprintf(f, "    \"clients\": %llu,\n",
                static_cast<unsigned long long>(r.sharded_clients));
@@ -659,6 +725,7 @@ void run_core_harness() {
   measure_packet_path(r);
   measure_end_to_end(r);
   measure_fleet(r);
+  measure_fleet_hybrid(r);
   measure_sharded_fleet(r);
   measure_fleet_100k(r);
   measure_trace_gates(r);
@@ -667,6 +734,14 @@ void run_core_harness() {
       static_cast<unsigned long long>(r.fleet_clients),
       static_cast<double>(r.fleet_events) / r.fleet_seconds / 1e6,
       r.fleet_allocs_per_event);
+  std::printf(
+      "fleet hybrid: %.3fs vs %.3fs packet for the same virtual window "
+      "(speedup %.2fx, %.1fx fewer events, %llu MB fluid, %llu entries)\n",
+      r.hybrid_seconds, r.fleet_seconds, r.fleet_seconds / r.hybrid_seconds,
+      static_cast<double>(r.fleet_events) /
+          static_cast<double>(r.hybrid_events),
+      static_cast<unsigned long long>(r.hybrid_fluid_bytes >> 20),
+      static_cast<unsigned long long>(r.hybrid_fluid_entries));
   std::printf(
       "fleet_10k (sharded, 16 cells): %.3fs @1 shard, %.3fs @4 shards "
       "(speedup %.2fx); fleet_100k (100 cells): %.3fs, %.2fM events/s\n",

@@ -311,6 +311,15 @@ std::vector<ToleranceRule> default_bench_tolerances() {
       // only a ~5x regression in the slower direction fails the gate.
       {"*per_sec*", Mode::kMinFactor, 5.0},
       {"*ns_per*", Mode::kMaxFactor, 5.0},
+      // The hybrid fast path's acceptance bar: the macro-stepped fleet
+      // must execute at least 3x fewer scheduler events than the packet
+      // run over the same virtual window (deterministic on a given
+      // build), and the wall-clock ratio — measured within one process on
+      // one machine, so robust to CI noise — must show a real speedup.
+      // Absolute floors, not baseline-relative: quick and full bench
+      // modes sit at very different absolute speedups.
+      {"fleet_256_hybrid.event_reduction_vs_packet", Mode::kFloor, 3.0},
+      {"fleet_256_hybrid.speedup_vs_packet", Mode::kFloor, 2.0},
       // Parallel-shard speedups depend on the core count of the machine
       // that measured them (a 1-core baseline sits at ~1.0); only a large
       // collapse in the slower direction is a regression signal.
@@ -340,12 +349,31 @@ bool parse_tolerance(std::string_view spec, ToleranceRule& out) {
     out.mode = Mode::kMaxFactor;
   } else if (mode == "min") {
     out.mode = Mode::kMinFactor;
+  } else if (mode == "floor") {
+    out.mode = Mode::kFloor;
+  } else if (mode == "near") {
+    out.mode = Mode::kNear;
   } else {
     return false;
   }
   out.tol = 0.0;
-  if (out.mode == Mode::kMaxAbs || out.mode == Mode::kMaxFactor ||
-      out.mode == Mode::kMinFactor) {
+  out.tol_abs = 0.0;
+  if (out.mode == Mode::kNear) {
+    // near:REL,ABS — the symmetric |c-b| <= REL*|b| + ABS band.
+    if (colon == std::string_view::npos) return false;
+    const std::string band(rest.substr(colon + 1));
+    const std::size_t comma = band.find(',');
+    if (comma == std::string::npos) return false;
+    const std::string rel_str = band.substr(0, comma);
+    const std::string abs_str = band.substr(comma + 1);
+    char* end = nullptr;
+    out.tol = std::strtod(rel_str.c_str(), &end);
+    if (end == rel_str.c_str() || *end != '\0') return false;
+    out.tol_abs = std::strtod(abs_str.c_str(), &end);
+    if (end == abs_str.c_str() || *end != '\0') return false;
+    if (out.tol < 0.0 || out.tol_abs < 0.0) return false;
+  } else if (out.mode == Mode::kMaxAbs || out.mode == Mode::kMaxFactor ||
+             out.mode == Mode::kMinFactor || out.mode == Mode::kFloor) {
     if (colon == std::string_view::npos) return false;
     char* end = nullptr;
     const std::string tol_str(rest.substr(colon + 1));
@@ -421,6 +449,13 @@ DiffResult diff_metrics(const FlatJson& baseline, const FlatJson& current,
           case Mode::kMinFactor:
             row.violation = c < b / rule->tol;
             break;
+          case Mode::kFloor:
+            row.violation = c < rule->tol;
+            break;
+          case Mode::kNear:
+            row.violation =
+                std::abs(c - b) > rule->tol * std::abs(b) + rule->tol_abs;
+            break;
           default:
             break;
         }
@@ -451,6 +486,56 @@ std::string DiffResult::render() const {
   out += violations == 0
              ? "diff: OK\n"
              : "diff: " + std::to_string(violations) + " violation(s)\n";
+  return out;
+}
+
+std::string rollup_flat_json(const std::vector<AnalyzedRun>& runs) {
+  std::vector<const RunRollup*> sorted;
+  sorted.reserve(runs.size());
+  for (const AnalyzedRun& r : runs) sorted.push_back(&r.rollup);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RunRollup* a, const RunRollup* b) {
+              return std::tie(a->group, a->protocol, a->workload, a->seed) <
+                     std::tie(b->group, b->protocol, b->workload, b->seed);
+            });
+  std::string out = "{\n  \"schema\": \"emptcp-rollup-flat-v1\"";
+  auto field = [&out](const std::string& key, const std::string& value) {
+    out += ",\n  \"" + key + "\": " + value;
+  };
+  for (const RunRollup* r : sorted) {
+    // The workload string (e.g. "fleet/closed/c4") is part of the key:
+    // a campaign with several fleet sizes has runs that agree on
+    // (group, protocol, seed), and tolerance rules want to glob on the
+    // client count ("*-c4-*") anyway. Slashes become dashes so the keys
+    // stay glob- and shell-friendly.
+    std::string workload = r->workload;
+    std::replace(workload.begin(), workload.end(), '/', '-');
+    std::string run = r->group + "-" + r->protocol;
+    if (!workload.empty()) run += "-" + workload;
+    run += "-s" + std::to_string(r->seed);
+    field(run + ".completed", r->completed ? "1" : "0");
+    field(run + ".time_s", stats::fmt_double(r->time_s));
+    field(run + ".bytes", std::to_string(r->bytes));
+    field(run + ".energy_j", stats::fmt_double(r->energy_j));
+    field(run + ".flows_started", std::to_string(r->flows_started));
+    field(run + ".flows_completed", std::to_string(r->flows_completed));
+    // Keyed by flow id, not completion order: the two fidelities complete
+    // flows in different orders, and the gate must compare a flow with
+    // itself.
+    std::vector<const RunRollup::FlowRollup*> flows;
+    flows.reserve(r->flows.size());
+    for (const auto& f : r->flows) flows.push_back(&f);
+    std::sort(flows.begin(), flows.end(),
+              [](const RunRollup::FlowRollup* a,
+                 const RunRollup::FlowRollup* b) { return a->flow < b->flow; });
+    for (const auto* f : flows) {
+      const std::string key = run + ".flow" + std::to_string(f->flow);
+      field(key + ".bytes", stats::fmt_double(f->bytes));
+      field(key + ".fct_s", stats::fmt_double(f->fct_s));
+      field(key + ".energy_j", stats::fmt_double(f->energy_j));
+    }
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -60,9 +60,14 @@ struct ToleranceRule {
     kMaxAbs,     ///< lower-is-better: fail if current > baseline + tol
     kMaxFactor,  ///< lower-is-better: fail if current > baseline * tol
     kMinFactor,  ///< higher-is-better: fail if current < baseline / tol
+    kFloor,      ///< absolute requirement: fail if current < tol,
+                 ///< regardless of the baseline value
+    kNear,       ///< symmetric band: fail if |current - baseline| >
+                 ///< tol * |baseline| + tol_abs (the fidelity contract)
   };
   Mode mode = Mode::kIgnore;
   double tol = 0.0;
+  double tol_abs = 0.0;  ///< kNear only: absolute term of the band
 };
 
 /// The default rules for BENCH_core.json-shaped baselines: allocation
@@ -71,8 +76,9 @@ struct ToleranceRule {
 /// seconds are ignored.
 std::vector<ToleranceRule> default_bench_tolerances();
 
-/// Parses "pattern=mode:value" (mode in ignore|exact|abs|factor|min) into a
-/// rule; returns false on malformed input.
+/// Parses "pattern=mode:value" (mode in ignore|exact|abs|factor|min|floor|
+/// near; near takes "near:REL,ABS") into a rule; returns false on
+/// malformed input.
 bool parse_tolerance(std::string_view spec, ToleranceRule& out);
 
 /// '*'-glob used by rule matching; exposed for tests.
@@ -98,5 +104,15 @@ struct DiffResult {
 /// as "new" but never violate.
 DiffResult diff_metrics(const FlatJson& baseline, const FlatJson& current,
                         const std::vector<ToleranceRule>& rules);
+
+/// Serializes the runs' rollups as one flat JSON document suitable for
+/// diff_metrics / `emptcp-report --diff`: per-run headline fields plus one
+/// `<run>.flow<N>.{bytes,fct_s,energy_j}` triple per completed flow. Runs
+/// are keyed `<group>-<protocol>-<workload>-s<seed>` ('/' in the workload
+/// sanitized to '-') and sorted, so two campaigns over the same spec
+/// produce positionally comparable documents and tolerance globs can
+/// target a workload slice (e.g. `*-c4-*`). This is what the
+/// hybrid-fidelity gate diffs between packet and hybrid runs.
+std::string rollup_flat_json(const std::vector<AnalyzedRun>& runs);
 
 }  // namespace emptcp::analysis

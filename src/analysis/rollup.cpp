@@ -60,6 +60,7 @@ V& slot_for(std::vector<std::pair<std::string, V>>& items,
 RollupBuilder::RollupBuilder(const RunManifest& manifest) {
   r_.group = manifest.group;
   r_.protocol = manifest.protocol;
+  r_.workload = manifest.workload;
   r_.seed = manifest.seed;
 }
 
@@ -122,6 +123,8 @@ void RollupBuilder::add_event(const FlatJson& e) {
     const double bytes = json_num(e, "bytes", 0.0);
     const double energy = json_num(e, "energy_j", 0.0);
     if (bytes > 0.0) r_.flow_epb_uj.add(energy * 1e6 / (bytes * 8.0));
+    r_.flows.push_back({static_cast<std::uint64_t>(json_num(e, "flow", 0.0)),
+                        bytes, fct, energy});
   } else if (kind == "warning") {
     ++r_.warnings;
   }

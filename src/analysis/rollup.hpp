@@ -41,6 +41,7 @@ struct RunRollup {
   // Identity (copied from the manifest).
   std::string group;
   std::string protocol;
+  std::string workload;  ///< free-form, e.g. "fleet/closed/c4"
   std::uint64_t seed = 0;
 
   // Headline numbers (from the run.* gauges the scenario records into the
@@ -78,6 +79,18 @@ struct RunRollup {
   std::uint64_t flows_completed = 0;
   LogHistogram flow_fct_s;    ///< completed-flow completion time (seconds)
   LogHistogram flow_epb_uj;   ///< completed-flow energy per bit (µJ/bit)
+
+  /// One completed flow, verbatim from its flow_complete trace event.
+  /// Retained in completion order; O(flows) memory, which the workloads
+  /// that feed reports keep comfortably bounded. The fidelity gate diffs
+  /// these field-by-field between packet and hybrid runs.
+  struct FlowRollup {
+    std::uint64_t flow = 0;
+    double bytes = 0.0;
+    double fct_s = 0.0;
+    double energy_j = 0.0;
+  };
+  std::vector<FlowRollup> flows;
 
   [[nodiscard]] double energy_per_bit_uj() const {
     return bytes == 0 ? 0.0

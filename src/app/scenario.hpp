@@ -26,6 +26,7 @@
 #include "energy/device_profile.hpp"
 #include "net/channel/mobility.hpp"
 #include "net/channel/onoff_bandwidth.hpp"
+#include "sim/fidelity.hpp"
 #include "stats/timeseries.hpp"
 #include "trace/sink.hpp"
 
@@ -77,6 +78,11 @@ struct ScenarioConfig {
   std::uint64_t request_bytes = 200;
 
   // Run control.
+  /// Simulation fidelity: kPacket is the full per-packet model; kHybrid
+  /// adds the macro-step fast path (app::FastPath, DESIGN.md §13) that
+  /// advances quiescent flows analytically. Metrics must agree within the
+  /// documented tolerances; traces legitimately differ.
+  sim::Fidelity fidelity = sim::Fidelity::kPacket;
   sim::Duration max_sim_time = sim::seconds(4 * 3600);
   sim::Duration max_drain = sim::seconds(20);
   bool record_series = true;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "app/fast_path.hpp"
 #include "baselines/mdp_scheduler.hpp"
 #include "baselines/wifi_first.hpp"
 #include "net/packet_pool.hpp"
@@ -121,7 +122,23 @@ World::World(const ScenarioConfig& cfg, std::uint64_t seed, Addressing addr)
 
   tracker.track(*wifi_if, wifi_radio);
   tracker.track(*cell_if, cell_radio);
+
+  if (cfg.fidelity == sim::Fidelity::kHybrid) {
+    fast_path = std::make_unique<FastPath>(*this);
+    // Any path-property change anywhere in the topology is a transient:
+    // flows advancing analytically must drop back to packet level and
+    // re-measure against the new path.
+    const auto kick = [this] { fast_path->kick_all(); };
+    for (net::Link* l :
+         {wifi_acc_up.get(), wifi_wan_up.get(), wifi_wan_down.get(),
+          wifi_acc_down.get(), cell_acc_up.get(), cell_wan_up.get(),
+          cell_wan_down.get(), cell_acc_down.get()}) {
+      l->set_transient_listener(kick);
+    }
+  }
 }
+
+World::~World() = default;
 
 void World::start_dynamics() {
   if (scfg.wifi_onoff) {
@@ -449,6 +466,12 @@ RunMetrics collect_core(World& w, bool completed, double download_time_s,
         .set(static_cast<double>(bytes_received));
     reg.gauge("sim.events_executed")
         .set(static_cast<double>(m.profile.events_executed));
+    if (w.fast_path != nullptr) {
+      reg.gauge("run.fluid_bytes")
+          .set(static_cast<double>(w.fast_path->fluid_bytes()));
+      reg.gauge("run.fluid_entries")
+          .set(static_cast<double>(w.fast_path->fluid_entries()));
+    }
     m.trace_events = w.sim.trace().events();
     m.trace_metrics = reg.snapshot();
     m.profile.trace_events = m.trace_events.size();

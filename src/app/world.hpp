@@ -34,6 +34,8 @@
 
 namespace emptcp::app {
 
+class FastPath;
+
 /// Fixed addressing of the testbed (the paper's single-server topology).
 inline constexpr net::Addr kWifiAddr = 1;
 inline constexpr net::Addr kCellAddr = 2;
@@ -71,6 +73,7 @@ mptcp::MptcpConnection::Config make_mptcp_cfg(const ScenarioConfig& cfg,
 /// The per-run world: fresh simulation, topology, radios and tracker.
 struct World {
   World(const ScenarioConfig& cfg, std::uint64_t seed, Addressing addr = {});
+  ~World();  // out of line: FastPath is incomplete here
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -109,6 +112,10 @@ struct World {
   std::optional<net::OnOffBandwidth> onoff;
   std::vector<std::unique_ptr<OnOffUdpSource>> interferers;
   std::optional<net::MobilityModel> mobility;
+  /// Hybrid-fidelity coordinator; non-null iff scfg.fidelity == kHybrid.
+  /// Declared after the links and tracker it references so it is destroyed
+  /// first (its destructor detaches from the hub and clears fluid rates).
+  std::unique_ptr<FastPath> fast_path;
 
  private:
   std::optional<core::EnergyInfoBase> eib_;

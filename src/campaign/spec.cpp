@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/json.hpp"
+#include "sim/fidelity.hpp"
 
 namespace emptcp::campaign {
 namespace {
@@ -153,6 +154,12 @@ bool apply_scenario_key(app::ScenarioConfig& cfg, std::string_view key,
     return true;
   }
   if (key == "record_series") { cfg.record_series = as_bool(v); return true; }
+  if (key == "fidelity") {
+    const auto f = sim::fidelity_from_string(as_str(v));
+    if (!f) return false;
+    cfg.fidelity = *f;
+    return true;
+  }
   return false;
 }
 
@@ -372,6 +379,10 @@ bool parse_campaign_spec(std::string_view text, CampaignSpec& out,
   // to lean runs: no in-memory series.
   spec.workload.scenario.trace = true;
   spec.workload.scenario.record_series = false;
+  // EMPTCP_FIDELITY selects the default fidelity so one committed spec can
+  // be driven at both fidelities (the hybrid differential gate does this);
+  // an explicit scenario.fidelity key in the spec still wins.
+  spec.workload.scenario.fidelity = sim::fidelity_from_env();
   for (const auto& [key, v] : doc) {
     if (!apply_key(spec, key, v, err)) return false;
   }

@@ -201,10 +201,12 @@ FuzzScenario generate_scenario(std::uint64_t seed) {
   return sc;
 }
 
-RunOutcome run_protocol(const FuzzScenario& sc, app::Protocol protocol) {
+RunOutcome run_protocol(const FuzzScenario& sc, app::Protocol protocol,
+                        sim::Fidelity fidelity) {
   workload::FleetConfig cfg = sc.fleet;
   cfg.protocol = protocol;
   cfg.scenario.trace = true;
+  cfg.scenario.fidelity = fidelity;
 
   workload::ClientFleet fleet(cfg);
   // Declared after the fleet so the oracle detaches (destructor) before
@@ -336,7 +338,7 @@ RunOutcome run_protocol(const FuzzScenario& sc, app::Protocol protocol) {
   return out;
 }
 
-SeedResult run_seed(std::uint64_t seed) {
+SeedResult run_seed(std::uint64_t seed, bool fidelity_diff) {
   const FuzzScenario sc = generate_scenario(seed);
   SeedResult r;
   r.seed = seed;
@@ -347,6 +349,73 @@ SeedResult run_seed(std::uint64_t seed) {
   r.violations = primary.violations;
   r.flight_tail = primary.flight_tail;
   r.digest = primary.digest;
+
+  if (fidelity_diff) {
+    // Hybrid re-run of the identical scenario: every oracle invariant must
+    // hold at reduced fidelity too, and where the workload is
+    // rng-independent (sc.differential scenarios: closed loop, scheduled
+    // sizes) the per-flow results must match the packet run within the
+    // DESIGN.md §13 tolerance contract. Dynamics-heavy scenarios still run
+    // — their flows just rarely go fluid — so the corpus also exercises
+    // the transient-demotion paths.
+    RunOutcome hybrid =
+        run_protocol(sc, sc.fleet.protocol, sim::Fidelity::kHybrid);
+    r.checks += hybrid.checks;
+    for (Violation v : hybrid.violations) {
+      v.detail = "[hybrid] " + v.detail;
+      r.violations.push_back(std::move(v));
+    }
+    if (r.flight_tail.empty()) r.flight_tail = hybrid.flight_tail;
+    r.digest = combine_digest(r.digest, hybrid.digest);
+
+    auto expect = [&r](bool ok, const char* invariant, std::string detail) {
+      ++r.checks;
+      if (!ok) r.violations.push_back({0.0, invariant, std::move(detail)});
+    };
+    if (sc.differential) {
+      expect(primary.flows_started == hybrid.flows_started,
+             "fidelity.same_flow_count",
+             "packet started " + std::to_string(primary.flows_started) +
+                 ", hybrid " + std::to_string(hybrid.flows_started));
+      const std::size_t n =
+          std::min(primary.flows.size(), hybrid.flows.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const workload::FlowRecord& pf = primary.flows[i];
+        const workload::FlowRecord& hf = hybrid.flows[i];
+        const std::string who = "flow " + std::to_string(i);
+        expect(pf.bytes == hf.bytes, "fidelity.same_workload",
+               who + " sized " + std::to_string(pf.bytes) + " vs " +
+                   std::to_string(hf.bytes));
+        expect(pf.completed == hf.completed, "fidelity.same_completion",
+               who + (pf.completed ? " completed in packet only"
+                                   : " completed in hybrid only"));
+        if (!pf.completed || !hf.completed) continue;
+        expect(pf.delivered == hf.delivered, "fidelity.bytes_exact",
+               who + " delivered " + std::to_string(hf.delivered) +
+                   " hybrid vs " + std::to_string(pf.delivered) + " packet");
+        // FCT tolerance: 25% relative + 250 ms absolute (§13).
+        expect(std::abs(hf.fct_s() - pf.fct_s()) <=
+                   0.25 * pf.fct_s() + 0.25,
+               "fidelity.fct_within_tolerance",
+               who + " fct " + fmt(hf.fct_s()) + " s hybrid vs " +
+                   fmt(pf.fct_s()) + " s packet");
+        // Per-flow energy share: 30% relative + 0.3 J absolute (§13; the
+        // overlap-weighted attribution amplifies small timing shifts).
+        expect(std::abs(hf.energy_j_est - pf.energy_j_est) <=
+                   0.30 * pf.energy_j_est + 0.3,
+               "fidelity.flow_energy_within_tolerance",
+               who + " energy " + fmt(hf.energy_j_est) + " J hybrid vs " +
+                   fmt(pf.energy_j_est) + " J packet");
+      }
+      // Run-level device energy: 25% relative + 0.5 J absolute (§13).
+      expect(std::abs(hybrid.energy_j - primary.energy_j) <=
+                 0.25 * primary.energy_j + 0.5,
+             "fidelity.energy_within_tolerance",
+             "hybrid " + fmt(hybrid.energy_j) + " J vs packet " +
+                 fmt(primary.energy_j) + " J");
+    }
+  }
+
   if (!sc.differential) return r;
 
   RunOutcome base = run_protocol(sc, app::Protocol::kMptcp);
@@ -407,7 +476,9 @@ FuzzBatchResult run_batch(const FuzzBatchConfig& cfg) {
   const std::vector<std::uint64_t> seeds =
       runtime::seed_range(cfg.base_seed, cfg.seeds);
   struct Unit {};
-  auto run = [](const Unit&, std::uint64_t seed) { return run_seed(seed); };
+  auto run = [fd = cfg.fidelity_diff](const Unit&, std::uint64_t seed) {
+    return run_seed(seed, fd);
+  };
 
   FuzzBatchResult out;
   out.results = runtime::run_replications(Unit{}, seeds, run, cfg.workers);
@@ -440,12 +511,13 @@ FuzzBatchResult run_batch(const FuzzBatchConfig& cfg) {
 }
 
 std::string format_repro(const FuzzScenario& sc, Mutation mutation,
-                         const SeedResult& r) {
+                         const SeedResult& r, bool fidelity_diff) {
   std::string s;
   s += kReproSchema;
   s += "\n";
   s += "seed = " + std::to_string(sc.seed) + "\n";
   s += std::string("mutation = ") + to_string(mutation) + "\n";
+  if (fidelity_diff) s += "fidelity-diff = true\n";
   s += "# scenario: " + sc.summary + "\n";
   s += "# checks run: " + std::to_string(r.checks) +
        ", violations: " + std::to_string(r.violations.size()) + "\n";
@@ -509,6 +581,8 @@ bool parse_repro(const std::string& text, ReproHeader& out,
         err = "unknown mutation \"" + v + "\"";
         return false;
       }
+    } else if (line == "fidelity-diff = true") {
+      out.fidelity_diff = true;
     }
     if (nl == text.size()) break;
   }

@@ -87,7 +87,8 @@ struct RunOutcome {
   std::vector<workload::FlowRecord> flows;
 };
 
-RunOutcome run_protocol(const FuzzScenario& sc, app::Protocol protocol);
+RunOutcome run_protocol(const FuzzScenario& sc, app::Protocol protocol,
+                        sim::Fidelity fidelity = sim::Fidelity::kPacket);
 
 /// Full result for one seed: primary run, plus the differential baseline
 /// and cross-run checks when the scenario asks for them.
@@ -102,7 +103,12 @@ struct SeedResult {
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 
-SeedResult run_seed(std::uint64_t seed);
+/// `fidelity_diff` additionally re-runs the scenario's primary protocol at
+/// hybrid fidelity under the full oracle, and — on scenarios whose workload
+/// is rng-independent (the same property the protocol differential needs)
+/// — cross-checks per-flow completion, bytes (exact), FCT and energy
+/// against the packet run within the DESIGN.md §13 tolerance contract.
+SeedResult run_seed(std::uint64_t seed, bool fidelity_diff = false);
 
 struct FuzzBatchConfig {
   std::uint64_t base_seed = 1;
@@ -112,6 +118,9 @@ struct FuzzBatchConfig {
   std::size_t recheck = 0;
   std::size_t workers = 0;  ///< 0 = all cores (respects EMPTCP_JOBS)
   std::string report_progress;  ///< unused hook for CLI progress prefix
+  /// Run every seed's primary protocol at hybrid fidelity too and
+  /// cross-check against the packet run (see run_seed).
+  bool fidelity_diff = false;
 };
 
 struct FuzzBatchResult {
@@ -129,13 +138,15 @@ struct FuzzBatchResult {
 FuzzBatchResult run_batch(const FuzzBatchConfig& cfg);
 
 /// Self-contained repro file ("emptcp-fuzz-repro-v1"): machine-readable
-/// seed + mutation header, human-readable violation/flight commentary.
+/// seed + mutation (+ fidelity-diff) header, human-readable
+/// violation/flight commentary.
 std::string format_repro(const FuzzScenario& sc, Mutation mutation,
-                         const SeedResult& r);
+                         const SeedResult& r, bool fidelity_diff = false);
 
 struct ReproHeader {
   std::uint64_t seed = 0;
   Mutation mutation = Mutation::kNone;
+  bool fidelity_diff = false;
 };
 
 /// Parses a repro file's header. Returns false (with `err` set) on

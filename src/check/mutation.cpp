@@ -21,6 +21,7 @@ const char* to_string(Mutation m) {
     case Mutation::kNone: return "none";
     case Mutation::kReassemblyDupDeliver: return "reassembly-dup-deliver";
     case Mutation::kSchedulerIgnoreBackup: return "scheduler-ignore-backup";
+    case Mutation::kMacroQuiescenceBlind: return "macro-quiescence-blind";
   }
   return "?";
 }
@@ -32,6 +33,8 @@ bool mutation_from_string(std::string_view name, Mutation& out) {
     out = Mutation::kReassemblyDupDeliver;
   } else if (name == "scheduler-ignore-backup") {
     out = Mutation::kSchedulerIgnoreBackup;
+  } else if (name == "macro-quiescence-blind") {
+    out = Mutation::kMacroQuiescenceBlind;
   } else {
     return false;
   }

@@ -21,6 +21,11 @@ enum class Mutation {
   /// fresh data is striped onto MP_PRIO-backup paths while regular ones
   /// are usable — the bug eMPTCP's single-path mode depends on not having.
   kSchedulerIgnoreBackup,
+  /// TcpSocket::can_macro_step ignores the loss/recovery terms (dupacks,
+  /// SACK holes, marked losses, fast recovery), declaring a flow quiescent
+  /// while a transient is pending — the class of bug the macro-step
+  /// property tests must catch before the fast path freezes a retransmit.
+  kMacroQuiescenceBlind,
 };
 
 [[nodiscard]] Mutation active_mutation();

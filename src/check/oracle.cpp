@@ -174,6 +174,22 @@ void Oracle::on_dss_assign(const DssAssign& a) {
   }
 }
 
+void Oracle::on_macro_advance(const void* conn, std::uint64_t data_seq,
+                              std::uint64_t len) {
+  expect(len > 0, "macro.advance_nonempty", "data_seq=" + u64(data_seq));
+  // A macro-step is an aggregated fresh assignment: it must extend the
+  // fresh frontier exactly (and advances it, so packet-level striping that
+  // resumes after the fluid interval is still judged contiguous).
+  auto it = dss_frontier_.find(conn);
+  if (it == dss_frontier_.end()) {
+    dss_frontier_.emplace(conn, data_seq + len);
+    return;
+  }
+  expect(data_seq == it->second, "macro.fresh_contiguous",
+         "data_seq=" + u64(data_seq) + " frontier=" + u64(it->second));
+  it->second = data_seq + len;
+}
+
 void Oracle::on_lia_increase(const LiaSample& s) {
   expect(lia_increase_within_bound(s), "lia.increase_bound",
          "acked=" + u64(s.acked_bytes) + " mss=" + u64(s.mss) +

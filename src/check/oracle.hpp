@@ -92,6 +92,15 @@ class Oracle : public trace::EventObserver {
   };
   void on_dss_assign(const DssAssign& a);
 
+  /// Hybrid fidelity: the fast path advanced `len` bytes of `conn`'s
+  /// data-sequence space analytically, starting at `data_seq`. Must be
+  /// contiguous with the fresh-assignment frontier (a gap or overlap means
+  /// the macro-step and packet-level striping disagree about what has been
+  /// sent); advances the frontier so post-fluid packet-level assignment is
+  /// still held to dss.fresh_contiguous.
+  void on_macro_advance(const void* conn, std::uint64_t data_seq,
+                        std::uint64_t len);
+
   void on_lia_increase(const LiaSample& s);
 
   /// Harness-level check: the fuzzer funnels world-teardown and

@@ -1,5 +1,6 @@
 #include "energy/energy_tracker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "trace/trace.hpp"
@@ -59,6 +60,21 @@ void EnergyTracker::tick(std::uint64_t epoch) {
                                  static_cast<std::int64_t>(bytes)));
     }
     e.last_bytes = bytes;
+    // Fluid smoothing: while a macro-stepped flow advances this interface's
+    // counters in multi-window lumps, meter the observed bytes back out at
+    // the declared fluid rate so each window's power sample sees the rate
+    // packet mode would have shown it. The backlog conserves the totals:
+    // whatever a window doesn't draw, a later one (or the clear) releases.
+    if (e.fluid_active) {
+      e.fluid_backlog += delta;
+      const auto budget =
+          static_cast<std::uint64_t>(e.fluid_bps * window_s + 0.5);
+      delta = std::min(e.fluid_backlog, budget);
+      e.fluid_backlog -= delta;
+    } else if (e.fluid_backlog > 0) {
+      delta += e.fluid_backlog;
+      e.fluid_backlog = 0;
+    }
     const double mbps = static_cast<double>(delta) * 8.0 / 1e6 / window_s;
     const bool moved = delta > 0;
     if (moved) ++transferring;
@@ -96,6 +112,28 @@ void EnergyTracker::tick(std::uint64_t epoch) {
   }
   ++sample_index_;
   sim_.in(cfg_.sample, [this, epoch] { tick(epoch); });
+}
+
+void EnergyTracker::set_fluid_rate(const net::NetworkInterface& iface,
+                                   double bytes_per_s) {
+  for (Entry& e : entries_) {
+    if (e.iface == &iface) {
+      e.fluid_active = true;
+      e.fluid_bps = bytes_per_s;
+      return;
+    }
+  }
+}
+
+void EnergyTracker::clear_fluid_rate(const net::NetworkInterface& iface) {
+  for (Entry& e : entries_) {
+    if (e.iface == &iface) {
+      e.fluid_active = false;
+      e.fluid_bps = 0.0;
+      // The backlog (if any) is released into the next tick's delta.
+      return;
+    }
+  }
 }
 
 double EnergyTracker::total_j() const {

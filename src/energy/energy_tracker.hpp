@@ -81,6 +81,20 @@ class EnergyTracker {
   /// lifetime so far, in Mbps.
   [[nodiscard]] double mean_rx_mbps(net::InterfaceType t) const;
 
+  /// Hybrid fidelity: declares that `iface`'s counters are being advanced
+  /// analytically at `bytes_per_s` (wire bytes, tx+rx combined). While a
+  /// fluid rate is set, each sampling window draws at most rate x window
+  /// bytes from the accumulated counter backlog, so a macro-step that lands
+  /// several windows' worth of bytes in one instant is metered back out at
+  /// the declared rate — per-window power samples match packet mode, and
+  /// the backlog conserves the byte total exactly (the remainder is
+  /// released when the rate is cleared). This is the window-boundary seam
+  /// the macro-step refactor exposed: without the backlog, a lumped
+  /// counter jump would put the whole quantum's bytes into whichever
+  /// window happened to observe it, distorting the nonlinear power model.
+  void set_fluid_rate(const net::NetworkInterface& iface, double bytes_per_s);
+  void clear_fluid_rate(const net::NetworkInterface& iface);
+
  private:
   struct Entry {
     net::NetworkInterface* iface = nullptr;
@@ -89,6 +103,9 @@ class EnergyTracker {
     std::uint64_t start_rx_bytes = 0; ///< rx at start(); mean_rx baseline
     RadioState last_state = RadioState::kIdle;  ///< for transition traces
     double energy_mj = 0.0;
+    bool fluid_active = false;      ///< counters advance analytically
+    double fluid_bps = 0.0;         ///< declared wire bytes/second
+    std::uint64_t fluid_backlog = 0;///< observed but not yet metered bytes
     std::vector<RatePoint> rates;
   };
 

@@ -1,0 +1,40 @@
+// Attachment point between the MPTCP stack and the hybrid-fidelity fast
+// path (app::FastPath).
+//
+// Mirrors check/hub.hpp: protocol objects cache a pointer to their
+// simulation's FastPathHub at construction; every notification site is one
+// pointer load plus a branch when no listener is attached (the packet-only
+// default), so the hooks stay compiled into the hot paths permanently.
+// `mptcp` must not depend on `app`, hence the abstract listener.
+#pragma once
+
+#include "sim/simulation.hpp"
+
+namespace emptcp::mptcp {
+
+class MptcpConnection;
+
+/// Implemented by the fast-path coordinator. All calls are synchronous and
+/// must not destroy the connection they are called about.
+class FastPathListener {
+ public:
+  virtual ~FastPathListener() = default;
+  /// First subflow of `conn` completed its handshake.
+  virtual void on_conn_established(MptcpConnection& conn) = 0;
+  /// `conn` is being destroyed; drop every reference to it.
+  virtual void on_conn_destroyed(MptcpConnection& conn) = 0;
+  /// A transient happened on `conn` (app write/close, subflow set change,
+  /// MP_PRIO, failure): any analytic advancement must stop until the flow
+  /// proves quiescent again.
+  virtual void on_conn_transient(MptcpConnection& conn) = 0;
+};
+
+struct FastPathHub {
+  FastPathListener* listener = nullptr;
+};
+
+inline FastPathHub& fastpath_hub(sim::Simulation& sim) {
+  return sim.context<FastPathHub>();
+}
+
+}  // namespace emptcp::mptcp

@@ -5,6 +5,7 @@
 
 #include "check/hub.hpp"
 #include "check/oracle.hpp"
+#include "mptcp/fastpath_hub.hpp"
 #include "sim/logging.hpp"
 #include "trace/trace.hpp"
 
@@ -34,9 +35,16 @@ MptcpConnection::MptcpConnection(sim::Simulation& sim, net::Node& node,
       scheduler_(std::make_unique<MinRttScheduler>()),
       ctr_reinjected_(
           &sim.trace().metrics().counter("mptcp.reinjected_chunks")),
-      chk_(&check::hub(sim)) {}
+      chk_(&check::hub(sim)),
+      fp_(&fastpath_hub(sim)) {}
 
-MptcpConnection::~MptcpConnection() = default;
+MptcpConnection::~MptcpConnection() {
+  if (fp_->listener != nullptr) fp_->listener->on_conn_destroyed(*this);
+}
+
+void MptcpConnection::notify_transient() {
+  if (fp_->listener != nullptr) fp_->listener->on_conn_transient(*this);
+}
 
 void MptcpConnection::connect(net::Addr local, net::Addr remote,
                               net::Port remote_port) {
@@ -57,6 +65,7 @@ void MptcpConnection::connect(net::Addr local, net::Addr remote,
 
 Subflow* MptcpConnection::add_subflow(net::Addr local, bool backup) {
   if (is_server_) return nullptr;
+  notify_transient();  // the subflow set is changing
   const net::InterfaceType iface = node_.interface_for(local).type();
   if (subflow_on(iface) != nullptr && subflow_on(iface)->usable()) {
     return nullptr;  // already have a live subflow on this interface
@@ -164,16 +173,19 @@ Subflow* MptcpConnection::subflow_on(net::InterfaceType t) {
 void MptcpConnection::send(std::uint64_t bytes) {
   app_queued_ += bytes;
   data_end_ += bytes;
+  notify_transient();  // app write: re-measure before advancing again
   poke_subflows();
 }
 
 void MptcpConnection::shutdown_write() {
   fin_pending_ = true;
+  notify_transient();  // app close: the stream end is now known
   maybe_send_fins();
 }
 
 void MptcpConnection::request_priority(Subflow& sf, bool backup) {
   if (sf.backup() == backup) return;
+  notify_transient();  // MP_PRIO changes which paths carry data
   sf.set_backup(backup);
   sf.socket().send_mp_prio(backup);
   EMPTCP_TRACE(sim_, mp_prio(sim_.now(), static_cast<std::uint32_t>(sf.id()),
@@ -197,6 +209,7 @@ void MptcpConnection::handle_interface_down(net::InterfaceType type) {
 
 std::optional<tcp::TcpSocket::Chunk> MptcpConnection::pull_chunk(
     Subflow& sf, std::uint32_t max_len) {
+  if (tx_paused_) return std::nullopt;
   if (max_len == 0) return std::nullopt;
   if (!scheduler_->eligible(sf, subflows())) return std::nullopt;
 
@@ -274,6 +287,7 @@ void MptcpConnection::on_subflow_packet(Subflow& sf, const net::Packet& pkt) {
   if (pkt.mp_prio && pkt.mp_prio->backup != sf.backup()) {
     const bool backup = pkt.mp_prio->backup;
     const bool was_backup = sf.backup();
+    notify_transient();  // which paths carry data is changing
     sf.set_backup(backup);
     EMPTCP_TRACE(sim_,
                  mp_prio(sim_.now(), static_cast<std::uint32_t>(sf.id()),
@@ -296,7 +310,10 @@ void MptcpConnection::on_subflow_packet(Subflow& sf, const net::Packet& pkt) {
 void MptcpConnection::on_subflow_established_cb(Subflow& sf) {
   if (!established_reported_) {
     established_reported_ = true;
+    if (fp_->listener != nullptr) fp_->listener->on_conn_established(*this);
     if (cb_.on_established) cb_.on_established();
+  } else {
+    notify_transient();  // an additional subflow joined the set
   }
   if (cb_.on_subflow_established) cb_.on_subflow_established(sf);
   if (subflow_fins_sent_) {
@@ -309,6 +326,7 @@ void MptcpConnection::on_subflow_established_cb(Subflow& sf) {
 void MptcpConnection::on_subflow_eof(Subflow&) { check_eof(); }
 
 void MptcpConnection::on_subflow_closed(Subflow& sf) {
+  notify_transient();  // subflow set shrank (failure or orderly close)
   if (subflow_cc_[sf.id()] != nullptr) {
     lia_.remove_member(
         static_cast<LiaCoupledCc*>(subflow_cc_[sf.id()]));
@@ -382,6 +400,63 @@ void MptcpConnection::check_eof() {
   if (!any_eof) return;
   eof_reported_ = true;
   if (cb_.on_eof) cb_.on_eof();
+}
+
+void MptcpConnection::set_tx_paused(bool paused) {
+  if (tx_paused_ == paused) return;
+  tx_paused_ = paused;
+  if (!paused) poke_subflows();
+}
+
+bool MptcpConnection::can_macro_step_send() const {
+  if (!established_reported_ || closed_reported_) return false;
+  if (subflow_fins_sent_) return false;
+  if (!reinject_.empty()) return false;
+  if (data_snd_una_ != data_next_seq_) return false;
+  for (const auto& sf : subflows_) {
+    if (sf->failed()) continue;
+    if (!sf->outstanding().empty()) return false;
+    if (!sf->socket().can_macro_step()) return false;
+  }
+  return true;
+}
+
+bool MptcpConnection::can_macro_step_recv() const {
+  if (!established_reported_ || closed_reported_) return false;
+  if (data_rcv_.has_gaps()) return false;
+  if (data_fin_rcv_.has_value() || eof_reported_) return false;
+  for (const auto& sf : subflows_) {
+    if (sf->failed()) continue;
+    if (!sf->socket().can_macro_step()) return false;
+  }
+  return true;
+}
+
+void MptcpConnection::macro_advance_send(net::InterfaceType iface,
+                                         std::uint64_t bytes,
+                                         std::uint64_t cwnd_cap) {
+  if (bytes == 0) return;
+  Subflow* sf = subflow_on(iface);
+  if (sf == nullptr) return;
+  if (check::Oracle* oracle = chk_->oracle) {
+    oracle->on_macro_advance(this, data_next_seq_, bytes);
+  }
+  sf->socket().macro_advance_sender(bytes, cwnd_cap);
+  data_next_seq_ += bytes;
+  data_snd_una_ += bytes;
+  if (cb_.on_data_acked) cb_.on_data_acked(bytes);
+}
+
+void MptcpConnection::macro_advance_recv(net::InterfaceType iface,
+                                         std::uint64_t bytes) {
+  if (bytes == 0) return;
+  Subflow* sf = subflow_on(iface);
+  if (sf == nullptr) return;
+  sf->socket().macro_advance_receiver(bytes);
+  const std::uint64_t newly = data_rcv_.insert(data_rcv_.cumulative(), bytes);
+  const std::uint64_t cum = data_rcv_.cumulative();
+  for (auto& each : subflows_) each->socket().set_data_ack(cum);
+  if (newly > 0 && cb_.on_data) cb_.on_data(newly);
 }
 
 void MptcpConnection::check_closed() {

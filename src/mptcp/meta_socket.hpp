@@ -39,6 +39,8 @@ struct Hub;
 
 namespace emptcp::mptcp {
 
+struct FastPathHub;
+
 /// Operating modes (paper §2.1).
 enum class Mode {
   kFullMptcp,   ///< use all interfaces
@@ -147,6 +149,37 @@ class MptcpConnection {
   [[nodiscard]] net::Node& node() { return node_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] bool is_server() const { return is_server_; }
+
+  // --- Macro-step interface (hybrid fidelity; see DESIGN.md §13) --------
+  /// Connection-level bytes queued but not yet assigned to any subflow —
+  /// what the fast path may advance analytically.
+  [[nodiscard]] std::uint64_t macro_pending_bytes() const {
+    return data_end_ - data_next_seq_;
+  }
+  [[nodiscard]] bool tx_paused() const { return tx_paused_; }
+  /// Freezes packet-level assignment of fresh data (pull_chunk returns
+  /// nothing) so in-flight data drains before analytic advancement begins.
+  /// Unpausing pokes the subflows so transmission resumes immediately.
+  void set_tx_paused(bool paused);
+  /// Sender-side quiescence: established, nothing reinjecting, everything
+  /// assigned is DATA_ACKed, and every live subflow socket individually
+  /// quiescent with no outstanding chunks. fin_pending_ is tolerated — a
+  /// server queues its FIN at response time, but it cannot be sent while
+  /// unassigned data remains, and the fast path always leaves a
+  /// packet-level tail so the close handshake runs at full fidelity.
+  [[nodiscard]] bool can_macro_step_send() const;
+  /// Receiver-side mirror: no reassembly gap at the data level, no
+  /// DATA_FIN seen, every live subflow socket quiescent.
+  [[nodiscard]] bool can_macro_step_recv() const;
+  /// Analytically assigns-and-acknowledges `bytes` of fresh data on the
+  /// subflow riding `iface`: advances the data-level sequence space and the
+  /// subflow socket together, leaving nothing in flight. Caller must hold
+  /// can_macro_step_send() and advance the peer's receive side by the same
+  /// bytes on the same interface type.
+  void macro_advance_send(net::InterfaceType iface, std::uint64_t bytes,
+                          std::uint64_t cwnd_cap);
+  void macro_advance_recv(net::InterfaceType iface, std::uint64_t bytes);
 
  private:
   Subflow& create_subflow(std::unique_ptr<tcp::TcpSocket> socket,
@@ -161,6 +194,9 @@ class MptcpConnection {
   void maybe_send_fins();
   void check_eof();
   void check_closed();
+  /// Tells the fast path (when attached) that this connection saw a
+  /// transient and must drop out of any analytic advancement.
+  void notify_transient();
   static std::uint64_t next_token();
 
   sim::Simulation& sim_;
@@ -172,6 +208,8 @@ class MptcpConnection {
   trace::Counter* ctr_reinjected_ = nullptr;  ///< reinjected data chunks
   /// Invariant-oracle attachment point (see check/hub.hpp).
   check::Hub* chk_ = nullptr;
+  /// Hybrid-fidelity fast-path attachment point (see fastpath_hub.hpp).
+  FastPathHub* fp_ = nullptr;
   std::vector<std::unique_ptr<Subflow>> subflows_;
   /// Raw-pointer view of `subflows_`, maintained alongside it so the hot
   /// scheduling paths never materialise a fresh vector.
@@ -194,6 +232,7 @@ class MptcpConnection {
   sim::RingDeque<DataChunk> reinject_;
   bool fin_pending_ = false;
   bool subflow_fins_sent_ = false;
+  bool tx_paused_ = false;  ///< fast path froze fresh assignment
 
   // Receive side.
   tcp::IntervalReassembly data_rcv_{1};

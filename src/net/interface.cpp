@@ -1,5 +1,7 @@
 #include "net/interface.hpp"
 
+#include <algorithm>
+
 #include "net/node.hpp"
 #include "sim/logging.hpp"
 
@@ -51,6 +53,29 @@ void NetworkInterface::deliver(const Packet& pkt) {
     radio_->on_activity(sim_.now(), pkt.wire_bytes(), /*is_tx=*/false);
   }
   node_.receive(pkt, *this);
+}
+
+void NetworkInterface::macro_account(std::uint64_t tx_wire_bytes,
+                                     std::uint64_t rx_wire_bytes) {
+  tx_bytes_ += tx_wire_bytes;
+  rx_bytes_ += rx_wire_bytes;
+  if (radio_ == nullptr) return;
+  // One aggregated activity sample per direction. wire_bytes is a u32 in
+  // the per-packet hook; a 100 ms quantum at link rates stays far below
+  // that, but clamp defensively.
+  constexpr std::uint64_t kMax = 0xffffffffull;
+  if (tx_wire_bytes > 0) {
+    radio_->on_activity(sim_.now(),
+                        static_cast<std::uint32_t>(
+                            std::min<std::uint64_t>(tx_wire_bytes, kMax)),
+                        /*is_tx=*/true);
+  }
+  if (rx_wire_bytes > 0) {
+    radio_->on_activity(sim_.now(),
+                        static_cast<std::uint32_t>(
+                            std::min<std::uint64_t>(rx_wire_bytes, kMax)),
+                        /*is_tx=*/false);
+  }
 }
 
 void NetworkInterface::set_up(bool up) {

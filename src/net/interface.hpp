@@ -76,6 +76,13 @@ class NetworkInterface {
   [[nodiscard]] std::uint64_t rx_bytes() const { return rx_bytes_; }
   [[nodiscard]] std::uint64_t dropped_down() const { return dropped_down_; }
 
+  /// Hybrid-fidelity accounting: credits a macro-step's aggregated wire
+  /// bytes to the counters and lets the radio model observe the activity
+  /// (keeping cellular radios in their active state through a fluid
+  /// interval). Promotion delays are ignored — a flow only macro-steps
+  /// while its radio is already busy. No packets traverse any link.
+  void macro_account(std::uint64_t tx_wire_bytes, std::uint64_t rx_wire_bytes);
+
   /// Zeroes the byte counters, as a driver reset/reattach would. Consumers
   /// that difference the counters (EnergyTracker) must tolerate the
   /// resulting backwards step.

@@ -38,15 +38,27 @@ void Link::send(PooledPacket&& pkt) {
 }
 
 void Link::set_rate(double mbps) {
-  cfg_.rate_mbps = std::max(mbps, 1e-3);  // never fully stall the link
+  const double clamped = std::max(mbps, 1e-3);  // never fully stall the link
+  const bool changed = clamped != cfg_.rate_mbps;
+  cfg_.rate_mbps = clamped;
+  if (changed && transient_cb_) transient_cb_();
+}
+
+void Link::set_background_bps(double bps) {
+  background_bps_ = std::max(bps, 0.0);
 }
 
 void Link::start_transmission() {
   transmitting_ = true;
   const Packet& head = *queue_.front();
   const double bits = static_cast<double>(head.wire_bytes()) * 8.0;
-  const sim::Duration tx_time =
-      sim::from_seconds(bits / (cfg_.rate_mbps * 1e6));
+  // Fluid background traffic occupies its declared share of the
+  // transmitter; packet traffic serializes in what remains (at least 1%,
+  // so a mis-declared overload degrades instead of deadlocking).
+  const double line_bps = cfg_.rate_mbps * 1e6;
+  const double avail_bps =
+      std::max(line_bps - background_bps_, line_bps * 0.01);
+  const sim::Duration tx_time = sim::from_seconds(bits / avail_bps);
   sim_.in(tx_time, [this] { finish_transmission(); });
 }
 

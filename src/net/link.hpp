@@ -58,8 +58,29 @@ class Link {
   void set_rate(double mbps);
   [[nodiscard]] double rate_mbps() const { return cfg_.rate_mbps; }
 
-  void set_loss_prob(double p) { cfg_.loss_prob = p; }
+  void set_loss_prob(double p) {
+    const bool changed = p != cfg_.loss_prob;
+    cfg_.loss_prob = p;
+    if (changed && transient_cb_) transient_cb_();
+  }
   [[nodiscard]] double loss_prob() const { return cfg_.loss_prob; }
+
+  /// Observer for path-property transients (rate or loss changes). The
+  /// hybrid-fidelity fast path hangs off this: any flow advancing
+  /// analytically over this link must drop back to packet level and
+  /// re-measure. At most one listener; unset by default.
+  void set_transient_listener(std::function<void()> cb) {
+    transient_cb_ = std::move(cb);
+  }
+
+  /// Declares analytic (fluid) traffic occupying this link outside the
+  /// packet path: the serialization rate packet traffic sees shrinks by
+  /// this many bits/s, floored at a small residual so packet tails always
+  /// drain. Driven by the hybrid-fidelity coordinator every governor
+  /// quantum; deliberately does NOT fire the transient listener — it is
+  /// the fast path's own doing, not a path-property change.
+  void set_background_bps(double bps);
+  [[nodiscard]] double background_bps() const { return background_bps_; }
 
   void set_prop_delay(sim::Duration d) { cfg_.prop_delay = d; }
   [[nodiscard]] sim::Duration prop_delay() const { return cfg_.prop_delay; }
@@ -90,7 +111,9 @@ class Link {
   sim::RingDeque<PooledPacket> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
+  double background_bps_ = 0.0;
   sim::Duration pending_delay_ = 0;
+  std::function<void()> transient_cb_;
 
   std::uint64_t delivered_ = 0;
   std::uint64_t delivered_bytes_ = 0;

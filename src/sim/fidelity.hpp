@@ -1,0 +1,43 @@
+// Simulation fidelity selector.
+//
+// kPacket is the classic mode: every segment, ACK and timer is a discrete
+// event. kHybrid arms the macro-step fast path (app::FastPath): flows that
+// reach congestion-avoidance steady state are advanced analytically across
+// whole 100 ms quanta and dropped back to packet level on any transient.
+// The two modes must agree on final per-flow bytes exactly and on FCT and
+// energy within the tolerance contract in DESIGN.md §13; the differential
+// harness (tests/hybrid_gate.cmake, emptcp-fuzz --fidelity-diff) enforces
+// that continuously.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+namespace emptcp::sim {
+
+enum class Fidelity {
+  kPacket,  ///< per-packet discrete events everywhere (the default)
+  kHybrid,  ///< analytic macro-stepping for quiescent flows
+};
+
+inline const char* to_string(Fidelity f) {
+  return f == Fidelity::kHybrid ? "hybrid" : "packet";
+}
+
+inline std::optional<Fidelity> fidelity_from_string(std::string_view s) {
+  if (s == "packet") return Fidelity::kPacket;
+  if (s == "hybrid") return Fidelity::kHybrid;
+  return std::nullopt;
+}
+
+/// EMPTCP_FIDELITY environment override, used as the campaign-spec default
+/// so a whole grid can be flipped without editing the spec. Unset or
+/// unrecognized values mean packet.
+inline Fidelity fidelity_from_env() {
+  const char* v = std::getenv("EMPTCP_FIDELITY");
+  if (v == nullptr) return Fidelity::kPacket;
+  return fidelity_from_string(v).value_or(Fidelity::kPacket);
+}
+
+}  // namespace emptcp::sim

@@ -48,6 +48,19 @@ class CongestionControl {
   /// Applies RFC 2861 cwnd validation when enabled.
   void on_idle_restart(sim::Duration idle, sim::Duration rto);
 
+  /// Analytic macro-step: the fast path acknowledged `acked_bytes` across a
+  /// whole quantum without individual ACK events. Grows the window exactly
+  /// as the per-ACK path would (same ca_increase virtual, so LIA coupling
+  /// is preserved), then models the congestion-avoidance sawtooth: when the
+  /// window exceeds `cwnd_cap` (the path's bandwidth-delay product plus
+  /// queue headroom as measured by the fast path), reacts as a loss event
+  /// would. The cap also bounds the burst released when the flow drops back
+  /// to packet level.
+  void macro_advance(std::uint64_t acked_bytes, std::uint64_t cwnd_cap) {
+    on_ack(acked_bytes);
+    if (cwnd_cap >= 2ull * cfg_.mss && cwnd_ > cwnd_cap) on_loss_event();
+  }
+
   void set_cwnd_validation(bool enabled) { cwnd_validation_ = enabled; }
   [[nodiscard]] bool cwnd_validation() const { return cwnd_validation_; }
 

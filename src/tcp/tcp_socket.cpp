@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/hub.hpp"
+#include "check/mutation.hpp"
 #include "check/oracle.hpp"
 #include "sim/logging.hpp"
 #include "trace/trace.hpp"
@@ -142,6 +143,50 @@ void TcpSocket::send_mp_prio(bool backup) {
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait ||
       state_ == TcpState::kFinWait) {
     send_pure_ack();  // flushes the option immediately
+  }
+}
+
+bool TcpSocket::can_macro_step() const {
+  if (state_ != TcpState::kEstablished) return false;
+  if (failed_) return false;
+  if (fin_queued_ || fin_sent_ || fin_rcv_seq_.has_value()) return false;
+  if (rcv_.has_gaps()) return false;
+  if (check::active_mutation() == check::Mutation::kMacroQuiescenceBlind) {
+    // Injected fault: skip every in-flight/loss term below. The property
+    // tests must catch this (a flow with outstanding or marked-lost data
+    // would be declared quiescent).
+    return true;
+  }
+  if (!retx_.empty() || bytes_in_flight() != 0) return false;
+  if (in_recovery_ || dupacks_ != 0) return false;
+  if (sacked_bytes_ != 0 || lost_bytes_ != 0) return false;
+  if (rto_timer_.armed()) return false;
+  return true;
+}
+
+void TcpSocket::macro_advance_sender(std::uint64_t bytes,
+                                     std::uint64_t cwnd_cap) {
+  snd_nxt_ += bytes;
+  snd_una_ = snd_nxt_;
+  app_bytes_sent_ += bytes;
+  app_bytes_acked_ += bytes;
+  // Keeps RFC 2861 idle detection from collapsing cwnd on packet-level
+  // resume: the flow was never idle, its events were just aggregated.
+  last_send_ = sim_.now();
+  cc_->macro_advance(bytes, cwnd_cap);
+  trace_cwnd();
+  if (check::Oracle* oracle = chk_->oracle) {
+    oracle->on_tcp_ack({snd_una_, snd_nxt_, bytes_in_flight(), sacked_bytes_,
+                        lost_bytes_, cc_->cwnd(), key_.local_port});
+  }
+}
+
+void TcpSocket::macro_advance_receiver(std::uint64_t bytes) {
+  const std::uint64_t newly = rcv_.insert(rcv_.cumulative(), bytes);
+  app_bytes_received_ += newly;
+  if (check::Oracle* oracle = chk_->oracle) {
+    oracle->on_tcp_rx(app_bytes_received_, rcv_.cumulative(),
+                      key_.local_port);
   }
 }
 

@@ -202,6 +202,32 @@ class TcpSocket {
                : false;
   }
 
+  // --- Macro-step interface (hybrid fidelity; see DESIGN.md §13) --------
+  /// Quiescence predicate: true only when this endpoint is in established
+  /// steady state with no transient pending — nothing in flight, no SACK
+  /// holes or marked losses, not in recovery, no RTO armed, no FIN in
+  /// either direction, no reassembly gap. The fast path may only advance a
+  /// flow analytically while this holds on every subflow socket; every
+  /// per-packet transition out of the quiescent set happens exclusively
+  /// through packet-level code, so a false predicate is sufficient to drop
+  /// back to full fidelity. Deliberately redundant terms (retx_ empty AND
+  /// zero in flight AND no timer) keep the predicate safe even if one
+  /// bookkeeping path drifts; Mutation::kMacroQuiescenceBlind blinds the
+  /// loss/in-flight terms so tests can prove they have teeth.
+  [[nodiscard]] bool can_macro_step() const;
+  /// Analytically sends-and-acknowledges `bytes` in one step, as if the
+  /// peer had cumulatively ACKed a whole quantum of MSS segments: advances
+  /// snd_nxt/snd_una together (nothing is left in flight), credits the
+  /// application counters, and grows cwnd through the congestion
+  /// controller's normal virtual increase capped at `cwnd_cap` (see
+  /// CongestionControl::macro_advance). Caller must hold can_macro_step().
+  void macro_advance_sender(std::uint64_t bytes, std::uint64_t cwnd_cap);
+  /// Receiver-side mirror: appends `bytes` contiguously at the cumulative
+  /// point as if delivered in order. Does not fire the on_data callback —
+  /// the MPTCP meta-socket accounts for delivery at the data level.
+  /// Caller must hold can_macro_step().
+  void macro_advance_receiver(std::uint64_t bytes);
+
  private:
   struct TxSegment {
     std::uint64_t seq = 0;

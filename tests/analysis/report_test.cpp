@@ -250,6 +250,99 @@ TEST(DiffTest, MinFactorGuardsThroughputDrops) {
   EXPECT_EQ(diff_metrics(base, ok, rules).violations, 0);
 }
 
+TEST(DiffTest, FloorIsAbsoluteRegardlessOfBaseline) {
+  ToleranceRule r;
+  ASSERT_TRUE(parse_tolerance("*hybrid*.speedup_vs_packet=floor:2", r));
+  EXPECT_EQ(r.mode, ToleranceRule::Mode::kFloor);
+  EXPECT_DOUBLE_EQ(r.tol, 2.0);
+
+  // The floor binds against the configured value, not the baseline: a
+  // baseline that itself regressed below the floor must not grandfather
+  // the current run in.
+  const FlatJson base = doc(R"({"speedup_vs_packet":1.2})");
+  const FlatJson below = doc(R"({"speedup_vs_packet":1.9})");
+  const FlatJson above = doc(R"({"speedup_vs_packet":2.1})");
+  const std::vector<ToleranceRule> rules{
+      {"*", ToleranceRule::Mode::kFloor, 2.0}};
+  EXPECT_EQ(diff_metrics(base, below, rules).violations, 1);
+  EXPECT_EQ(diff_metrics(base, above, rules).violations, 0);
+}
+
+TEST(DiffTest, NearBandCombinesRelativeAndAbsoluteTerms) {
+  ToleranceRule r;
+  ASSERT_TRUE(parse_tolerance("*.fct_s=near:0.25,0.25", r));
+  EXPECT_EQ(r.mode, ToleranceRule::Mode::kNear);
+  EXPECT_DOUBLE_EQ(r.tol, 0.25);
+  EXPECT_DOUBLE_EQ(r.tol_abs, 0.25);
+  // Both terms are mandatory and non-negative ("near:REL,ABS").
+  EXPECT_FALSE(parse_tolerance("x=near:0.1", r));
+  EXPECT_FALSE(parse_tolerance("x=near:-0.1,0.1", r));
+  EXPECT_FALSE(parse_tolerance("x=near:0.1,-0.1", r));
+
+  // Band: |current - baseline| <= rel*|baseline| + abs. For baseline 10,
+  // rel 0.25, abs 0.25 the band is ±2.75 — symmetric, unlike abs/factor.
+  const FlatJson base = doc(R"({"fct_s":10})");
+  const std::vector<ToleranceRule> rules{
+      {"*", ToleranceRule::Mode::kNear, 0.25, 0.25}};
+  EXPECT_EQ(diff_metrics(base, doc(R"({"fct_s":12.7})"), rules).violations, 0);
+  EXPECT_EQ(diff_metrics(base, doc(R"({"fct_s":7.3})"), rules).violations, 0);
+  EXPECT_EQ(diff_metrics(base, doc(R"({"fct_s":12.8})"), rules).violations, 1);
+  EXPECT_EQ(diff_metrics(base, doc(R"({"fct_s":7.2})"), rules).violations, 1);
+  // A zero baseline still admits the absolute term (FCTs of 0 never
+  // happen, but energies on an unused interface do).
+  const FlatJson zero = doc(R"({"fct_s":0})");
+  EXPECT_EQ(diff_metrics(zero, doc(R"({"fct_s":0.2})"), rules).violations, 0);
+  EXPECT_EQ(diff_metrics(zero, doc(R"({"fct_s":0.3})"), rules).violations, 1);
+}
+
+TEST(ReportTest, RollupFlatJsonKeysAndFlows) {
+  // Two runs, deliberately given out of sorted order, with '/' in the
+  // workload and out-of-order flow completions.
+  AnalyzedRun b;
+  b.rollup.group = "hybrid_smoke";
+  b.rollup.protocol = "mptcp";
+  b.rollup.workload = "fleet/closed/c4";
+  b.rollup.seed = 2;
+  b.rollup.completed = true;
+  b.rollup.time_s = 3.5;
+  b.rollup.energy_j = 7.25;
+  b.rollup.bytes = 8000;
+  b.rollup.flows_started = 2;
+  b.rollup.flows_completed = 2;
+  b.rollup.flows = {{7, 4000.0, 1.5, 3.0}, {3, 4000.0, 2.0, 4.25}};
+  AnalyzedRun a;
+  a.rollup.group = "hybrid_smoke";
+  a.rollup.protocol = "emptcp";
+  a.rollup.workload = "fleet/closed/c1";
+  a.rollup.seed = 1;
+  a.rollup.completed = true;
+
+  const std::string json = rollup_flat_json({b, a});
+  const FlatJson flat = doc(json.c_str());
+
+  // Keys carry group-protocol-workload-seed, '/' sanitized to '-', so
+  // fleet sizes don't collide and globs can target a workload slice.
+  EXPECT_NE(json.find("\"emptcp-rollup-flat-v1\""), std::string::npos);
+  const std::string kb = "hybrid_smoke-mptcp-fleet-closed-c4-s2";
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".time_s", -1.0), 3.5);
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".bytes", -1.0), 8000.0);
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".flows_completed", -1.0), 2.0);
+  // Flow triples are keyed by flow id and emitted in ascending id order,
+  // not completion order — the two fidelities complete flows in different
+  // orders, and the gate must compare a flow with itself.
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".flow3.fct_s", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".flow3.energy_j", -1.0), 4.25);
+  EXPECT_DOUBLE_EQ(json_num(flat, kb + ".flow7.fct_s", -1.0), 1.5);
+  EXPECT_LT(json.find(kb + ".flow3."), json.find(kb + ".flow7."));
+  // Runs are sorted: the emptcp/c1 run serializes first.
+  EXPECT_LT(json.find("hybrid_smoke-emptcp-fleet-closed-c1-s1"),
+            json.find(kb));
+  // The sorted flat documents diff cleanly against themselves.
+  const std::vector<ToleranceRule> rules{
+      {"*", ToleranceRule::Mode::kExact, 0.0}};
+  EXPECT_EQ(diff_metrics(flat, flat, rules).violations, 0);
+}
+
 TEST(DiffTest, DefaultBenchTolerancesEndInCatchAll) {
   const std::vector<ToleranceRule> rules = default_bench_tolerances();
   ASSERT_FALSE(rules.empty());

@@ -197,6 +197,69 @@ TEST(EnergyTrackerTest, BackwardsByteCounterClampedNotWrapped) {
 #endif
 }
 
+// Window-boundary seam of the hybrid fast path (DESIGN.md §13): a
+// macro-step lands several sampling windows' worth of bytes on the
+// interface counter in one instant. With the fluid rate declared, the
+// tracker must meter the lump back out at that rate so every window's
+// power sample sees what packet mode would have shown it — not one
+// absurd-rate window followed by idle ones.
+TEST(EnergyTrackerTest, FluidLumpMeteredAtDeclaredRate) {
+  TrackerWorld w;
+  w.tracker.start();
+  // Declare 8 Mbps fluid advancement, then deliver the whole 5 s worth
+  // of bytes (5 MB) as a single instantaneous counter jump.
+  w.tracker.set_fluid_rate(*w.net.wifi_if, 8.0e6 / 8.0);
+  w.net.sim.at(sim::milliseconds(50), [&] {
+    net::Packet p;
+    p.src = test::kServerAddr;
+    p.dst = test::kWifiAddr;
+    p.payload = 5'000'000;
+    w.net.wifi_if->deliver(p);
+  });
+  w.net.sim.run_until(sim::seconds(5));
+  w.tracker.clear_fluid_rate(*w.net.wifi_if);
+
+  // Same analytic expectation as the smooth-delivery test above: ~5 s at
+  // the 8 Mbps operating point. The unsmoothed lump would charge the
+  // active baseline for a single window and idle for the other 49.
+  const DeviceProfile s3 = DeviceProfile::galaxy_s3();
+  const double expected = s3.wifi.active_power_mw(8.0) * 5.0 / 1000.0;
+  EXPECT_NEAR(w.tracker.iface_j(net::InterfaceType::kWifi), expected,
+              expected * 0.12);
+
+  // Every metered window sits at the declared rate, not 400 Mbps.
+  const auto& rates = w.tracker.rate_series(net::InterfaceType::kWifi);
+  ASSERT_FALSE(rates.empty());
+  for (const auto& r : rates) EXPECT_LE(r.mbps, 8.5);
+}
+
+// The metering backlog conserves bytes exactly: whatever the declared
+// rate holds back is released when the fluid rate is cleared (packet
+// resume), so the rate series integrates to the true byte total.
+TEST(EnergyTrackerTest, ClearFluidRateReleasesBacklog) {
+  TrackerWorld w;
+  w.tracker.start();
+  w.tracker.set_fluid_rate(*w.net.wifi_if, 100'000.0);  // 0.8 Mbps
+  w.net.sim.at(sim::milliseconds(50), [&] {
+    net::Packet p;
+    p.src = test::kServerAddr;
+    p.dst = test::kWifiAddr;
+    p.payload = 1'000'000;
+    w.net.wifi_if->deliver(p);
+  });
+  // 1 s of metering drains only ~100 KB; clearing must release the rest
+  // into the next window instead of losing it.
+  w.net.sim.at(sim::seconds(1), [&] {
+    w.tracker.clear_fluid_rate(*w.net.wifi_if);
+  });
+  w.net.sim.run_until(sim::seconds(2));
+
+  const auto& rates = w.tracker.rate_series(net::InterfaceType::kWifi);
+  double metered_bytes = 0.0;
+  for (const auto& r : rates) metered_bytes += r.mbps * 1e6 / 8.0 * 0.1;
+  EXPECT_NEAR(metered_bytes, 1'000'000.0, 5'000.0);
+}
+
 TEST(EnergyTrackerTest, StopFreezesTotals) {
   TrackerWorld w;
   w.tracker.start();

@@ -1,0 +1,105 @@
+# Tier-1 hybrid-fidelity gate (DESIGN.md §13): run the committed
+# hybrid_smoke spec once per fidelity, export both campaigns' rollups as
+# flat JSON, and diff them field by field under the §13 tolerance
+# contract. Any out-of-tolerance field fails the gate loudly, quoting the
+# first divergent row. The gate also requires the hybrid run to have
+# actually macro-stepped (run.fluid_bytes > 0 in every hybrid trace) —
+# a governor that silently never engages would otherwise pass trivially.
+#
+# Tolerance regimes (first matching rule wins):
+#   * c1 fleets run their flows back to back: per-flow FCT within
+#     25% + 0.25 s, per-flow energy within 30% + 0.3 J.
+#   * c4 fleets run flows concurrently: which flow packet-level AIMD
+#     favours is phase noise, so per-flow bands widen (75% + 1 s /
+#     50% + 0.5 J) and the strict comparison moves to the run level
+#     (time within 25% + 0.25 s, energy within 25% + 0.5 J).
+#   * Byte counts and flow counts are exact in every regime.
+#
+# Invoked by ctest with:
+#   -DCAMPAIGN_TOOL=<path to emptcp-campaign>
+#   -DREPORT_TOOL=<path to emptcp-report>
+#   -DSPEC=<examples/campaigns/hybrid_smoke.spec>
+#   -DOUT_DIR=<scratch directory; packet/ and hybrid/ are created inside>
+foreach(var CAMPAIGN_TOOL REPORT_TOOL SPEC OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "hybrid_gate: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(fidelity packet hybrid)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env EMPTCP_FIDELITY=${fidelity}
+            ${CAMPAIGN_TOOL} --out ${OUT_DIR}/${fidelity} ${SPEC}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE report_out
+    ERROR_VARIABLE run_log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hybrid_gate: ${fidelity} campaign failed (${rc}): "
+                        "${run_log}")
+  endif()
+  if(NOT report_out MATCHES "all digests and energy cross-checks ok")
+    message(FATAL_ERROR "hybrid_gate: ${fidelity} report integrity check "
+                        "failed:\n${report_out}")
+  endif()
+
+  execute_process(
+    COMMAND ${REPORT_TOOL} ${OUT_DIR}/${fidelity}
+            --rollup-json ${OUT_DIR}/${fidelity}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE export_log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hybrid_gate: ${fidelity} rollup export failed "
+                        "(${rc}): ${export_log}")
+  endif()
+endforeach()
+
+# Engagement check: every hybrid trace must report analytic advancement.
+# (Packet traces carry no run.fluid_bytes metric at all.)
+file(GLOB hybrid_traces ${OUT_DIR}/hybrid/*.jsonl)
+if(NOT hybrid_traces)
+  message(FATAL_ERROR "hybrid_gate: no hybrid traces under ${OUT_DIR}/hybrid")
+endif()
+foreach(trace ${hybrid_traces})
+  file(STRINGS ${trace} fluid_lines REGEX "\"run.fluid_bytes\"")
+  if(NOT fluid_lines MATCHES "\"value\":[1-9]")
+    get_filename_component(name ${trace} NAME)
+    message(FATAL_ERROR "hybrid_gate: hybrid run ${name} never macro-stepped "
+                        "(run.fluid_bytes missing or zero): ${fluid_lines}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${REPORT_TOOL} --diff ${OUT_DIR}/packet.json ${OUT_DIR}/hybrid.json
+          --tol *-c4-*.flow*.fct_s=near:0.75,1.0
+          --tol *-c4-*.flow*.energy_j=near:0.5,0.5
+          --tol *.flow*.bytes=exact
+          --tol *.flow*.fct_s=near:0.25,0.25
+          --tol *.flow*.energy_j=near:0.30,0.3
+          --tol *.completed=exact
+          --tol *.flows_started=exact
+          --tol *.flows_completed=exact
+          --tol *.bytes=exact
+          --tol *.energy_j=near:0.25,0.5
+          --tol *.time_s=near:0.25,0.25
+          --tol *=ignore
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_log)
+if(NOT rc EQUAL 0)
+  # Quote the first divergent row up front; the full table follows.
+  string(REGEX MATCH "[^\n]*FAIL[^\n]*" first_divergence "${diff_out}")
+  message(FATAL_ERROR "hybrid_gate: packet and hybrid rollups diverge.\n"
+                      "first divergent field:\n  ${first_divergence}\n"
+                      "full diff:\n${diff_out}${diff_log}")
+endif()
+if(NOT diff_out MATCHES "\\.flow0\\.fct_s")
+  message(FATAL_ERROR "hybrid_gate: diff compared no per-flow fields — "
+                      "rollup export is missing flows:\n${diff_out}")
+endif()
+
+message(STATUS "hybrid_gate: packet and hybrid rollups agree within the "
+               "§13 tolerance contract")

@@ -1,0 +1,175 @@
+// Quiescence predicate (TcpSocket::can_macro_step, DESIGN.md §13).
+//
+// The fast path may only advance a flow analytically while the predicate
+// holds on every subflow socket, so its soundness property is the one the
+// whole hybrid-fidelity mode stands on: can_macro_step() must be false
+// whenever ANY transient trigger is pending — data in flight, loss
+// recovery, an armed RTO, a FIN in either direction, a reassembly gap, or
+// a not-yet-established state. The directed tests pin each trigger; the
+// randomized sampling property checks the observable implication
+// "quiescent sender has nothing unacknowledged" across lossy runs, and
+// the mutation test proves that property has teeth by blinding the
+// loss/in-flight terms (check::Mutation::kMacroQuiescenceBlind) and
+// requiring the same probe to catch it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "check/mutation.hpp"
+#include "support/testnet.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace emptcp::tcp {
+namespace {
+
+using test::TestNet;
+
+struct SocketPair {
+  explicit SocketPair(TestNet& net, TcpSocket::Config cfg = {})
+      : net_(net), client(net.sim, net.client, cfg) {
+    listener = std::make_unique<TcpListener>(
+        net.server, test::kPort, [this, &net, cfg](const net::Packet& syn) {
+          server = TcpSocket::accept(net.sim, net.server, cfg, syn);
+          if (on_accept) on_accept(*server);
+        });
+  }
+
+  void connect() {
+    client.connect(test::kWifiAddr, 5000, test::kServerAddr, test::kPort);
+  }
+
+  TestNet& net_;
+  TcpSocket client;
+  std::unique_ptr<TcpSocket> server;
+  std::unique_ptr<TcpListener> listener;
+  std::function<void(TcpSocket&)> on_accept;
+};
+
+TEST(MacroStepQuiescenceTest, FalseBeforeEstablishedTrueAfter) {
+  TestNet net;
+  SocketPair pair(net);
+  EXPECT_FALSE(pair.client.can_macro_step());  // kClosed
+  pair.connect();
+  EXPECT_FALSE(pair.client.can_macro_step());  // kSynSent
+  net.sim.run_until(sim::seconds(1));
+  ASSERT_NE(pair.server, nullptr);
+  // Established, idle, nothing pending on either side.
+  EXPECT_TRUE(pair.client.can_macro_step());
+  EXPECT_TRUE(pair.server->can_macro_step());
+}
+
+TEST(MacroStepQuiescenceTest, FalseWhileDataInFlight) {
+  TestNet net;
+  SocketPair pair(net);
+  pair.on_accept = [](TcpSocket& srv) { srv.send_app_data(200'000); };
+  pair.connect();
+  bool sampled = false;
+  // 150 ms in: handshake done, transfer mid-air on the ~20 ms path.
+  net.sim.at(sim::milliseconds(150), [&] {
+    sampled = true;
+    ASSERT_NE(pair.server, nullptr);
+    EXPECT_GT(pair.server->bytes_in_flight(), 0u);
+    EXPECT_FALSE(pair.server->can_macro_step());
+  });
+  net.sim.run_until(sim::seconds(5));
+  EXPECT_TRUE(sampled);
+  // Fully acknowledged and idle again: quiescent (no vacuous FALSE-forever).
+  EXPECT_EQ(pair.server->app_bytes_acked(), 200'000u);
+  EXPECT_TRUE(pair.server->can_macro_step());
+}
+
+TEST(MacroStepQuiescenceTest, FalseDuringLossRecovery) {
+  TestNet net;
+  SocketPair pair(net);
+  pair.on_accept = [](TcpSocket& srv) { srv.send_app_data(400'000); };
+  pair.connect();
+  // Blackhole the data direction mid-transfer: the sender is left with
+  // marked losses / an armed RTO, the receiver with a reassembly gap.
+  net.sim.at(sim::milliseconds(200),
+             [&] { net.wifi_down->set_loss_prob(1.0); });
+  net.sim.at(sim::milliseconds(400),
+             [&] { net.wifi_down->set_loss_prob(0.0); });
+  bool sampled = false;
+  net.sim.at(sim::milliseconds(450), [&] {
+    sampled = true;
+    ASSERT_NE(pair.server, nullptr);
+    EXPECT_FALSE(pair.server->can_macro_step());
+  });
+  net.sim.run_until(sim::seconds(30));
+  EXPECT_TRUE(sampled);
+  EXPECT_GT(pair.server->retransmitted_segments(), 0u);
+  // Recovery resolved, transfer complete: quiescent again.
+  EXPECT_EQ(pair.server->app_bytes_acked(), 400'000u);
+  EXPECT_TRUE(pair.server->can_macro_step());
+}
+
+TEST(MacroStepQuiescenceTest, FinIsTerminalOnBothSides) {
+  TestNet net;
+  SocketPair pair(net);
+  pair.on_accept = [](TcpSocket& srv) {
+    srv.send_app_data(10'000);
+    srv.shutdown_write();
+  };
+  pair.connect();
+  net.sim.run_until(sim::seconds(5));
+  ASSERT_NE(pair.server, nullptr);
+  // Sender side queued+sent a FIN; receiver side saw one. A closing flow
+  // must never be advanced analytically, even though it is loss-free.
+  EXPECT_FALSE(pair.server->can_macro_step());
+  EXPECT_FALSE(pair.client.can_macro_step());
+}
+
+/// Shared body for the sampling property and its mutation-teeth twin:
+/// runs a lossy 300 KB transfer, samples every 10 ms, and counts how
+/// often a socket claimed quiescence while bytes were unacknowledged —
+/// the observable no-transient implication of can_macro_step().
+int quiescence_violations(std::uint64_t seed) {
+  TestNet net(seed);
+  SocketPair pair(net);
+  pair.on_accept = [](TcpSocket& srv) { srv.send_app_data(300'000); };
+  pair.connect();
+  net.sim.at(sim::milliseconds(100),
+             [&] { net.wifi_down->set_loss_prob(0.02); });
+  int violations = 0;
+  bool quiescent_seen = false;
+  for (int ms = 50; ms < 20'000; ms += 10) {
+    net.sim.at(sim::milliseconds(ms), [&] {
+      for (TcpSocket* s : {&pair.client, pair.server.get()}) {
+        if (s == nullptr || !s->can_macro_step()) continue;
+        quiescent_seen = true;
+        // A truthful predicate implies nothing is unacknowledged: any
+        // in-flight byte under a true predicate is a soundness bug (the
+        // exact class the blinded mutation injects).
+        if (s->bytes_in_flight() != 0) ++violations;
+      }
+    });
+  }
+  net.sim.run_until(sim::seconds(25));
+  EXPECT_TRUE(quiescent_seen) << "property vacuous: predicate never true";
+  EXPECT_EQ(pair.server->app_bytes_acked(), 300'000u);
+  return violations;
+}
+
+TEST(MacroStepQuiescenceTest, SamplingPropertyHoldsAcrossLossySeeds) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    EXPECT_EQ(quiescence_violations(seed), 0) << "seed " << seed;
+  }
+}
+
+// Teeth: blind the predicate's loss/in-flight terms (the injected fault
+// emptcp-fuzz --mutate macro-quiescence-blind ships) and the very same
+// probe must light up. A sampling property that cannot catch the blinded
+// predicate would be decoration, not a gate.
+TEST(MacroStepQuiescenceTest, SamplingPropertyCatchesBlindedPredicate) {
+  check::ScopedMutation guard(check::Mutation::kMacroQuiescenceBlind);
+  int total = 0;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    total += quiescence_violations(seed);
+  }
+  EXPECT_GT(total, 0) << "mutation not caught: property has no teeth";
+}
+
+}  // namespace
+}  // namespace emptcp::tcp

@@ -37,7 +37,7 @@ using namespace emptcp;
 constexpr const char kUsage[] =
     "usage: emptcp-fuzz [--seeds N] [--base-seed S] [--jobs N]\n"
     "                   [--recheck N] [--mutate NAME] [--out DIR]\n"
-    "                   [--digest-out FILE]\n"
+    "                   [--digest-out FILE] [--fidelity-diff]\n"
     "       emptcp-fuzz --replay FILE\n"
     "       emptcp-fuzz --help\n"
     "\n"
@@ -48,6 +48,9 @@ constexpr const char kUsage[] =
     "--recheck N re-runs the first N seeds and demands identical digests.\n"
     "--mutate injects a known bug (reassembly-dup-deliver,\n"
     "scheduler-ignore-backup) to demonstrate detection; implies --jobs 1.\n"
+    "--fidelity-diff additionally re-runs every seed's primary protocol at\n"
+    "hybrid fidelity under the oracle and cross-checks per-flow bytes\n"
+    "(exact), FCT and energy against the packet run (DESIGN.md §13).\n"
     "Exit: 0 clean, 1 violation or determinism mismatch, 2 usage.\n";
 
 int usage_error(const std::string& complaint) {
@@ -83,7 +86,7 @@ int replay(const std::string& path) {
                static_cast<unsigned long long>(hdr.seed),
                check::to_string(hdr.mutation));
   std::fprintf(stderr, "emptcp-fuzz: scenario: %s\n", sc.summary.c_str());
-  const check::SeedResult r = check::run_seed(hdr.seed);
+  const check::SeedResult r = check::run_seed(hdr.seed, hdr.fidelity_diff);
   std::fprintf(stderr,
                "emptcp-fuzz: %llu checks, %zu violation(s), digest %llu\n",
                static_cast<unsigned long long>(r.checks),
@@ -166,6 +169,8 @@ int main(int argc, char** argv) {
       const std::string* v = value("--replay");
       if (v == nullptr) return usage_error("--replay needs a file");
       replay_path = *v;
+    } else if (args[i] == "--fidelity-diff") {
+      cfg.fidelity_diff = true;
     } else {
       return usage_error("unknown option: " + args[i]);
     }
@@ -205,7 +210,7 @@ int main(int argc, char** argv) {
         std::filesystem::path(out_dir) /
         ("repro-" + std::to_string(r.seed) + ".txt");
     std::ofstream out(repro);
-    out << check::format_repro(sc, mutation, r);
+    out << check::format_repro(sc, mutation, r, cfg.fidelity_diff);
     std::fprintf(stderr, "emptcp-fuzz: seed %llu: %zu violation(s) -> %s\n",
                  static_cast<unsigned long long>(r.seed),
                  r.violations.size(), repro.string().c_str());

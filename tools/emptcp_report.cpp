@@ -33,14 +33,18 @@ namespace {
 using namespace emptcp;
 
 constexpr const char kUsage[] =
-    "usage: emptcp-report DIR [DIR...]\n"
+    "usage: emptcp-report DIR [DIR...] [--rollup-json FILE]\n"
     "       emptcp-report --diff BASELINE.json CURRENT.json"
     " [--tol PATTERN=MODE:TOL ...]\n"
     "       emptcp-report perf DIR [DIR...] [--trace-json FILE]\n"
     "       emptcp-report --help\n"
     "\n"
     "Report mode renders the paper-style report over every\n"
-    "*.manifest.json (+ JSONL trace) found in the given directories.\n"
+    "*.manifest.json (+ JSONL trace) found in the given directories;\n"
+    "--rollup-json additionally writes the runs' rollups as one flat\n"
+    "JSON document (per-run headline fields plus per-flow triples)\n"
+    "suitable for diff mode — the hybrid-fidelity gate diffs two such\n"
+    "exports.\n"
     "Diff mode compares two flat JSON metric files under per-metric\n"
     "tolerance rules (MODE: ignore|exact|abs|factor|min); exit 1 when\n"
     "out of tolerance.\n"
@@ -68,7 +72,22 @@ int usage_error(const char* complaint) {
   return 2;
 }
 
-int run_report(const std::vector<std::string>& dirs) {
+int run_report(const std::vector<std::string>& args) {
+  std::vector<std::string> dirs;
+  std::string rollup_json;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--rollup-json") {
+      if (i + 1 >= args.size()) {
+        return usage_error("--rollup-json needs a file");
+      }
+      rollup_json = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error(("unknown option: " + args[i]).c_str());
+    } else {
+      dirs.push_back(args[i]);
+    }
+  }
+  if (dirs.empty()) return usage_error(nullptr);
   std::vector<analysis::AnalyzedRun> runs;
   std::string err;
   if (!analysis::load_analyzed_runs(dirs, runs, err)) {
@@ -78,6 +97,16 @@ int run_report(const std::vector<std::string>& dirs) {
   if (runs.empty()) {
     std::fprintf(stderr, "emptcp-report: no *.manifest.json found\n");
     return 2;
+  }
+  if (!rollup_json.empty()) {
+    const std::string flat = analysis::rollup_flat_json(runs);
+    std::ofstream out(rollup_json, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "emptcp-report: cannot write %s\n",
+                   rollup_json.c_str());
+      return 2;
+    }
+    out << flat;
   }
   const std::string report = analysis::render_report(std::move(runs));
   std::fwrite(report.data(), 1, report.size(), stdout);
@@ -244,11 +273,6 @@ int main(int argc, char** argv) {
   }
   if (args[0] == "perf") {
     return run_perf({args.begin() + 1, args.end()});
-  }
-  for (const std::string& a : args) {
-    if (!a.empty() && a[0] == '-') {
-      return usage_error(("unknown option: " + a).c_str());
-    }
   }
   return run_report(args);
 }
